@@ -1,0 +1,31 @@
+# Convenience targets.  All assume the package is installed
+# (pip install -e . --no-build-isolation, or python setup.py develop).
+
+.PHONY: install test bench examples quick-bench clean
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+# the cheap benches only: parameters, analysis, hardware (no simulations)
+quick-bench:
+	pytest benchmarks/bench_table1_parameters.py \
+	       benchmarks/bench_stability_analysis.py \
+	       benchmarks/bench_hardware_cost.py \
+	       benchmarks/bench_discrete_stability.py --benchmark-only
+
+examples:
+	python examples/quickstart.py
+	python examples/stability_design.py
+	python examples/epic_decode_trace.py --quick
+	python examples/scheme_comparison.py gsm-decode
+	python examples/custom_workload.py
+
+clean:
+	rm -rf .pytest_cache .benchmarks src/repro.egg-info
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,89 @@
+"""Ablation: the basic-time-delay ratio T_m0/T_l0 in the real system.
+
+Remark 3's 2-8x rule comes from the linearized analysis; this ablation
+checks it holds in the discrete, noisy, saturating simulator: sweeping the
+delay ratio on two representative benchmarks (one fast-varying, one steady)
+and reporting energy/performance/EDP plus the controller activity.  Very
+small ratios over-react (more switching); very sluggish level delays save
+less energy.
+"""
+
+from conftest import SWEEP_INSTRUCTIONS, emit, run_once
+
+from repro.harness.experiment import run_experiment
+from repro.harness.reporting import format_table
+from repro.power.metrics import (
+    edp_improvement_percent,
+    energy_savings_percent,
+    performance_degradation_percent,
+)
+from repro.workloads.suite import get_benchmark
+
+RATIOS = (1.0, 2.0, 6.25, 8.0, 25.0)
+BENCHMARKS = ("gsm-decode", "gzip")
+
+
+def _measure(name: str, ratio: float, baseline):
+    run = run_experiment(
+        get_benchmark(name),
+        scheme="adaptive",
+        max_instructions=SWEEP_INSTRUCTIONS,
+        record_history=False,
+        adaptive_overrides={"t_m0": ratio * 8.0, "t_l0": 8.0},
+    )
+    return {
+        "energy_savings_pct": energy_savings_percent(baseline, run.metrics),
+        "perf_degradation_pct": performance_degradation_percent(baseline, run.metrics),
+        "edp_improvement_pct": edp_improvement_percent(baseline, run.metrics),
+        "transitions": sum(run.transitions.values()),
+    }
+
+
+def _sweep():
+    rows = []
+    by_key = {}
+    for name in BENCHMARKS:
+        baseline = run_experiment(
+            get_benchmark(name),
+            scheme="full-speed",
+            max_instructions=SWEEP_INSTRUCTIONS,
+            record_history=False,
+        ).metrics
+        for ratio in RATIOS:
+            result = _measure(name, ratio, baseline)
+            rows.append(
+                [
+                    name,
+                    f"{ratio:g}",
+                    result["energy_savings_pct"],
+                    result["perf_degradation_pct"],
+                    result["edp_improvement_pct"],
+                    result["transitions"],
+                ]
+            )
+            by_key[(name, ratio)] = result
+    return rows, by_key
+
+
+def test_ablation_delay_ratio(benchmark):
+    rows, by_key = run_once(benchmark, _sweep)
+    table = format_table(
+        ["benchmark", "T_m0/T_l0", "energy savings %", "perf degradation %",
+         "EDP improvement %", "transitions"],
+        rows,
+        title="Ablation: delay-ratio sweep in the full simulator (Remark 3)",
+    )
+    emit("ablation_delay_ratio", table)
+
+    for name in BENCHMARKS:
+        # an over-eager level signal (ratio 1) must switch at least as often
+        # as the paper's setting (6.25)
+        assert (
+            by_key[(name, 1.0)]["transitions"]
+            >= by_key[(name, 6.25)]["transitions"]
+        )
+        # an extremely sluggish level signal saves less energy
+        assert (
+            by_key[(name, 25.0)]["energy_savings_pct"]
+            <= by_key[(name, 2.0)]["energy_savings_pct"] + 0.5
+        )

@@ -1,0 +1,71 @@
+"""Extension bench: XScale-style vs Transmeta-style DVFS (paper Section 3).
+
+The paper designs for an XScale-style implementation (fast transitions,
+execution continues, fine steps) and notes the same framework applies to a
+Transmeta-style one (slow transitions, per-transition halt) provided the
+triggering condition and step are chosen "relatively high or big".  This
+bench runs both machine models with their matched controller tunings:
+the Transmeta configuration must act far less often, and its coarser,
+costlier actions buy less energy at more performance risk.
+"""
+
+from conftest import SWEEP_INSTRUCTIONS, emit, run_once
+
+from repro.harness.experiment import run_experiment
+from repro.harness.reporting import format_table
+from repro.mcd.domains import MachineConfig, transmeta_machine_config
+from repro.power.metrics import (
+    edp_improvement_percent,
+    energy_savings_percent,
+    performance_degradation_percent,
+)
+
+BENCHMARKS = ("gsm-decode", "gzip", "applu")
+
+
+def _run_style(name, machine):
+    baseline = run_experiment(
+        name, scheme="full-speed", machine=machine,
+        max_instructions=SWEEP_INSTRUCTIONS, record_history=False,
+    ).metrics
+    run = run_experiment(
+        name, scheme="adaptive", machine=machine,
+        max_instructions=SWEEP_INSTRUCTIONS, record_history=False,
+    )
+    return {
+        "dE": energy_savings_percent(baseline, run.metrics),
+        "dT": performance_degradation_percent(baseline, run.metrics),
+        "edp": edp_improvement_percent(baseline, run.metrics),
+        "transitions": sum(run.transitions.values()),
+    }
+
+
+def _sweep():
+    results = {}
+    for name in BENCHMARKS:
+        results[(name, "xscale")] = _run_style(name, MachineConfig())
+        results[(name, "transmeta")] = _run_style(name, transmeta_machine_config())
+    return results
+
+
+def test_ablation_dvfs_style(benchmark):
+    results = run_once(benchmark, _sweep)
+    rows = [
+        [name, style, r["dE"], r["dT"], r["edp"], r["transitions"]]
+        for (name, style), r in results.items()
+    ]
+    table = format_table(
+        ["benchmark", "DVFS style", "energy savings %", "perf degradation %",
+         "EDP improvement %", "transitions"],
+        rows,
+        title="Extension: XScale-style vs Transmeta-style DVFS under the adaptive scheme",
+    )
+    emit("ablation_dvfs_style", table)
+
+    for name in BENCHMARKS:
+        xscale = results[(name, "xscale")]
+        transmeta = results[(name, "transmeta")]
+        # coarse-grained control acts at least 5x less often ...
+        assert transmeta["transitions"] * 5 <= max(1, xscale["transitions"]), name
+        # ... and cannot beat fine-grained control on EDP
+        assert xscale["edp"] >= transmeta["edp"] - 0.5, name

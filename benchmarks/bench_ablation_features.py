@@ -1,0 +1,86 @@
+"""Ablation: the design features DESIGN.md calls out.
+
+Turns individual controller mechanisms off and measures the effect on a
+fast-varying benchmark (where reaction time matters most):
+
+* ``use_slope_signal`` -- without the slope FSM the controller is level-only
+  and reacts late to swings;
+* ``signal_scaled_delay`` -- without magnitude-scaled counters every trigger
+  waits the full basic delay;
+* ``freq_scaled_down_delay`` -- without the 1/f^2 count-down scaling the
+  controller dives to f_min aggressively (cheaper but riskier);
+* ``combine_actions`` -- without the scheduler's combine/cancel rule,
+  simultaneous triggers serialize.
+"""
+
+from conftest import SWEEP_INSTRUCTIONS, emit, run_once
+
+from repro.harness.experiment import run_experiment
+from repro.harness.reporting import format_table
+from repro.power.metrics import (
+    edp_improvement_percent,
+    energy_savings_percent,
+    performance_degradation_percent,
+)
+from repro.workloads.suite import get_benchmark
+
+BENCHMARK = "mpeg2-decode"
+
+VARIANTS = (
+    ("full design", {}),
+    ("no slope signal", {"use_slope_signal": False}),
+    ("no signal-scaled delay", {"signal_scaled_delay": False}),
+    ("no 1/f^2 count-down scaling", {"freq_scaled_down_delay": False}),
+    ("no combine/cancel scheduler", {"combine_actions": False}),
+)
+
+
+def _sweep():
+    spec = get_benchmark(BENCHMARK)
+    baseline = run_experiment(
+        spec, scheme="full-speed", max_instructions=SWEEP_INSTRUCTIONS,
+        record_history=False,
+    ).metrics
+    results = {}
+    for label, overrides in VARIANTS:
+        run = run_experiment(
+            spec,
+            scheme="adaptive",
+            max_instructions=SWEEP_INSTRUCTIONS,
+            record_history=False,
+            adaptive_overrides=overrides,
+        )
+        results[label] = {
+            "dE": energy_savings_percent(baseline, run.metrics),
+            "dT": performance_degradation_percent(baseline, run.metrics),
+            "edp": edp_improvement_percent(baseline, run.metrics),
+            "transitions": sum(run.transitions.values()),
+        }
+    return results
+
+
+def test_ablation_features(benchmark):
+    results = run_once(benchmark, _sweep)
+    rows = [
+        [label, r["dE"], r["dT"], r["edp"], r["transitions"]]
+        for label, r in results.items()
+    ]
+    table = format_table(
+        ["variant", "energy savings %", "perf degradation %",
+         "EDP improvement %", "transitions"],
+        rows,
+        title=f"Ablation: controller features on {BENCHMARK}",
+    )
+    emit("ablation_features", table)
+
+    full = results["full design"]
+    # every variant still saves energy (the core mechanism is the level FSM)
+    for label, r in results.items():
+        assert r["dE"] > 0.0, label
+    # the level-only controller reacts less often than the full design
+    assert results["no slope signal"]["transitions"] < full["transitions"]
+    # the full design's EDP is at least competitive with every ablation
+    best_ablated = max(
+        r["edp"] for label, r in results.items() if label != "full design"
+    )
+    assert full["edp"] > best_ablated - 1.5

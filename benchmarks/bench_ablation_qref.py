@@ -1,0 +1,70 @@
+"""Ablation: the reference queue point q_ref (paper Section 3.1).
+
+"The position of q_ref specifies the actual tradeoff between performance
+degradation and energy saving": raising q_ref makes the controller more
+aggressive about saving energy (the queue is allowed to run closer to full
+before the domain speeds up); lowering it preserves performance.  This
+sweep regenerates that trade-off curve on a steady and a fast-varying
+benchmark, scaling the INT reference proportionally to its larger queue.
+"""
+
+from conftest import SWEEP_INSTRUCTIONS, emit, run_once
+
+from repro.harness.experiment import run_experiment
+from repro.harness.reporting import format_table
+from repro.power.metrics import (
+    energy_savings_percent,
+    performance_degradation_percent,
+)
+from repro.workloads.suite import get_benchmark
+
+BENCHMARKS = ("gzip", "mpeg2-decode")
+#: FP/LS reference points; INT uses 1.5x (6/4 in the paper's setting)
+QREFS = (2, 4, 6, 8, 10)
+
+
+def _sweep():
+    results = {}
+    for name in BENCHMARKS:
+        spec = get_benchmark(name)
+        baseline = run_experiment(
+            spec, scheme="full-speed", max_instructions=SWEEP_INSTRUCTIONS,
+            record_history=False,
+        ).metrics
+        for q_ref in QREFS:
+            run = run_experiment(
+                spec,
+                scheme="adaptive",
+                max_instructions=SWEEP_INSTRUCTIONS,
+                record_history=False,
+                adaptive_overrides={"q_ref": q_ref},
+            )
+            results[(name, q_ref)] = {
+                "dE": energy_savings_percent(baseline, run.metrics),
+                "dT": performance_degradation_percent(baseline, run.metrics),
+            }
+    return results
+
+
+def test_ablation_qref(benchmark):
+    results = run_once(benchmark, _sweep)
+    rows = [
+        [name, q_ref, r["dE"], r["dT"]]
+        for (name, q_ref), r in results.items()
+    ]
+    table = format_table(
+        ["benchmark", "q_ref", "energy savings %", "perf degradation %"],
+        rows,
+        title="Ablation: q_ref energy/performance trade-off (paper Sec 3.1)",
+    )
+    emit("ablation_qref", table)
+
+    for name in BENCHMARKS:
+        # higher q_ref -> at least as much energy saved at the extremes
+        assert (
+            results[(name, 10)]["dE"] >= results[(name, 2)]["dE"] - 0.3
+        ), name
+        # and the conservative extreme protects performance best
+        assert (
+            results[(name, 2)]["dT"] <= results[(name, 10)]["dT"] + 0.5
+        ), name

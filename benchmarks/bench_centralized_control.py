@@ -1,0 +1,54 @@
+"""Extension bench: decentralized vs centralized adaptive control.
+
+The paper controls each domain from local queue information only and notes
+that a centralized scheme "may work better" but is an open problem.  This
+bench measures the exploratory coordinated variant (down-steps vetoed while
+any sibling queue is backlogged) against the paper's decentralized scheme
+across steady, fast-varying and memory-bound benchmarks.
+"""
+
+from conftest import SWEEP_INSTRUCTIONS, emit, run_once
+
+from repro.harness.comparison import compare_schemes
+from repro.harness.reporting import format_table
+
+BENCHMARKS = ("mpeg2-decode", "gsm-decode", "gzip", "mcf", "applu")
+
+
+def _sweep():
+    results = {}
+    for name in BENCHMARKS:
+        comp = compare_schemes(
+            name,
+            schemes=("adaptive", "centralized"),
+            max_instructions=SWEEP_INSTRUCTIONS,
+        )
+        results[name] = comp
+    return results
+
+
+def test_centralized_control(benchmark):
+    results = run_once(benchmark, _sweep)
+    rows = []
+    for name, comp in results.items():
+        for scheme in ("adaptive", "centralized"):
+            r = comp.result_for(scheme)
+            rows.append(
+                [name, scheme, r.energy_savings_pct, r.perf_degradation_pct,
+                 r.edp_improvement_pct, r.transitions]
+            )
+    table = format_table(
+        ["benchmark", "scheme", "energy savings %", "perf degradation %",
+         "EDP improvement %", "transitions"],
+        rows,
+        title="Extension: decentralized (paper) vs centralized adaptive control",
+    )
+    emit("centralized_control", table)
+
+    for name, comp in results.items():
+        adaptive = comp.result_for("adaptive")
+        central = comp.result_for("centralized")
+        # the coordinated variant still saves energy everywhere ...
+        assert central.energy_savings_pct > 0.0, name
+        # ... and never degrades performance much beyond the local scheme
+        assert central.perf_degradation_pct <= adaptive.perf_degradation_pct + 1.5, name

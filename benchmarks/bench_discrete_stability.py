@@ -1,0 +1,67 @@
+"""Extension bench: the discrete-time stability correction.
+
+The paper's continuous analysis (Remark 1) says the loop is stable for any
+positive gains; its future-work note anticipates that a discrete-time model
+would be "better and more accurate".  This bench regenerates the discrete
+stability boundary -- the largest stable K_m per (K_l, dead time) -- and
+cross-checks eigenvalue verdicts against time-domain simulation.  The
+boundary is finite (unlike the continuous prediction), shrinks with
+reaction dead time, and the paper's own operating gains sit far inside it
+at zero dead time.
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis.discrete import DiscreteClosedLoop, max_stable_km
+from repro.harness.reporting import format_table
+
+K_LS = (0.05, 0.2, 0.5)
+DEAD_TIMES = (0, 2, 8, 32)
+
+
+def _sweep():
+    rows = []
+    boundaries = {}
+    for k_l in K_LS:
+        for dead in DEAD_TIMES:
+            boundary = max_stable_km(k_l=k_l, dead_time=dead, hi=64.0)
+            boundaries[(k_l, dead)] = boundary
+            if boundary <= 0.0:
+                # K_l alone already destabilizes the loop at this dead time:
+                # the slope gain, too, has a dead-time budget.
+                rows.append([f"{k_l:g}", dead, "0 (K_l itself unstable)", "-"])
+                continue
+            # verify the verdict below the boundary in the time domain
+            stable_loop = DiscreteClosedLoop(
+                k_m=boundary * 0.9, k_l=k_l, dead_time=dead
+            )
+            errors, _ = stable_loop.simulate_step(e0=-1.0, steps=3000)
+            converged = abs(errors[-1]) < 1.0
+            rows.append(
+                [f"{k_l:g}", dead, f"{boundary:.4f}",
+                 "yes" if converged else "NO"]
+            )
+    return rows, boundaries
+
+
+def test_discrete_stability(benchmark):
+    rows, boundaries = run_once(benchmark, _sweep)
+    table = format_table(
+        ["K_l", "dead time (samples)", "max stable K_m",
+         "time-domain check at 0.9x boundary"],
+        rows,
+        title=(
+            "Extension: discrete-time stability boundary "
+            "(continuous Remark 1 predicts no boundary at all)"
+        ),
+    )
+    emit("discrete_stability", table)
+
+    for k_l in K_LS:
+        # the boundary exists and is finite
+        assert 0.0 < boundaries[(k_l, 0)] < 64.0
+        # dead time strictly shrinks it (possibly all the way to zero:
+        # large K_l has its own dead-time budget)
+        assert boundaries[(k_l, 32)] < boundaries[(k_l, 0)]
+    # every stable-side time-domain check that ran converged
+    assert all(row[-1] in ("yes", "-") for row in rows)

@@ -1,0 +1,68 @@
+"""Supplementary: per-domain energy breakdown under adaptive DVFS.
+
+Shows *where* the savings come from: controlled domains (INT/FP/LS) shed
+energy in proportion to how far their frequency/voltage could drop, while
+the uncontrolled front end and external memory are invariant -- the
+denominator that bounds total savings (see EXPERIMENTS.md's deviation
+notes).
+"""
+
+from conftest import SWEEP_INSTRUCTIONS, emit, run_once
+
+from repro.harness.experiment import run_experiment
+from repro.harness.reporting import format_table
+from repro.mcd.domains import DomainId
+
+BENCHMARKS = ("epic-decode", "mcf", "applu")
+DOMAINS = (DomainId.FRONT_END, DomainId.INT, DomainId.FP, DomainId.LS)
+
+
+def _sweep():
+    rows = []
+    checks = {}
+    for name in BENCHMARKS:
+        base = run_experiment(
+            name, scheme="full-speed", max_instructions=SWEEP_INSTRUCTIONS,
+            record_history=False,
+        )
+        adaptive = run_experiment(
+            name, scheme="adaptive", max_instructions=SWEEP_INSTRUCTIONS,
+            record_history=False,
+        )
+        deltas = {}
+        for domain in DOMAINS:
+            before = base.energy.by_domain[domain]
+            after = adaptive.energy.by_domain[domain]
+            deltas[domain] = 100.0 * (before - after) / before
+            rows.append(
+                [name, domain.value, round(before), round(after),
+                 deltas[domain]]
+            )
+        rows.append(
+            [name, "memory", round(base.energy.memory),
+             round(adaptive.energy.memory),
+             100.0 * (base.energy.memory - adaptive.energy.memory)
+             / max(1e-9, base.energy.memory)]
+        )
+        checks[name] = (deltas, adaptive.mean_frequency_ghz)
+    return rows, checks
+
+
+def test_energy_breakdown(benchmark):
+    rows, checks = run_once(benchmark, _sweep)
+    table = format_table(
+        ["benchmark", "domain", "baseline energy", "adaptive energy",
+         "savings %"],
+        rows,
+        title="Per-domain energy under adaptive DVFS (who contributes the savings)",
+    )
+    emit("energy_breakdown", table)
+
+    for name, (deltas, mean_f) in checks.items():
+        # the front end is uncontrolled: its energy moves only through the
+        # run-length change (small either way)
+        assert abs(deltas[DomainId.FRONT_END]) < 8.0, name
+        # controlled domains' savings track how far their frequency dropped
+        for domain in (DomainId.INT, DomainId.FP, DomainId.LS):
+            if mean_f[domain] < 0.7:
+                assert deltas[domain] > 10.0, (name, domain)

@@ -1,0 +1,44 @@
+"""Figure 5 / hardware claim: decision-logic cost comparison.
+
+Regenerates the gate-count comparison behind the paper's "smaller and
+cheaper hardware" argument: the adaptive decision logic is an adder, a
+comparator, a 5-state FSM and an 8-bit counter per signal, while the
+fixed-interval schemes additionally need per-interval arithmetic
+(multipliers or lookup tables for the PID law).
+"""
+
+from conftest import emit, run_once
+
+from repro.core.hardware import (
+    adaptive_decision_logic_cost,
+    attack_decay_decision_logic_cost,
+    pid_decision_logic_cost,
+)
+from repro.harness.reporting import format_table
+from repro.mcd.domains import MachineConfig
+
+
+def _tables():
+    adaptive = adaptive_decision_logic_cost(machine=MachineConfig())
+    pid = pid_decision_logic_cost()
+    attack = attack_decay_decision_logic_cost()
+    return adaptive, pid, attack
+
+
+def test_hardware_cost(benchmark):
+    adaptive, pid, attack = run_once(benchmark, _tables)
+
+    rows = []
+    for cost in (adaptive, attack, pid):
+        for block, gates in cost.blocks:
+            rows.append([cost.scheme, block, gates])
+        rows.append([cost.scheme, "TOTAL", cost.total_gates])
+    table = format_table(
+        ["scheme", "block", "NAND2-equivalent gates"],
+        rows,
+        title="Per-domain DVFS decision-logic cost (paper Fig 5 + Sec 3.1 claim)",
+    )
+    emit("hardware_cost", table)
+
+    assert adaptive.total_gates < attack.total_gates < pid.total_gates
+    assert adaptive.total_gates * 3 < pid.total_gates

@@ -1,0 +1,79 @@
+"""Sensitivity bench: robustness of the adaptive scheme to machine knobs.
+
+The paper's design rests on a handful of microarchitectural parameters.
+This bench sweeps the ones a skeptical reader would poke -- issue-queue
+size, synchronization window, clock jitter -- and checks the adaptive
+scheme's benefit is robust: it saves energy under every variation, and the
+trend directions make sense (e.g. a larger sync window costs performance
+for everyone but does not break control).
+"""
+
+from conftest import emit, run_once
+
+from repro.harness.experiment import run_experiment
+from repro.harness.reporting import format_table
+from repro.mcd.domains import MachineConfig
+from repro.power.metrics import (
+    energy_savings_percent,
+    performance_degradation_percent,
+)
+
+BENCHMARK = "gsm-decode"
+WINDOW = 50_000
+
+VARIATIONS = (
+    ("baseline machine", {}),
+    ("small queues (12/10/10)", {"int_queue_size": 12, "fp_queue_size": 10, "ls_queue_size": 10}),
+    ("large queues (32/24/24)", {"int_queue_size": 32, "fp_queue_size": 24, "ls_queue_size": 24}),
+    ("wide sync window (600 ps)", {"sync_window_ns": 0.6}),
+    ("no sync window", {"sync_window_ns": 0.0}),
+    ("heavy jitter (+-40 ps)", {"jitter_sigma_ns": 0.02}),
+    ("no jitter", {"jitter_sigma_ns": 0.0}),
+)
+
+
+def _sweep():
+    results = {}
+    for label, overrides in VARIATIONS:
+        machine = MachineConfig(**overrides)
+        base = run_experiment(
+            BENCHMARK, scheme="full-speed", machine=machine,
+            max_instructions=WINDOW, record_history=False,
+        )
+        adaptive = run_experiment(
+            BENCHMARK, scheme="adaptive", machine=machine,
+            max_instructions=WINDOW, record_history=False,
+        )
+        results[label] = {
+            "dE": energy_savings_percent(base.metrics, adaptive.metrics),
+            "dT": performance_degradation_percent(base.metrics, adaptive.metrics),
+            "base_time_us": base.time_ns / 1000.0,
+            "sync_deferrals": adaptive.sync_deferral_rate,
+        }
+    return results
+
+
+def test_sensitivity(benchmark):
+    results = run_once(benchmark, _sweep)
+    rows = [
+        [label, r["dE"], r["dT"], r["base_time_us"], r["sync_deferrals"]]
+        for label, r in results.items()
+    ]
+    table = format_table(
+        ["machine variation", "energy savings %", "perf degradation %",
+         "baseline time (us)", "sync deferral rate"],
+        rows,
+        title=f"Sensitivity of adaptive DVFS to machine parameters ({BENCHMARK})",
+    )
+    emit("sensitivity", table)
+
+    # the scheme saves energy under every variation
+    for label, r in results.items():
+        assert r["dE"] > 0.0, label
+        assert r["dT"] < 10.0, label
+    # a wider sync window defers more transfers; none defers nothing
+    assert (
+        results["wide sync window (600 ps)"]["sync_deferrals"]
+        > results["baseline machine"]["sync_deferrals"]
+    )
+    assert results["no sync window"]["sync_deferrals"] == 0.0

@@ -1,0 +1,85 @@
+"""Section 4 analysis artifacts: roots, damping, and the Remark-3 rule.
+
+Regenerates the quantitative content of the paper's stability analysis:
+characteristic-root locations across the design space (Remark 1), the
+delay/effectiveness trade-off (Remark 2), and the delay-ratio table behind
+the "T_m0 should be 2-8x T_l0" guidance (Remark 3), each cross-checked
+against simulated step responses of the linearized loop.
+"""
+
+from conftest import emit, run_once
+
+from repro.analysis.linearize import linearize
+from repro.analysis.model import ClosedLoopModel, ControllerModel, ServiceModel
+from repro.analysis.ode import simulate_linear_step
+from repro.analysis.stability import analyze, recommended_delay_ratio_range
+from repro.harness.reporting import format_table
+
+
+_SERVICE = ServiceModel(t1=0.2, c2=1.0)
+_T_L0 = 8.0
+#: aggregate step chosen so K_l = k*step/T_l0 = 1/2, the paper's worked
+#: example for Remark 3 (the m/l unit-conversion constants fold in here)
+_STEP = 0.5 * _T_L0 / _SERVICE.k_approx(0.6)
+
+
+def _loop(t_m0, t_l0, step=_STEP):
+    return ClosedLoopModel(
+        controller=ControllerModel(step=step, t_m0=t_m0, t_l0=t_l0),
+        service=_SERVICE,
+        q_ref=4.0,
+    )
+
+
+def _analysis():
+    rows = []
+    measured = []
+    for ratio in (1.0, 2.0, 4.0, 6.25, 8.0, 16.0):
+        t_l0 = _T_L0
+        t_m0 = ratio * t_l0
+        system = linearize(_loop(t_m0, t_l0), f_op=0.6)
+        report = analyze(system)
+        response = simulate_linear_step(system, duration=6000.0, dt=0.05)
+        rows.append(
+            [
+                f"{ratio:g}",
+                f"{report.k_m:.5f}",
+                f"{report.k_l:.5f}",
+                f"{report.damping_ratio:.3f}",
+                f"{report.percent_overshoot:.1f}",
+                f"{response.overshoot_pct:.1f}",
+                f"{report.settling_time:.0f}",
+                "yes" if report.stable else "NO",
+            ]
+        )
+        measured.append((ratio, report, response))
+    return rows, measured
+
+
+def test_stability_analysis(benchmark):
+    rows, measured = run_once(benchmark, _analysis)
+    lo, hi = recommended_delay_ratio_range()
+    table = format_table(
+        ["T_m0/T_l0", "K_m", "K_l", "damping xi", "overshoot% (formula)",
+         "overshoot% (simulated)", "settling (periods)", "stable"],
+        rows,
+        title=(
+            "Stability analysis (paper Sec 4): delay-ratio sweep; "
+            f"Remark 3 recommends ratio in [{lo:.0f}, {hi:.0f}]"
+        ),
+    )
+    emit("stability_analysis", table)
+
+    for ratio, report, response in measured:
+        # Remark 1: always stable
+        assert report.stable
+        # formula vs simulation: overshoot agrees within a few points
+        assert abs(report.percent_overshoot - response.overshoot_pct) < 5.0
+    # Remark 3: inside [2, 8] the damping ratio covers [0.5, 1]-ish;
+    # ratio 1 underdamps (big overshoot), ratio 16 overdamps (slow rise)
+    by_ratio = {r: rep for r, rep, _ in measured}
+    assert by_ratio[1.0].percent_overshoot > by_ratio[4.0].percent_overshoot
+    assert by_ratio[16.0].percent_overshoot == 0.0
+    assert 0.4 < by_ratio[4.0].damping_ratio < 1.3
+    # the paper's own setting (50/8 = 6.25) lands in the recommended band
+    assert lo <= 6.25 <= hi

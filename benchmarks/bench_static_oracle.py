@@ -1,0 +1,112 @@
+"""Extension bench: adaptive DVFS vs static settings, at a matched budget.
+
+The motivation for *intra-task* online DVFS is that no fixed frequency
+setting serves a program's phases.  Two static comparisons frame the
+adaptive scheme:
+
+* the **unconstrained EDP oracle** -- the best static setting by EDP alone.
+  It happily trades 10%+ slowdowns for quadratic voltage savings, a regime
+  the paper's design deliberately avoids (q_ref targets ~5% degradation),
+  so it is reported for context rather than compared head-to-head;
+* the **budgeted oracle** -- the best static setting whose slowdown stays
+  within the adaptive scheme's own measured performance cost (+1%).  This
+  is the like-for-like competitor: same performance envelope, perfect
+  whole-run knowledge, zero reaction/switching cost.
+
+Expected shape: the adaptive scheme lands within a few points of the
+budgeted oracle.  At these short windows the gap is dominated by the slew
+transient -- the oracle starts every run already at its destination
+frequencies, while the online controller must walk there at 73.3 ns/MHz
+and pays the 1/f-hat^2 caution on the way down; the gap shrinks with run
+length.  The unconstrained oracle's larger savings come bundled with
+5-20% slowdowns the design explicitly rejects.
+"""
+
+from conftest import emit, run_once
+
+from repro.harness.comparison import compare_schemes
+from repro.harness.reporting import format_table
+from repro.harness.static_oracle import find_static_best
+from repro.mcd.domains import CONTROLLED_DOMAINS
+from repro.power.metrics import (
+    energy_savings_percent,
+    performance_degradation_percent,
+)
+
+BENCHMARKS = ("mpeg2-decode", "gsm-decode", "gzip", "applu")
+WINDOW = 60_000
+
+
+def _sweep():
+    rows = []
+    results = {}
+    for name in BENCHMARKS:
+        comp = compare_schemes(
+            name, schemes=("adaptive",), max_instructions=WINDOW
+        )
+        adaptive = comp.result_for("adaptive")
+        budget = max(0.5, adaptive.perf_degradation_pct + 1.0)
+        budgeted = find_static_best(
+            name, max_instructions=WINDOW, max_degradation_pct=budget
+        )
+        unconstrained = find_static_best(name, max_instructions=WINDOW)
+        budgeted_de = energy_savings_percent(comp.baseline, budgeted.metrics)
+        budgeted_dt = performance_degradation_percent(
+            comp.baseline, budgeted.metrics
+        )
+        unconstrained_de = energy_savings_percent(
+            comp.baseline, unconstrained.metrics
+        )
+        unconstrained_dt = performance_degradation_percent(
+            comp.baseline, unconstrained.metrics
+        )
+        freq_text = "/".join(
+            f"{budgeted.frequencies[d]:g}" for d in CONTROLLED_DOMAINS
+        )
+        rows.append(
+            [
+                name,
+                adaptive.energy_savings_pct,
+                adaptive.perf_degradation_pct,
+                budgeted_de,
+                budgeted_dt,
+                freq_text,
+                unconstrained_de,
+                unconstrained_dt,
+            ]
+        )
+        results[name] = {
+            "adaptive_de": adaptive.energy_savings_pct,
+            "adaptive_dt": adaptive.perf_degradation_pct,
+            "budgeted_de": budgeted_de,
+            "budgeted_dt": budgeted_dt,
+            "budget": budget,
+            "unconstrained_de": unconstrained_de,
+            "unconstrained_dt": unconstrained_dt,
+        }
+    return rows, results
+
+
+def test_static_oracle(benchmark):
+    rows, results = run_once(benchmark, _sweep)
+    table = format_table(
+        ["benchmark", "adaptive dE%", "adaptive dT%",
+         "budgeted-oracle dE%", "budgeted-oracle dT%", "oracle f (INT/FP/LS)",
+         "unconstrained dE%", "unconstrained dT%"],
+        rows,
+        title=(
+            "Extension: adaptive DVFS vs static oracles "
+            "(budgeted = within adaptive's own perf cost + 1%)"
+        ),
+    )
+    emit("static_oracle", table)
+
+    for name, r in results.items():
+        # the budgeted oracle honours the budget
+        assert r["budgeted_dt"] <= r["budget"] + 0.25, name
+        # within the matched budget, online control lands within the slew
+        # transient of whole-run-oracle knowledge
+        assert r["adaptive_de"] >= r["budgeted_de"] - 3.5, name
+        # the unconstrained oracle pays for its savings with big slowdowns
+        if r["unconstrained_de"] > r["budgeted_de"] + 1.0:
+            assert r["unconstrained_dt"] > r["budgeted_dt"], name

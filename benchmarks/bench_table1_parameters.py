@@ -1,0 +1,65 @@
+"""Table 1: summary of all simulation parameters.
+
+Regenerates the paper's parameter table from the live configuration objects
+and asserts that the configured values are the paper's (so drift in defaults
+is caught here, not in a figure three benches later).
+"""
+
+from conftest import emit, run_once
+
+from repro.core.config import default_adaptive_config
+from repro.harness.reporting import format_table
+from repro.mcd.domains import DomainId, MachineConfig
+
+
+def _build_table() -> str:
+    cfg = MachineConfig()
+    int_cfg = default_adaptive_config(DomainId.INT)
+    fp_cfg = default_adaptive_config(DomainId.FP)
+    ls_cfg = default_adaptive_config(DomainId.LS)
+    rows = [
+        ["Domain frequency range", f"{cfg.f_min_ghz * 1e3:.0f} MHz - {cfg.f_max_ghz:.1f} GHz"],
+        ["Domain voltage range", f"{cfg.v_min:.2f} V - {cfg.v_max:.2f} V"],
+        ["Frequency change speed", f"{cfg.slew_ns_per_mhz} ns/MHz"],
+        ["Signal sampling rate", f"{1e3 / cfg.sample_period_ns:.0f} MHz"],
+        ["Time delays (sampling)", f"T_l0 = {fp_cfg.t_l0:.0f}, T_m0 = {fp_cfg.t_m0:.0f}"],
+        ["Step size", f"{cfg.step_ghz * 1e3:.3f} MHz ({round((cfg.f_max_ghz - cfg.f_min_ghz) / cfg.step_ghz)} steps)"],
+        ["Reference queue point", f"{int_cfg.q_ref} INT, {fp_cfg.q_ref} FP, {ls_cfg.q_ref} LS"],
+        ["Deviation window (DW)", f"+-{fp_cfg.dw_level:.0f} level, {fp_cfg.dw_slope:.0f} slope"],
+        ["Domain clock jitter", f"+-{2 * cfg.jitter_sigma_ns * 1e3:.0f} ps, normally distributed"],
+        ["Inter-domain synchro window", f"{cfg.sync_window_ns * 1e3:.0f} ps"],
+        ["Branch predictor 2-level", f"L1 {cfg.twolevel_l1_size}, hist {cfg.twolevel_hist_bits}, L2 {cfg.twolevel_l2_size}"],
+        ["Bimodal / BTB", f"{cfg.bimodal_size} / {cfg.btb_sets} sets {cfg.btb_ways}-way"],
+        ["Combined (meta) size", f"{cfg.meta_size}"],
+        ["Decode/Issue/Retire width", f"{cfg.dispatch_width}/{cfg.int_issue_width + cfg.fp_issue_width}/{cfg.retire_width}"],
+        ["L1 data cache", f"{cfg.l1d_size // 1024}KB, {cfg.l1d_assoc}-way"],
+        ["L1 instr cache", f"{cfg.l1i_size // 1024}KB, {cfg.l1i_assoc}-way"],
+        ["L2 unified cache", f"{cfg.l2_size // 1024 // 1024}MB, direct mapped"],
+        ["Cache access time", f"{cfg.l1_hit_cycles} cycles L1, {cfg.l2_hit_cycles} cycles L2"],
+        ["Memory access latency", f"{cfg.memory_latency_ns:.0f} ns first chunk"],
+        ["Integer ALUs", f"{cfg.int_alus} + {cfg.int_mult_div} mult/div unit"],
+        ["Floating-point ALUs", f"{cfg.fp_alus} + {cfg.fp_mult_div} mult/div/sqrt unit"],
+        ["Issue queue size", f"{cfg.int_queue_size} INT, {cfg.fp_queue_size} FP, {cfg.ls_queue_size} LS"],
+        ["Reorder buffer size", f"{cfg.rob_size}"],
+        ["LS retire buffer size", f"{cfg.store_buffer_size}"],
+    ]
+    return format_table(["Simulation Parameter", "Value"], rows,
+                        title="Table 1: Summary of All Simulation Parameters")
+
+
+def test_table1_parameters(benchmark):
+    table = run_once(benchmark, _build_table)
+    emit("table1_parameters", table)
+
+    # pin the load-bearing paper values
+    cfg = MachineConfig()
+    assert cfg.f_min_ghz == 0.25 and cfg.f_max_ghz == 1.0
+    assert cfg.v_min == 0.65 and cfg.v_max == 1.20
+    assert cfg.slew_ns_per_mhz == 73.3
+    assert cfg.sample_period_ns == 4.0
+    assert round((cfg.f_max_ghz - cfg.f_min_ghz) / cfg.step_ghz) == 320
+    assert cfg.int_queue_size == 20 and cfg.fp_queue_size == 16
+    assert cfg.rob_size == 80
+    fp = default_adaptive_config(DomainId.FP)
+    assert fp.t_m0 == 50.0 and fp.t_l0 == 8.0
+    assert "Table 1" in table

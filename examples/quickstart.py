@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Quickstart: run one benchmark under adaptive DVFS and inspect the result.
+
+This is the smallest end-to-end use of the public API:
+
+1. pick a benchmark from the built-in MediaBench/SPEC2000 suite,
+2. simulate it on the 4-domain MCD processor under the adaptive controller,
+3. compare against the synchronous full-speed baseline.
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import run_experiment
+from repro.mcd.domains import DomainId
+from repro.power.metrics import (
+    energy_savings_percent,
+    performance_degradation_percent,
+    edp_improvement_percent,
+)
+
+BENCHMARK = "gsm-decode"
+WINDOW = 40_000  # instructions; small for a fast demo
+
+
+def main() -> None:
+    print(f"Simulating {BENCHMARK} ({WINDOW} instructions) ...")
+
+    baseline = run_experiment(
+        BENCHMARK, scheme="full-speed", max_instructions=WINDOW
+    )
+    adaptive = run_experiment(
+        BENCHMARK, scheme="adaptive", max_instructions=WINDOW
+    )
+
+    print(f"\nbaseline : {baseline.time_ns / 1000:7.1f} us, "
+          f"energy {baseline.energy.total:9.0f} units")
+    print(f"adaptive : {adaptive.time_ns / 1000:7.1f} us, "
+          f"energy {adaptive.energy.total:9.0f} units")
+
+    base_m, run_m = baseline.metrics, adaptive.metrics
+    print(f"\nenergy savings     : {energy_savings_percent(base_m, run_m):6.2f} %")
+    print(f"perf degradation   : {performance_degradation_percent(base_m, run_m):6.2f} %")
+    print(f"EDP improvement    : {edp_improvement_percent(base_m, run_m):6.2f} %")
+
+    print("\nper-domain mean frequency under adaptive DVFS:")
+    for domain in (DomainId.INT, DomainId.FP, DomainId.LS):
+        freq = adaptive.mean_frequency_ghz[domain]
+        transitions = adaptive.transitions[domain]
+        print(f"  {domain.value:4s}: {freq:5.3f} GHz  ({transitions} transitions)")
+
+    print(f"\nbranch mispredict rate : {adaptive.branch_mispredict_rate:.3f}")
+    print(f"L1D miss rate          : {adaptive.l1d_miss_rate:.3f}")
+    print(f"sync deferral rate     : {adaptive.sync_deferral_rate:.3f}")
+
+
+if __name__ == "__main__":
+    main()

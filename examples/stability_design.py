@@ -1,0 +1,82 @@
+#!/usr/bin/env python
+"""Design a controller with the Section-4 stability analysis.
+
+Walks the paper's design flow: model the clock domain's mu-f relationship,
+linearize the closed loop, inspect roots/damping/settling, and use Remark 3
+to pick the basic time delays -- then verify the choice with a simulated
+step response of the linearized loop and a trajectory of the full nonlinear
+(saturating) model.
+
+Run:  python examples/stability_design.py
+"""
+
+from repro.analysis import (
+    ClosedLoopModel,
+    ControllerModel,
+    ServiceModel,
+    analyze,
+    linearize,
+    recommended_delay_ratio_range,
+    simulate_linear_step,
+    simulate_nonlinear,
+)
+
+
+def main() -> None:
+    # 1. characterize the domain: 20% of per-instruction time is
+    #    frequency-independent (memory), the rest scales with the clock.
+    service = ServiceModel(t1=0.2, c2=1.0)
+    print("service model: mu(f) = f / (t1 f + c2),  "
+          f"mu(1.0) = {service.mu(1.0):.3f}, mu(0.25) = {service.mu(0.25):.3f}")
+
+    # 2. Remark 3: pick the delay ratio for damping in [0.5, 1].  The
+    #    paper's worked example assumes K_l ~ 1/2; pick the aggregate step
+    #    (which folds in the unit-conversion constants m, l) to land there.
+    lo, hi = recommended_delay_ratio_range(k_l=0.5)
+    print(f"\nRemark 3: with K_l ~ 1/2, choose T_m0/T_l0 in "
+          f"[{lo:.0f}, {hi:.0f}] (paper uses 50/8 = 6.25)")
+    t_l0 = 8.0
+    k = service.k_approx(0.6)
+    step = 0.5 * t_l0 / k  # makes K_l = k*step/T_l0 = 1/2
+
+    # 3. analyze candidate designs across the delay-ratio range.
+    print(f"\n{'T_m0/T_l0':>9} {'xi':>7} {'overshoot%':>11} "
+          f"{'settling':>9} {'stable':>7}")
+    for ratio in (1.0, 2.0, 6.25, 8.0, 16.0):
+        loop = ClosedLoopModel(
+            controller=ControllerModel(step=step, t_m0=ratio * t_l0, t_l0=t_l0),
+            service=service,
+            q_ref=4.0,
+        )
+        report = analyze(linearize(loop, f_op=0.6))
+        print(f"{ratio:9.2f} {report.damping_ratio:7.3f} "
+              f"{report.percent_overshoot:11.1f} {report.settling_time:9.0f} "
+              f"{'yes' if report.stable else 'NO':>7}")
+
+    # 4. verify the chosen design against simulation.
+    chosen = ClosedLoopModel(
+        controller=ControllerModel(step=step, t_m0=50.0, t_l0=8.0),
+        service=service,
+        q_ref=4.0,
+    )
+    system = linearize(chosen, f_op=0.6)
+    report = analyze(system)
+    response = simulate_linear_step(system, duration=6000.0, dt=0.05)
+    print(f"\nchosen design (50/8): formula overshoot "
+          f"{report.percent_overshoot:.1f}%, simulated "
+          f"{response.overshoot_pct:.1f}%")
+
+    # 5. nonlinear sanity: a load step from idle to 80% of peak service.
+    target_load = 0.8 * service.mu(1.0)
+    trajectory = simulate_nonlinear(
+        chosen, load=lambda t: target_load, q0=0.0, f0=1.0,
+        duration=30000.0, dt=0.5,
+    )
+    f_final = float(trajectory.second[-1])
+    print(f"nonlinear load step: frequency settles at {f_final:.3f} "
+          f"(mu = {service.mu(f_final):.3f}, load = {target_load:.3f}), "
+          f"queue at {float(trajectory.q[-1]):.2f} (q_ref = 4)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,15 @@
+"""Setup shim.
+
+The execution environment has no network and no ``wheel`` package, so PEP-660
+editable installs (which build a wheel) fail.  This shim lets
+``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup(
+    # Mirrored from [project.scripts]: legacy `setup.py develop` installs do
+    # not read PEP-621 script declarations on older setuptools.
+    entry_points={"console_scripts": ["repro-dvfs = repro.cli:main"]},
+)

@@ -1,0 +1,59 @@
+"""repro -- Adaptive-reaction-time DVFS for multiple-clock-domain processors.
+
+A full reproduction of Wu, Juang, Martonosi & Clark, "Voltage and Frequency
+Control With Adaptive Reaction Time in Multiple-Clock-Domain Processors"
+(HPCA 2005): the adaptive controller itself (:mod:`repro.core`), its
+control-theoretic model and stability analysis (:mod:`repro.analysis`), a
+GALS multiple-clock-domain processor simulator (:mod:`repro.mcd`), energy
+accounting (:mod:`repro.power`), the prior-work fixed-interval baselines
+(:mod:`repro.dvfs`), synthetic MediaBench/SPEC2000 workloads
+(:mod:`repro.workloads`), spectral workload-variability analysis
+(:mod:`repro.spectral`), and an experiment harness (:mod:`repro.harness`).
+
+Quickstart::
+
+    from repro import run_experiment, get_benchmark
+
+    result = run_experiment(get_benchmark("epic-decode"), scheme="adaptive")
+    print(result.time_ns, result.energy.total)
+"""
+
+from repro.core import AdaptiveDvfsController, AdaptiveConfig, default_adaptive_config
+from repro.mcd import MCDProcessor, MachineConfig, DomainId, SimulationResult
+from repro.mcd.domains import transmeta_machine_config
+from repro.dvfs import (
+    AttackDecayController,
+    AttackDecayConfig,
+    PidController,
+    PidConfig,
+    FullSpeedController,
+)
+from repro.workloads import BENCHMARKS, get_benchmark, generate_trace
+from repro.harness import run_experiment, compare_schemes, SCHEMES
+from repro import viz
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AdaptiveDvfsController",
+    "AdaptiveConfig",
+    "default_adaptive_config",
+    "MCDProcessor",
+    "MachineConfig",
+    "DomainId",
+    "SimulationResult",
+    "AttackDecayController",
+    "AttackDecayConfig",
+    "PidController",
+    "PidConfig",
+    "FullSpeedController",
+    "BENCHMARKS",
+    "get_benchmark",
+    "generate_trace",
+    "run_experiment",
+    "compare_schemes",
+    "SCHEMES",
+    "transmeta_machine_config",
+    "viz",
+    "__version__",
+]

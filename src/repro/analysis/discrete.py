@@ -1,0 +1,175 @@
+"""Discrete-time model of the sampled DVFS control loop (paper future work).
+
+Section 4 of the paper derives a *continuous* aggregate model and notes:
+"A similar but more complicated discrete-time model can be derived to get a
+better and more accurate analysis result.  We leave this as possible future
+work."  This module is that model.
+
+Per sampling period (time unit = one 4 ns sample), with queue error
+``e[k] = q[k] - q_ref`` and service mismatch ``m[k] = mu[k] - lambda``:
+
+    e[k+1] = e[k] - gamma * m[k]
+    m[k+1] = m[k] + k_m * e[k-d] + k_l * (e[k-d] - e[k-d-1])
+
+where ``d >= 0`` models the controller's reaction dead time (the time-delay
+counter plus switching time, in samples).  The loop is linear; stability is
+the spectral radius of its companion matrix being < 1.
+
+The payoff over the continuous analysis: **Remark 1 ("stable for any
+positive parameters") is an artifact of the continuous approximation.**  The
+discrete loop goes unstable when gains are large relative to the sampling
+period -- small time delays do not merely "weaken noise rejection" (Remark
+2), past a boundary they destabilize the loop outright, and dead time
+shrinks that boundary further.  The stability region is computable here and
+checked against time-domain simulation in the tests and the companion
+bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.analysis.linearize import LinearizedSystem
+
+
+@dataclass(frozen=True)
+class DiscreteClosedLoop:
+    """The sampled control loop x[k+1] = A x[k]."""
+
+    k_m: float
+    k_l: float
+    gamma: float = 1.0
+    #: reaction dead time in samples (time-delay counter + switching time)
+    dead_time: int = 0
+
+    def __post_init__(self) -> None:
+        if self.k_m <= 0 or self.k_l < 0:
+            raise ValueError("need k_m > 0 and k_l >= 0")
+        if self.gamma <= 0:
+            raise ValueError("gamma must be positive")
+        if self.dead_time < 0:
+            raise ValueError("dead time must be non-negative")
+
+    # ------------------------------------------------------------------
+
+    def system_matrix(self) -> np.ndarray:
+        """Companion matrix over state [e[k], e[k-1], ..., e[k-d-1], m[k]].
+
+        The error history must reach back ``d+1`` samples so the controller
+        can form both ``e[k-d]`` and ``e[k-d-1]``.
+        """
+        d = self.dead_time
+        n_err = d + 2  # e[k] .. e[k-d-1]
+        n = n_err + 1  # plus m[k]
+        a = np.zeros((n, n))
+        # e[k+1] = e[k] - gamma m[k]
+        a[0, 0] = 1.0
+        a[0, n - 1] = -self.gamma
+        # shift registers e[k-i+1] <- e[k-i]
+        for i in range(1, n_err):
+            a[i, i - 1] = 1.0
+        # m[k+1] = m[k] + (k_m + k_l) e[k-d] - k_l e[k-d-1]
+        a[n - 1, d] = self.k_m + self.k_l
+        a[n - 1, d + 1] = -self.k_l
+        a[n - 1, n - 1] = 1.0
+        return a
+
+    def eigenvalues(self) -> np.ndarray:
+        return np.linalg.eigvals(self.system_matrix())
+
+    @property
+    def spectral_radius(self) -> float:
+        return float(np.abs(self.eigenvalues()).max())
+
+    @property
+    def is_stable(self) -> bool:
+        """All closed-loop modes strictly inside the unit circle."""
+        return self.spectral_radius < 1.0 - 1e-12
+
+    @property
+    def stability_margin(self) -> float:
+        """Distance of the slowest mode from the unit circle (negative when
+        unstable)."""
+        return 1.0 - self.spectral_radius
+
+    # ------------------------------------------------------------------
+
+    def simulate_step(
+        self, e0: float = -1.0, steps: int = 2000
+    ) -> "tuple[np.ndarray, np.ndarray]":
+        """Time-domain response from an initial queue error ``e0``.
+
+        Returns (error series, mismatch series); used to cross-check the
+        eigenvalue verdicts.
+        """
+        if steps <= 0:
+            raise ValueError("steps must be positive")
+        a = self.system_matrix()
+        n = a.shape[0]
+        x = np.zeros(n)
+        x[: n - 1] = e0  # history starts displaced
+        errors = np.empty(steps)
+        mismatches = np.empty(steps)
+        for k in range(steps):
+            errors[k] = x[0]
+            mismatches[k] = x[-1]
+            x = a @ x
+            if float(np.abs(x).max()) > 1e12:
+                # clearly divergent: stop before overflow and hold the last
+                # (huge) value so callers see the blow-up without NaNs
+                errors[k + 1 :] = x[0]
+                mismatches[k + 1 :] = x[-1]
+                break
+        return errors, mismatches
+
+
+def from_continuous(
+    system: LinearizedSystem, gamma: float = 1.0, dead_time: int = 0
+) -> DiscreteClosedLoop:
+    """Sample the continuous design at the controller's sampling period.
+
+    The continuous gains K_m (per period^2) and K_l (per period) map
+    one-to-one when the time unit is one sampling period.  ``gamma`` is
+    factored out of the continuous K's (which absorb it), so pass the same
+    gamma used to build them; the product stays identical.
+    """
+    return DiscreteClosedLoop(
+        k_m=system.k_m / gamma,
+        k_l=system.k_l / gamma,
+        gamma=gamma,
+        dead_time=dead_time,
+    )
+
+
+def max_stable_km(
+    k_l: float, gamma: float = 1.0, dead_time: int = 0, hi: float = 16.0
+) -> float:
+    """Largest k_m keeping the sampled loop stable (bisection).
+
+    The continuous model says "any positive k_m"; the discrete answer is
+    finite and shrinks with dead time -- the quantitative content of this
+    module's headline correction.
+    """
+    if hi <= 0:
+        raise ValueError("hi must be positive")
+
+    def stable(k_m: float) -> bool:
+        return DiscreteClosedLoop(
+            k_m=k_m, k_l=k_l, gamma=gamma, dead_time=dead_time
+        ).is_stable
+
+    lo = 1e-9
+    if not stable(lo):
+        return 0.0
+    if stable(hi):
+        return hi
+    for _ in range(60):
+        mid = 0.5 * (lo + hi)
+        if stable(mid):
+            lo = mid
+        else:
+            hi = mid
+    return lo

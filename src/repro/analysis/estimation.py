@@ -1,0 +1,210 @@
+"""Online/offline estimation of the mu-f service-model parameters.
+
+The paper's service model (Section 4.3) splits per-instruction execution
+time into a frequency-independent part ``t1`` and a frequency-dependent part
+``c2``:  ``1/mu = t1 + c2/f``.  It notes that "the value of t1 and c2 can be
+estimated online or offline using methods similar to those in [11, 24]".
+This module implements that estimation: since ``1/mu`` is linear in ``1/f``,
+ordinary least squares over observed (frequency, throughput) pairs recovers
+``t1`` (intercept) and ``c2`` (slope).
+
+Observations need frequency *variation* to be informative -- conveniently,
+any DVFS-controlled run provides it.  :func:`estimate_from_history` windows
+a simulation's recorded frequency/issue series and fits the model, closing
+the Section-4 loop: measure a real domain, fit mu-f, linearize, and check
+stability of the actual operating point.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.analysis.model import ServiceModel
+from repro.mcd.domains import DomainId
+from repro.mcd.processor import SimulationHistory
+
+
+@dataclass(frozen=True)
+class MuFEstimate:
+    """A fitted mu-f model with fit diagnostics."""
+
+    t1: float
+    c2: float
+    r_squared: float
+    n_points: int
+
+    def service_model(self) -> ServiceModel:
+        """The fitted model as a :class:`ServiceModel` (clamps t1 at 0)."""
+        return ServiceModel(t1=max(0.0, self.t1), c2=max(1e-9, self.c2))
+
+    @property
+    def memory_boundedness(self) -> float:
+        """Fraction of per-instruction time that is frequency-independent,
+        evaluated at full speed (f = 1): t1 / (t1 + c2)."""
+        t1 = max(0.0, self.t1)
+        return t1 / (t1 + max(1e-12, self.c2))
+
+
+def fit_mu_f(
+    frequencies: Sequence[float], throughputs: Sequence[float]
+) -> MuFEstimate:
+    """Least-squares fit of ``1/mu = t1 + c2/f``.
+
+    Parameters are observed domain frequencies (any consistent unit) and
+    throughputs (instructions per time unit).  Raises if there are fewer
+    than two distinct frequencies (the regression would be degenerate) or
+    any non-positive observation.
+    """
+    f = np.asarray(frequencies, dtype=float)
+    mu = np.asarray(throughputs, dtype=float)
+    if f.shape != mu.shape or f.ndim != 1:
+        raise ValueError("frequencies and throughputs must be 1-D and equal length")
+    if f.size < 2:
+        raise ValueError("need at least two observations")
+    if (f <= 0).any() or (mu <= 0).any():
+        raise ValueError("observations must be positive")
+    x = 1.0 / f
+    y = 1.0 / mu
+    if float(x.max() - x.min()) < 1e-9:
+        raise ValueError(
+            "no frequency variation in the observations; the fit is degenerate"
+        )
+    slope, intercept = np.polyfit(x, y, 1)
+    predicted = intercept + slope * x
+    ss_res = float(((y - predicted) ** 2).sum())
+    ss_tot = float(((y - y.mean()) ** 2).sum())
+    r_squared = 1.0 - ss_res / ss_tot if ss_tot > 0 else 1.0
+    return MuFEstimate(
+        t1=float(intercept), c2=float(slope), r_squared=r_squared, n_points=f.size
+    )
+
+
+class OnlineMuFEstimator:
+    """Rolling-window online estimator.
+
+    Feed one (frequency, throughput) observation per measurement window;
+    :meth:`estimate` fits over the most recent ``window`` observations.
+    This is what a hardware implementation would keep in a pair of small
+    accumulator registers.
+    """
+
+    def __init__(self, window: int = 64) -> None:
+        if window < 2:
+            raise ValueError("window must be at least 2")
+        self.window = window
+        self._observations: Deque[Tuple[float, float]] = deque(maxlen=window)
+
+    def update(self, frequency: float, throughput: float) -> None:
+        if frequency <= 0 or throughput <= 0:
+            raise ValueError("observations must be positive")
+        self._observations.append((frequency, throughput))
+
+    @property
+    def n_observations(self) -> int:
+        return len(self._observations)
+
+    def ready(self) -> bool:
+        """Enough observations, with frequency variation, to fit?"""
+        if len(self._observations) < 2:
+            return False
+        freqs = [f for f, _ in self._observations]
+        return max(freqs) - min(freqs) > 1e-9
+
+    def estimate(self) -> MuFEstimate:
+        if not self.ready():
+            raise RuntimeError("estimator not ready (need varied observations)")
+        freqs, mus = zip(*self._observations)
+        return fit_mu_f(freqs, mus)
+
+
+def estimate_from_history(
+    history: SimulationHistory,
+    domain: DomainId,
+    window_samples: int = 250,
+    min_instructions: int = 8,
+    min_occupancy: float = 1.0,
+) -> MuFEstimate:
+    """Fit the mu-f model for one domain from a recorded simulation.
+
+    The history is cut into windows of ``window_samples`` sampling periods;
+    each window contributes its mean frequency and its throughput
+    (instructions issued per nanosecond).  Only *service-limited* windows
+    are informative: windows with few issued instructions or a mean queue
+    occupancy below ``min_occupancy`` are skipped -- when the domain is
+    starved, throughput measures the arrival rate, not the service rate,
+    and the fit would be meaningless.
+    """
+    freq = np.asarray(history.frequency_ghz[domain], dtype=float)
+    issued = np.asarray(history.issued[domain], dtype=float)
+    occupancy = np.asarray(history.occupancy[domain], dtype=float)
+    times = np.asarray(history.time_ns, dtype=float)
+    if freq.size != issued.size or freq.size != times.size:
+        raise ValueError("history series have inconsistent lengths")
+    n_windows = freq.size // window_samples
+    if n_windows < 2:
+        raise ValueError("history too short for the requested window size")
+
+    frequencies = []
+    throughputs = []
+    for w in range(n_windows):
+        lo, hi = w * window_samples, (w + 1) * window_samples - 1
+        dt = times[hi] - times[lo]
+        done = issued[hi] - issued[lo]
+        if dt <= 0 or done < min_instructions:
+            continue
+        if float(occupancy[lo : hi + 1].mean()) < min_occupancy:
+            continue  # starved window: throughput = arrival rate, skip
+        frequencies.append(float(freq[lo : hi + 1].mean()))
+        throughputs.append(float(done / dt))
+    if len(frequencies) < 2:
+        raise ValueError("not enough service-limited windows to fit the model")
+    return fit_mu_f(frequencies, throughputs)
+
+
+def offline_characterization(
+    benchmark,
+    domain: DomainId,
+    frequencies: Sequence[float] = (0.25, 0.5, 0.75, 1.0),
+    max_instructions: Optional[int] = 30_000,
+) -> MuFEstimate:
+    """Offline mu-f estimation: run at pinned frequencies and fit.
+
+    The paper's Section 4.3 references estimate t1/c2 "online or offline";
+    this is the offline route, and the well-conditioned one -- the
+    frequency range is explored deliberately instead of relying on whatever
+    excursions a DVFS run happens to make.  The target domain is pinned to
+    each probe frequency (other domains stay at f_max so the probed domain
+    is the bottleneck) and its whole-run throughput is observed.
+
+    ``benchmark`` is a suite name or :class:`BenchmarkSpec`.
+    """
+    # local import: the harness imports analysis tooling elsewhere
+    from repro.harness.experiment import run_experiment
+
+    if len(frequencies) < 2:
+        raise ValueError("need at least two probe frequencies")
+    observed_f = []
+    observed_mu = []
+    for f in frequencies:
+        result = run_experiment(
+            benchmark,
+            scheme="full-speed",
+            max_instructions=max_instructions,
+            record_history=False,
+            initial_frequencies={domain: f},
+        )
+        issued = result.issued_by_domain[domain]
+        if issued == 0:
+            continue  # the domain never executes in this program
+        observed_f.append(f)
+        observed_mu.append(issued / result.time_ns)
+    if len(observed_f) < 2:
+        raise ValueError(
+            f"domain {domain.value} executes too little in this benchmark "
+            "to characterize"
+        )
+    return fit_mu_f(observed_f, observed_mu)

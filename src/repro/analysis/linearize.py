@@ -1,0 +1,62 @@
+"""Linearization of the closed loop (paper eqs 10-12).
+
+Rewriting the controller ODE in the service-rate variable ``mu`` via
+``mu' = (dmu/df) f'`` and using the design's delay scaling ``g(f) = 1/f^2``
+(which multiplies the slew by f^2) gives
+
+    mu'(t) = (dmu/df) * f^2 * [ m*step*(q - q_ref)/T_m0 + l*step*q'/T_l0 ]
+
+and with the quadratic approximation ``dmu/df ~= k/f^2`` the f-dependence
+cancels, leaving the linear system of eq 12:
+
+    q'(t)  = gamma*lambda(t) - gamma*mu(t)
+    mu'(t) = (m*k*step/T_m0)*(q - q_ref) + (l*k*step/T_l0)*q'
+
+whose loop gains are ``K_m = m*gamma*k*step/T_m0`` and
+``K_l = l*gamma*k*step/T_l0`` (eq 13's parameters).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.model import ClosedLoopModel
+
+
+@dataclass(frozen=True)
+class LinearizedSystem:
+    """The linear 2nd-order closed loop in (q - q_ref)."""
+
+    k_m: float
+    k_l: float
+    #: the k constant and operating frequency the linearization used
+    k: float
+    f_op: float
+
+    def __post_init__(self) -> None:
+        if self.k_m <= 0 or self.k_l <= 0:
+            raise ValueError(
+                "K_m and K_l must be positive (they are with any non-zero "
+                "step and delays)"
+            )
+
+    @property
+    def natural_frequency(self) -> float:
+        """omega_n = sqrt(K_m), in rad per sampling period."""
+        return self.k_m**0.5
+
+    @property
+    def delay_gain_ratio(self) -> float:
+        """K_m / K_l = (m*T_l0) / (l*T_m0)."""
+        return self.k_m / self.k_l
+
+
+def linearize(model: ClosedLoopModel, f_op: float) -> LinearizedSystem:
+    """Linearize ``model`` around operating frequency ``f_op`` (eq 12)."""
+    if not model.f_min <= f_op <= model.f_max:
+        raise ValueError("operating point must lie in the frequency range")
+    k = model.service.k_approx(f_op)
+    c = model.controller
+    k_m = c.m * model.gamma * k * c.step / c.t_m0
+    k_l = c.l * model.gamma * k * c.step / c.t_l0
+    return LinearizedSystem(k_m=k_m, k_l=k_l, k=k, f_op=f_op)

@@ -1,0 +1,145 @@
+"""Continuous-time aggregate model of the adaptive DVFS system (paper Sec 4).
+
+Three coupled pieces (paper eqs 1-9):
+
+* **Controller** (eq 1/7): the aggregate effect of the step-up/step-down FSMs
+  is a frequency slew proportional to each queue signal,
+
+      f'(t) = m*step*(q - q_ref) / (g(f)*T_m0)  +  l*step*q'(t) / (g(f)*T_l0)
+
+  where ``g(f)`` is the frequency-dependent delay scaling (the simulator
+  multiplies the count-down delay by ``1/f_hat^2``; ``g(f) = 1/f^2`` is the
+  choice that linearizes the loop -- see :mod:`repro.analysis.linearize`).
+
+* **Queue** (eq 8): a continuous Lindley recurrence,
+  ``q'(t) = gamma*(lambda(t) - mu(t))``.
+
+* **Service** (eq 9): the two-part execution-time split,
+  ``1/mu = t1 + c2/f`` -- ``t1`` the frequency-independent seconds per
+  instruction (e.g. main-memory time) and ``c2`` the frequency-dependent
+  cycles per instruction -- so ``mu(f) = f / (t1*f + c2)``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Tuple
+
+
+@dataclass(frozen=True)
+class ServiceModel:
+    """The mu-f service-rate model of eq 9.
+
+    Units are normalized: ``f`` is relative frequency (f/f_max in (0, 1]),
+    ``mu`` is instructions per sampling period.  ``t1`` and ``c2`` can be
+    estimated online or offline (paper Section 4.3).
+    """
+
+    t1: float
+    c2: float
+
+    def __post_init__(self) -> None:
+        if self.t1 < 0 or self.c2 <= 0:
+            raise ValueError("need t1 >= 0 and c2 > 0")
+
+    def mu(self, f: float) -> float:
+        """Service rate at relative frequency ``f``."""
+        if f <= 0:
+            raise ValueError("frequency must be positive")
+        return f / (self.t1 * f + self.c2)
+
+    def dmu_df(self, f: float) -> float:
+        """Exact derivative d(mu)/df = c2 / (t1*f + c2)^2 (eq 10)."""
+        if f <= 0:
+            raise ValueError("frequency must be positive")
+        denom = self.t1 * f + self.c2
+        return self.c2 / (denom * denom)
+
+    def k_approx(self, f_op: float) -> float:
+        """The constant ``k`` in the quadratic approximation
+        ``dmu/df ~= k / f^2`` around the operating point ``f_op``.
+
+        Exact at ``f_op`` by construction; the approximation error grows away
+        from the operating point (checked in tests).
+        """
+        return f_op * f_op * self.dmu_df(f_op)
+
+
+@dataclass(frozen=True)
+class ControllerModel:
+    """The aggregate controller ODE of eq 1/7."""
+
+    step: float
+    t_m0: float
+    t_l0: float
+    m: float = 1.0
+    l: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.step <= 0:
+            raise ValueError("step must be positive")
+        if self.t_m0 <= 0 or self.t_l0 <= 0:
+            raise ValueError("time delays must be positive")
+        if self.m <= 0 or self.l <= 0:
+            raise ValueError("conversion constants must be positive")
+
+    @staticmethod
+    def delay_scaling(f: float) -> float:
+        """g(f) = 1/f^2: the effective-delay multiplier the design uses.
+
+        Dividing the slew by g(f) multiplies it by f^2, which cancels the
+        1/f^2 shape of dmu/df and makes the closed loop linear in mu.
+        """
+        if f <= 0:
+            raise ValueError("frequency must be positive")
+        return 1.0 / (f * f)
+
+    def f_dot(self, q: float, q_dot: float, f: float, q_ref: float) -> float:
+        """Frequency slew commanded by the two queue signals (eq 7)."""
+        g = self.delay_scaling(f)
+        level_term = self.m * self.step * (q - q_ref) / (g * self.t_m0)
+        slope_term = self.l * self.step * q_dot / (g * self.t_l0)
+        return level_term + slope_term
+
+
+@dataclass(frozen=True)
+class ClosedLoopModel:
+    """Controller + queue + service dynamics, state [q, f]."""
+
+    controller: ControllerModel
+    service: ServiceModel
+    q_ref: float
+    gamma: float = 1.0
+    q_max: float = 16.0
+    f_min: float = 0.25
+    f_max: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.gamma <= 0:
+            raise ValueError("gamma must be positive")
+        if not 0 < self.f_min < self.f_max:
+            raise ValueError("need 0 < f_min < f_max")
+        if not 0 <= self.q_ref <= self.q_max:
+            raise ValueError("q_ref must lie within the queue")
+
+    def derivative(
+        self, state: Tuple[float, float], load: float
+    ) -> Tuple[float, float]:
+        """(q', f') at ``state`` under instantaneous arrival rate ``load``.
+
+        The queue is clamped to [0, q_max] and frequency to [f_min, f_max]
+        (saturations the linear analysis ignores but the real system has).
+        """
+        q, f = state
+        f = min(self.f_max, max(self.f_min, f))
+        q_dot = self.gamma * (load - self.service.mu(f))
+        if q <= 0.0 and q_dot < 0.0:
+            q_dot = 0.0
+        if q >= self.q_max and q_dot > 0.0:
+            q_dot = 0.0
+        f_dot = self.controller.f_dot(q, q_dot, f, self.q_ref)
+        if f <= self.f_min and f_dot < 0.0:
+            f_dot = 0.0
+        if f >= self.f_max and f_dot > 0.0:
+            f_dot = 0.0
+        return q_dot, f_dot

@@ -1,0 +1,139 @@
+"""Numerical simulation of the closed-loop ODEs.
+
+Two uses:
+
+* step responses of the *linearized* system, to check the closed-form
+  settling/rise/overshoot formulas of :mod:`repro.analysis.stability`;
+* trajectories of the *nonlinear* model (with queue and frequency
+  saturations), to check how far the linear analysis holds -- the Figure-6
+  style validation that the aggregate continuous model tracks the discrete
+  controller's behaviour.
+
+A fixed-step RK4 integrator is used: the saturating right-hand sides are
+cheap and non-stiff, and a fixed step keeps results deterministic.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, List, Tuple
+
+import numpy as np
+
+from repro.analysis.linearize import LinearizedSystem
+from repro.analysis.model import ClosedLoopModel
+
+
+@dataclass(frozen=True)
+class StepResponse:
+    """A simulated trajectory plus measured step-response characteristics."""
+
+    time: np.ndarray
+    q: np.ndarray
+    second: np.ndarray  # mu for the linear system, f for the nonlinear one
+    overshoot_pct: float
+    settling_time: float
+
+    @property
+    def final_value(self) -> float:
+        return float(self.q[-1])
+
+
+def _measure_step(time: np.ndarray, x: np.ndarray, target: float) -> Tuple[float, float]:
+    """Measured percent overshoot and 2%-band settling time toward target."""
+    x0 = float(x[0])
+    swing = target - x0
+    if abs(swing) < 1e-12:
+        return 0.0, 0.0
+    normalized = (x - x0) / swing
+    overshoot = max(0.0, float(normalized.max()) - 1.0) * 100.0
+    band = 0.02
+    outside = np.abs(normalized - 1.0) > band
+    if not outside.any():
+        return overshoot, float(time[0])
+    last_outside = int(np.nonzero(outside)[0][-1])
+    if last_outside + 1 >= len(time):
+        return overshoot, float(time[-1])
+    return overshoot, float(time[last_outside + 1])
+
+
+def simulate_linear_step(
+    system: LinearizedSystem,
+    q_step: float = 1.0,
+    duration: float = 400.0,
+    dt: float = 0.05,
+) -> StepResponse:
+    """Unit-step response of the linear loop x'' + K_l x' + K_m x = 0.
+
+    The state starts displaced by ``-q_step`` from the reference (e.g. the
+    load just jumped) and the response is how x returns to 0; time is in
+    sampling periods.
+    """
+    if duration <= 0 or dt <= 0:
+        raise ValueError("duration and dt must be positive")
+    k_m, k_l = system.k_m, system.k_l
+    steps = int(duration / dt)
+    time = np.empty(steps + 1)
+    q = np.empty(steps + 1)
+    mu = np.empty(steps + 1)
+    x, v = -q_step, 0.0
+    for i in range(steps + 1):
+        time[i] = i * dt
+        q[i] = x
+        mu[i] = v
+        # RK4 on (x' = v, v' = -K_m x - K_l v)
+        def deriv(xx: float, vv: float) -> Tuple[float, float]:
+            return vv, -k_m * xx - k_l * vv
+
+        k1 = deriv(x, v)
+        k2 = deriv(x + 0.5 * dt * k1[0], v + 0.5 * dt * k1[1])
+        k3 = deriv(x + 0.5 * dt * k2[0], v + 0.5 * dt * k2[1])
+        k4 = deriv(x + dt * k3[0], v + dt * k3[1])
+        x += dt / 6.0 * (k1[0] + 2 * k2[0] + 2 * k3[0] + k4[0])
+        v += dt / 6.0 * (k1[1] + 2 * k2[1] + 2 * k3[1] + k4[1])
+    overshoot, settling = _measure_step(time, q, 0.0)
+    return StepResponse(
+        time=time, q=q, second=mu, overshoot_pct=overshoot, settling_time=settling
+    )
+
+
+def simulate_nonlinear(
+    model: ClosedLoopModel,
+    load: Callable[[float], float],
+    q0: float = 0.0,
+    f0: float = 1.0,
+    duration: float = 2000.0,
+    dt: float = 0.1,
+) -> StepResponse:
+    """Trajectory of the nonlinear saturating loop under arrival rate
+    ``load(t)``; time in sampling periods."""
+    if duration <= 0 or dt <= 0:
+        raise ValueError("duration and dt must be positive")
+    steps = int(duration / dt)
+    time = np.empty(steps + 1)
+    q_arr = np.empty(steps + 1)
+    f_arr = np.empty(steps + 1)
+    q, f = q0, f0
+    for i in range(steps + 1):
+        t = i * dt
+        time[i] = t
+        q_arr[i] = q
+        f_arr[i] = f
+
+        def deriv(qq: float, ff: float, tt: float) -> Tuple[float, float]:
+            ff = min(model.f_max, max(model.f_min, ff))
+            return model.derivative((qq, ff), load(tt))
+
+        k1 = deriv(q, f, t)
+        k2 = deriv(q + 0.5 * dt * k1[0], f + 0.5 * dt * k1[1], t + 0.5 * dt)
+        k3 = deriv(q + 0.5 * dt * k2[0], f + 0.5 * dt * k2[1], t + 0.5 * dt)
+        k4 = deriv(q + dt * k3[0], f + dt * k3[1], t + dt)
+        q += dt / 6.0 * (k1[0] + 2 * k2[0] + 2 * k3[0] + k4[0])
+        f += dt / 6.0 * (k1[1] + 2 * k2[1] + 2 * k3[1] + k4[1])
+        q = min(model.q_max, max(0.0, q))
+        f = min(model.f_max, max(model.f_min, f))
+    overshoot, settling = _measure_step(time, q_arr, float(q_arr[-1]))
+    return StepResponse(
+        time=time, q=q_arr, second=f_arr, overshoot_pct=overshoot, settling_time=settling
+    )

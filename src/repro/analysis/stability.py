@@ -1,0 +1,148 @@
+"""Classical stability analysis of the linearized loop (paper eq 13 and
+Remarks 1-3).
+
+The linearized system in ``x = q - q_ref`` is the standard 2nd-order loop
+``x'' + K_l x' + K_m x = 0`` with characteristic roots
+
+    s_{1,2} = ( -K_l +- sqrt(K_l^2 - 4 K_m) ) / 2.
+
+* **Remark 1** -- with any positive parameters both roots have negative real
+  part: the system is stable for any workload input.
+* **Remark 2** -- smaller time delays mean larger K's, improving settling
+  time (t_s = 8/K_l) and rise time, at the cost of noise rejection (which the
+  continuous model does not capture; the discrete simulator does).
+* **Remark 3** -- keeping the damping ratio xi = K_l / (2 sqrt(K_m)) in
+  [0.5, 1] (small overshoot, decent rise time) constrains the delay ratio
+  T_m0/T_l0 to [1/K_l, 4/K_l]; with a typical K_l ~ 1/2 that is the paper's
+  "2-8x larger" rule.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.analysis.linearize import LinearizedSystem
+
+
+def characteristic_roots(k_m: float, k_l: float) -> Tuple[complex, complex]:
+    """Roots of s^2 + K_l s + K_m = 0 (paper eq 13).
+
+    Uses the numerically stable form for the overdamped case: the
+    smaller-magnitude root is derived from the product of roots (= K_m)
+    instead of the cancellation-prone ``-K_l + sqrt(...)``.
+    """
+    disc = k_l * k_l - 4.0 * k_m
+    if disc >= 0.0:
+        big = (-k_l - math.sqrt(disc)) / 2.0
+        small = k_m / big if big != 0.0 else 0.0
+        return (complex(small), complex(big))
+    imag = math.sqrt(-disc) / 2.0
+    real = -k_l / 2.0
+    return (complex(real, imag), complex(real, -imag))
+
+
+def is_stable(k_m: float, k_l: float) -> bool:
+    """Remark 1: both roots strictly in the left half-plane."""
+    r1, r2 = characteristic_roots(k_m, k_l)
+    return r1.real < 0 and r2.real < 0
+
+
+def damping_ratio(k_m: float, k_l: float) -> float:
+    """xi = K_l / (2 sqrt(K_m))."""
+    if k_m <= 0:
+        raise ValueError("K_m must be positive")
+    return k_l / (2.0 * math.sqrt(k_m))
+
+
+def settling_time(k_l: float) -> float:
+    """2%-band settling time t_s = 8 / K_l (in sampling periods)."""
+    if k_l <= 0:
+        raise ValueError("K_l must be positive")
+    return 8.0 / k_l
+
+
+def rise_time(k_m: float, k_l: float) -> float:
+    """Standard 2nd-order rise-time estimate t_r = (0.8 + 2.5 xi)/omega_n."""
+    xi = damping_ratio(k_m, k_l)
+    omega_n = math.sqrt(k_m)
+    return (0.8 + 2.5 * xi) / omega_n
+
+
+def percent_overshoot(k_m: float, k_l: float) -> float:
+    """Max percent overshoot of the unit-step response.
+
+    ``100 * exp(-pi xi / sqrt(1 - xi^2))`` for underdamped systems, zero for
+    critically/over-damped ones.
+    """
+    xi = damping_ratio(k_m, k_l)
+    if xi >= 1.0:
+        return 0.0
+    return 100.0 * math.exp(-math.pi * xi / math.sqrt(1.0 - xi * xi))
+
+
+def delay_ratio_bounds(
+    k_l: float, xi_min: float = 0.5, xi_max: float = 1.0
+) -> Tuple[float, float]:
+    """Remark 3: bounds on R = T_m0/T_l0 that keep xi in [xi_min, xi_max].
+
+    With m = l, K_m = K_l / R, so xi = sqrt(K_l * R) / 2 and
+    R = 4 xi^2 / K_l -- increasing in xi, hence the bounds map directly.
+    """
+    if k_l <= 0:
+        raise ValueError("K_l must be positive")
+    if not 0 < xi_min < xi_max:
+        raise ValueError("need 0 < xi_min < xi_max")
+    return (4.0 * xi_min * xi_min / k_l, 4.0 * xi_max * xi_max / k_l)
+
+
+def recommended_delay_ratio_range(k_l: float = 0.5) -> Tuple[float, float]:
+    """The paper's "2-8 times larger" rule, at the typical K_l ~ 1/2."""
+    return delay_ratio_bounds(k_l, 0.5, 1.0)
+
+
+@dataclass(frozen=True)
+class StabilityReport:
+    """Everything the stability analysis says about one design point."""
+
+    k_m: float
+    k_l: float
+    roots: Tuple[complex, complex]
+    stable: bool
+    damping_ratio: float
+    natural_frequency: float
+    settling_time: float
+    rise_time: float
+    percent_overshoot: float
+    delay_ratio_for_small_overshoot: Tuple[float, float]
+
+    def summary(self) -> str:
+        r1, r2 = self.roots
+        lo, hi = self.delay_ratio_for_small_overshoot
+        return (
+            f"K_m={self.k_m:.4g} K_l={self.k_l:.4g} "
+            f"roots=({r1:.4g}, {r2:.4g}) "
+            f"{'STABLE' if self.stable else 'UNSTABLE'} "
+            f"xi={self.damping_ratio:.3f} "
+            f"t_s={self.settling_time:.1f} t_r={self.rise_time:.1f} "
+            f"overshoot={self.percent_overshoot:.1f}% "
+            f"T_m0/T_l0 in [{lo:.1f}, {hi:.1f}]"
+        )
+
+
+def analyze(system: LinearizedSystem) -> StabilityReport:
+    """Full Remark 1-3 analysis of a linearized design point."""
+    k_m, k_l = system.k_m, system.k_l
+    return StabilityReport(
+        k_m=k_m,
+        k_l=k_l,
+        roots=characteristic_roots(k_m, k_l),
+        stable=is_stable(k_m, k_l),
+        damping_ratio=damping_ratio(k_m, k_l),
+        natural_frequency=system.natural_frequency,
+        settling_time=settling_time(k_l),
+        rise_time=rise_time(k_m, k_l),
+        percent_overshoot=percent_overshoot(k_m, k_l),
+        delay_ratio_for_small_overshoot=delay_ratio_bounds(k_l),
+    )

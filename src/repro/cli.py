@@ -1,0 +1,151 @@
+"""Command-line interface: ``python -m repro`` or the ``repro-dvfs`` script.
+
+Subcommands
+-----------
+``list``      list the benchmark suite (with fast-varying labels)
+``run``       simulate one benchmark under one scheme
+``compare``   compare schemes on one or more benchmarks
+``analyze``   print the Section-4 stability analysis for a design point
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis.linearize import linearize
+from repro.analysis.model import ClosedLoopModel, ControllerModel, ServiceModel
+from repro.analysis.stability import analyze
+from repro.harness.comparison import compare_schemes
+from repro.harness.experiment import SCHEMES, run_experiment
+from repro.harness.reporting import format_table
+from repro.mcd.domains import DomainId
+from repro.workloads.suite import BENCHMARKS, get_benchmark
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    rows = [
+        [spec.name, spec.suite, len(spec.phases), spec.length,
+         "fast" if spec.fast_varying else "steady"]
+        for spec in BENCHMARKS.values()
+    ]
+    print(format_table(
+        ["benchmark", "suite", "phases", "instructions", "variability"],
+        rows,
+        title="Benchmark suite",
+    ))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_experiment(
+        args.benchmark,
+        scheme=args.scheme,
+        max_instructions=args.instructions,
+        record_history=False,
+    )
+    print(f"benchmark            : {result.benchmark}")
+    print(f"scheme               : {result.scheme}")
+    print(f"instructions retired : {result.instructions}")
+    print(f"execution time       : {result.time_ns / 1000:.2f} us")
+    print(f"energy               : {result.energy.total:.0f} units")
+    for domain in (DomainId.INT, DomainId.FP, DomainId.LS):
+        print(f"mean f ({domain.value:3s})         : "
+              f"{result.mean_frequency_ghz[domain]:.3f} GHz "
+              f"({result.transitions[domain]} transitions)")
+    print(f"branch mispredicts   : {result.branch_mispredict_rate:.3f}")
+    print(f"L1D / L2 miss rate   : {result.l1d_miss_rate:.3f} / {result.l2_miss_rate:.3f}")
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    rows = []
+    for name in args.benchmarks:
+        comp = compare_schemes(
+            name,
+            schemes=tuple(args.schemes),
+            max_instructions=args.instructions,
+        )
+        for scheme in args.schemes:
+            result = comp.result_for(scheme)
+            rows.append(
+                [name, scheme, result.energy_savings_pct,
+                 result.perf_degradation_pct, result.edp_improvement_pct,
+                 result.transitions]
+            )
+    print(format_table(
+        ["benchmark", "scheme", "energy savings %", "perf degradation %",
+         "EDP improvement %", "transitions"],
+        rows,
+        title="Scheme comparison vs full-speed baseline",
+    ))
+    return 0
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    service = ServiceModel(t1=args.t1, c2=args.c2)
+    loop = ClosedLoopModel(
+        controller=ControllerModel(step=args.step, t_m0=args.t_m0, t_l0=args.t_l0),
+        service=service,
+        q_ref=args.q_ref,
+    )
+    report = analyze(linearize(loop, f_op=args.f_op))
+    print(report.summary())
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-dvfs",
+        description="Adaptive-reaction-time DVFS for MCD processors (HPCA'05 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list the benchmark suite").set_defaults(func=_cmd_list)
+
+    run_p = sub.add_parser("run", help="simulate one benchmark under one scheme")
+    run_p.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    run_p.add_argument("--scheme", choices=SCHEMES, default="adaptive")
+    run_p.add_argument("--instructions", type=int, default=60_000,
+                       help="truncate the run (phase proportions preserved)")
+    run_p.set_defaults(func=_cmd_run)
+
+    cmp_p = sub.add_parser("compare", help="compare schemes on benchmarks")
+    cmp_p.add_argument("benchmarks", nargs="+", choices=sorted(BENCHMARKS))
+    cmp_p.add_argument("--schemes", nargs="+",
+                       choices=[s for s in SCHEMES if s != "full-speed"],
+                       default=["adaptive", "attack-decay", "pid"])
+    cmp_p.add_argument("--instructions", type=int, default=60_000)
+    cmp_p.set_defaults(func=_cmd_compare)
+
+    ana_p = sub.add_parser("analyze", help="Section-4 stability analysis")
+    ana_p.add_argument("--t1", type=float, default=0.2,
+                       help="frequency-independent time per instruction")
+    ana_p.add_argument("--c2", type=float, default=1.0,
+                       help="frequency-dependent cycles per instruction")
+    ana_p.add_argument("--step", type=float, default=0.2, help="aggregate step gain")
+    ana_p.add_argument("--t-m0", type=float, default=50.0, dest="t_m0")
+    ana_p.add_argument("--t-l0", type=float, default=8.0, dest="t_l0")
+    ana_p.add_argument("--q-ref", type=float, default=4.0, dest="q_ref")
+    ana_p.add_argument("--f-op", type=float, default=0.6, dest="f_op",
+                       help="operating frequency for linearization")
+    ana_p.set_defaults(func=_cmd_analyze)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # output piped into e.g. `head`; exit quietly like a good unix tool
+        import os
+
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,43 @@
+"""The paper's contribution: adaptive-reaction-time online DVFS control.
+
+One :class:`AdaptiveDvfsController` attaches to each controlled clock domain.
+Every sampling period (250 MHz) it derives two queue signals -- the *level*
+``q_i - q_ref`` and the *slope* ``q_i - q_{i-1}`` -- and runs each through a
+small finite-state machine with a deviation window and a resettable,
+signal- and frequency-scaled time-delay counter (paper Figures 3-4).  When a
+signal stays outside its window long enough, a single +-step frequency change
+triggers; a scheduler reconciles simultaneous triggers from the two FSMs
+(same direction: combined double step; opposite: mutual cancellation).
+
+Unlike fixed-interval schemes, nothing here is clocked by interval
+boundaries: the controller reacts within a time delay of a severe swing and
+stays inactive indefinitely when the workload is steady.
+"""
+
+from repro.core.config import AdaptiveConfig, default_adaptive_config
+from repro.core.signals import SignalMonitor, SignalSample
+from repro.core.fsm import FsmState, TimeDelayFsm
+from repro.core.scheduler import ActionScheduler, ScheduledAction
+from repro.core.controller import AdaptiveDvfsController
+from repro.core.hardware import (
+    HardwareCost,
+    adaptive_decision_logic_cost,
+    pid_decision_logic_cost,
+    attack_decay_decision_logic_cost,
+)
+
+__all__ = [
+    "AdaptiveConfig",
+    "default_adaptive_config",
+    "SignalMonitor",
+    "SignalSample",
+    "FsmState",
+    "TimeDelayFsm",
+    "ActionScheduler",
+    "ScheduledAction",
+    "AdaptiveDvfsController",
+    "HardwareCost",
+    "adaptive_decision_logic_cost",
+    "pid_decision_logic_cost",
+    "attack_decay_decision_logic_cost",
+]

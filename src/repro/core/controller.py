@@ -1,0 +1,106 @@
+"""The adaptive-reaction-time DVFS controller (paper Section 3).
+
+Ties together the signal monitor, the two per-signal time-delay FSMs, and
+the action scheduler into one per-domain controller implementing the
+:class:`~repro.dvfs.base.DvfsController` interface.  Decision flow per 4 ns
+sample:
+
+1. derive the level signal ``q - q_ref`` and slope signal ``q_i - q_{i-1}``;
+2. if an Act (physical frequency switch) is in progress, hold;
+3. step each FSM (deviation window + resettable, signal/frequency-scaled
+   time-delay counter);
+4. reconcile triggers (combine identical, cancel opposite);
+5. emit a +-1 or +-2 step command to the voltage regulator.
+
+The controller is purely reactive: with a steady workload the signals sit
+inside their deviation windows and nothing ever triggers -- the adaptive
+scheme's "inactive for an arbitrarily long time" property.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.config import AdaptiveConfig, default_adaptive_config
+from repro.core.fsm import TimeDelayFsm
+from repro.core.scheduler import ActionScheduler
+from repro.core.signals import SignalMonitor
+from repro.dvfs.base import DvfsController, FrequencyCommand
+from repro.mcd.domains import DomainId, MachineConfig
+
+
+class AdaptiveDvfsController(DvfsController):
+    """Per-domain adaptive online DVFS control."""
+
+    def __init__(
+        self,
+        domain: DomainId,
+        config: Optional[AdaptiveConfig] = None,
+        machine: Optional[MachineConfig] = None,
+    ) -> None:
+        super().__init__(domain)
+        self.machine = machine or MachineConfig()
+        self.config = config or default_adaptive_config(domain)
+        self.monitor = SignalMonitor(q_ref=self.config.q_ref)
+        self.level_fsm = TimeDelayFsm(
+            delay=self.config.t_m0,
+            deviation_window=self.config.dw_level,
+            scale=self.config.m,
+            signal_scaled=self.config.signal_scaled_delay,
+            freq_scaled_down=self.config.freq_scaled_down_delay,
+        )
+        self.slope_fsm = TimeDelayFsm(
+            delay=self.config.t_l0,
+            deviation_window=self.config.dw_slope,
+            scale=self.config.l,
+            signal_scaled=self.config.signal_scaled_delay,
+            freq_scaled_down=self.config.freq_scaled_down_delay,
+        )
+        # One controller step takes step_ghz * slew time to switch, plus any
+        # Transmeta-style PLL-relock idle the machine imposes.
+        self.scheduler = ActionScheduler(
+            switching_time_ns=self.machine.step_switching_time_ns,
+            combine_actions=self.config.combine_actions,
+        )
+
+    # ------------------------------------------------------------------
+
+    @property
+    def switching_time_ns(self) -> float:
+        """T_s: physical switching time of a single step."""
+        return self.scheduler.switching_time_ns
+
+    def reset(self) -> None:
+        super().reset()
+        self.monitor.reset()
+        self.level_fsm.reset()
+        self.slope_fsm.reset()
+        self.scheduler.reset()
+
+    # ------------------------------------------------------------------
+
+    def observe(
+        self, now_ns: float, occupancy: int, freq_ghz: float
+    ) -> Optional[FrequencyCommand]:
+        signals = self.monitor.sample(occupancy)
+        if self.scheduler.busy(now_ns):
+            # Act in progress: the FSMs hold until the switch completes
+            # (Figure 4's "before T_s, any signal" self-loop).
+            return None
+
+        f_rel = min(1.0, freq_ghz / self.machine.f_max_ghz)
+        level_trigger = self.level_fsm.step(signals.level, f_rel)
+        slope_trigger = (
+            self.slope_fsm.step(signals.slope, f_rel)
+            if self.config.use_slope_signal
+            else 0
+        )
+
+        action = self.scheduler.reconcile(now_ns, level_trigger, slope_trigger)
+        if action is None:
+            if level_trigger and slope_trigger and level_trigger != slope_trigger:
+                # Mutual cancellation resets both signals to Wait.
+                self.level_fsm.reset()
+                self.slope_fsm.reset()
+            return None
+        return self._issue(FrequencyCommand(steps=action.steps))

@@ -1,0 +1,97 @@
+"""Per-signal finite-state machine with resettable time-delay counter.
+
+Implements the left half of the paper's Figure 4 for one queue signal:
+
+* **Wait** -- the signal is inside the deviation window; counter is reset.
+* **Count-Up / Count-Down** -- the signal has been outside the window on the
+  high/low side; the time-delay counter accumulates.  The counter resets if
+  the signal returns inside the window, and restarts if the signal crosses to
+  the opposite side.
+* When the counter reaches the time delay, the FSM reports a **trigger**
+  (+1 for Start-Up, -1 for Start-Down) and returns to Wait; the shared
+  scheduler (see :mod:`repro.core.scheduler`) owns the Start/Act sequencing
+  and the switching-time wait.
+
+Two refinements from Section 5.1 are modelled exactly as the paper emulates
+them in hardware:
+
+* *signal-scaled delay* -- the counter increments by ``m * |signal|`` rather
+  than 1, so large deviations trigger sooner (eq. 5's
+  ``T_m = T_m0 / (m |q - q_ref|)``);
+* *frequency-scaled count-down* -- the count-*down* increment is multiplied
+  by ``f_hat^2``, making the effective delay ``1/f_hat^2`` longer at low
+  frequency.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class FsmState(enum.Enum):
+    WAIT = "wait"
+    COUNT_UP = "count_up"
+    COUNT_DOWN = "count_down"
+
+
+class TimeDelayFsm:
+    """Deviation window + resettable time-delay counter for one signal."""
+
+    def __init__(
+        self,
+        delay: float,
+        deviation_window: float,
+        scale: float = 1.0,
+        signal_scaled: bool = True,
+        freq_scaled_down: bool = True,
+    ) -> None:
+        if delay <= 0:
+            raise ValueError("delay must be positive")
+        if deviation_window < 0:
+            raise ValueError("deviation window must be non-negative")
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        self.delay = delay
+        self.deviation_window = deviation_window
+        self.scale = scale
+        self.signal_scaled = signal_scaled
+        self.freq_scaled_down = freq_scaled_down
+        self.state = FsmState.WAIT
+        self.counter = 0.0
+
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        self.state = FsmState.WAIT
+        self.counter = 0.0
+
+    def step(self, signal: float, f_rel: float) -> int:
+        """Process one sample; return +1/-1 on an up/down trigger, else 0.
+
+        ``f_rel`` is the current relative frequency f/f_max, used by the
+        count-down scaling.
+        """
+        if not 0.0 < f_rel <= 1.0 + 1e-9:
+            raise ValueError("f_rel must be in (0, 1]")
+
+        if -self.deviation_window <= signal <= self.deviation_window:
+            # Inside the window: reset (Figure 3's "Wait (reset)" arc).
+            self.reset()
+            return 0
+
+        direction = 1 if signal > 0 else -1
+        target_state = FsmState.COUNT_UP if direction > 0 else FsmState.COUNT_DOWN
+        if self.state is not target_state:
+            # Entering Count from Wait, or crossing sides: restart counting.
+            self.state = target_state
+            self.counter = 0.0
+
+        increment = self.scale * (abs(signal) if self.signal_scaled else 1.0)
+        if direction < 0 and self.freq_scaled_down:
+            increment *= f_rel * f_rel
+        self.counter += increment
+
+        if self.counter >= self.delay:
+            self.reset()
+            return direction
+        return 0

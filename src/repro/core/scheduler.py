@@ -1,0 +1,84 @@
+"""Reconciliation of the two per-signal FSMs' actions (paper Section 3.1).
+
+The paper adds a *Schedule* state between the FSMs and the voltage regulator:
+
+* one FSM triggering alone starts its action normally;
+* two **identical** simultaneous triggers (both Up or both Down) are combined
+  into one action with twice the step size (equivalently, scheduled in
+  sequence);
+* two **opposite** simultaneous triggers cancel, and both FSMs reset to Wait.
+
+While a switch is physically in progress (the Act state, lasting the
+switching time ``T_s`` per step), the controller holds: new triggers are not
+evaluated until the action completes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+
+@dataclass(frozen=True)
+class ScheduledAction:
+    """A reconciled frequency action: net steps and its completion time."""
+
+    steps: int
+    completes_ns: float
+
+
+class ActionScheduler:
+    """Combines per-signal triggers into regulator actions."""
+
+    def __init__(self, switching_time_ns: float, combine_actions: bool = True) -> None:
+        if switching_time_ns < 0:
+            raise ValueError("switching time must be non-negative")
+        self.switching_time_ns = switching_time_ns
+        self.combine_actions = combine_actions
+        self._busy_until_ns = 0.0
+        self.actions = 0
+        self.cancellations = 0
+        self.combined = 0
+
+    # ------------------------------------------------------------------
+
+    def busy(self, now_ns: float) -> bool:
+        """Is an Act (physical switch) still in progress at ``now_ns``?"""
+        return now_ns < self._busy_until_ns
+
+    def reconcile(
+        self, now_ns: float, level_trigger: int, slope_trigger: int
+    ) -> Optional[ScheduledAction]:
+        """Resolve the two FSM triggers into at most one action.
+
+        Trigger values are -1, 0 or +1.  Returns ``None`` when no action
+        results (no triggers, or mutual cancellation).
+        """
+        for trigger in (level_trigger, slope_trigger):
+            if trigger not in (-1, 0, 1):
+                raise ValueError("triggers must be -1, 0 or +1")
+
+        if level_trigger == 0 and slope_trigger == 0:
+            return None
+
+        if level_trigger and slope_trigger:
+            if level_trigger != slope_trigger:
+                self.cancellations += 1
+                return None
+            if self.combine_actions:
+                steps = level_trigger + slope_trigger
+                self.combined += 1
+            else:
+                steps = level_trigger  # serialize: level-signal action first
+        else:
+            steps = level_trigger or slope_trigger
+
+        self._busy_until_ns = now_ns + self.switching_time_ns * abs(steps)
+        self.actions += 1
+        return ScheduledAction(steps=steps, completes_ns=self._busy_until_ns)
+
+    def reset(self) -> None:
+        self._busy_until_ns = 0.0
+        self.actions = 0
+        self.cancellations = 0
+        self.combined = 0

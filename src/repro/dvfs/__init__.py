@@ -1,0 +1,25 @@
+"""DVFS machinery and prior-work baseline controllers.
+
+The adaptive controller (the paper's contribution) lives in
+:mod:`repro.core`; this package provides what it and the baselines share --
+the slew-rate-limited voltage regulator and the controller interface -- plus
+reimplementations of the two fixed-interval schemes the paper compares
+against: the attack/decay controller of Semeraro et al. (MICRO 2002) and the
+PID controller of Wu et al. (ASPLOS 2004).
+"""
+
+from repro.dvfs.base import DvfsController, FrequencyCommand, FullSpeedController
+from repro.dvfs.regulator import VoltageRegulator
+from repro.dvfs.attack_decay import AttackDecayController, AttackDecayConfig
+from repro.dvfs.pid import PidController, PidConfig
+
+__all__ = [
+    "DvfsController",
+    "FrequencyCommand",
+    "FullSpeedController",
+    "VoltageRegulator",
+    "AttackDecayController",
+    "AttackDecayConfig",
+    "PidController",
+    "PidConfig",
+]

@@ -1,0 +1,114 @@
+"""Fixed-interval attack/decay controller (Semeraro et al., MICRO 2002).
+
+This is the paper's baseline [9].  Once per fixed interval it inspects the
+change in average queue utilization:
+
+* a significant utilization *increase* triggers an "attack" -- a
+  multiplicative frequency raise;
+* a significant *decrease* triggers a downward attack;
+* otherwise the frequency *decays* downward slowly, harvesting energy while
+  nothing seems to be happening.
+
+Both the interval boundary (reaction can be a full interval late) and the
+interval-average statistic (intra-interval swings cancel out) are the
+limitations the adaptive scheme is designed to remove.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dvfs.base import DvfsController, FrequencyCommand
+from repro.mcd.domains import DomainId
+
+
+@dataclass(frozen=True)
+class AttackDecayConfig:
+    """Tuning published with the original algorithm.
+
+    ``interval_ns`` corresponds to the 10k-cycle interval at the 1 GHz
+    front-end clock.
+    """
+
+    interval_ns: float = 10_000.0
+    #: utilization change (fraction of capacity) that counts as significant
+    threshold: float = 0.017
+    #: multiplicative frequency move on a significant change
+    attack: float = 0.07
+    #: multiplicative downward drift when nothing significant happens
+    decay: float = 0.00175
+    #: queue capacity, for normalizing occupancy into utilization
+    capacity: int = 16
+
+    def __post_init__(self) -> None:
+        if self.interval_ns <= 0:
+            raise ValueError("interval must be positive")
+        if not 0 < self.attack < 1:
+            raise ValueError("attack must be in (0, 1)")
+        if not 0 <= self.decay < 1:
+            raise ValueError("decay must be in [0, 1)")
+        if self.capacity <= 0:
+            raise ValueError("capacity must be positive")
+
+
+class AttackDecayController(DvfsController):
+    """Interval-based attack/decay frequency control."""
+
+    def __init__(self, domain: DomainId, config: AttackDecayConfig) -> None:
+        super().__init__(domain)
+        self.config = config
+        self._interval_start: Optional[float] = None
+        self._occupancy_sum = 0.0
+        self._samples = 0
+        self._prev_utilization: Optional[float] = None
+        self.intervals_elapsed = 0
+
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        super().reset()
+        self._interval_start = None
+        self._occupancy_sum = 0.0
+        self._samples = 0
+        self._prev_utilization = None
+        self.intervals_elapsed = 0
+
+    def observe(
+        self, now_ns: float, occupancy: int, freq_ghz: float
+    ) -> Optional[FrequencyCommand]:
+        if self._interval_start is None:
+            self._interval_start = now_ns
+        # Decide *before* accumulating the current sample, so every interval
+        # covers the same number of samples.
+        command = None
+        if now_ns - self._interval_start >= self.config.interval_ns and self._samples:
+            command = self._end_interval(now_ns, freq_ghz)
+        self._occupancy_sum += occupancy
+        self._samples += 1
+        return command
+
+    # ------------------------------------------------------------------
+
+    def _end_interval(self, now_ns: float, freq_ghz: float) -> Optional[FrequencyCommand]:
+        utilization = (self._occupancy_sum / self._samples) / self.config.capacity
+        self._interval_start = now_ns
+        self._occupancy_sum = 0.0
+        self._samples = 0
+        self.intervals_elapsed += 1
+
+        prev = self._prev_utilization
+        self._prev_utilization = utilization
+        if prev is None:
+            return None
+
+        delta = utilization - prev
+        if delta > self.config.threshold:
+            target = freq_ghz * (1.0 + self.config.attack)
+        elif delta < -self.config.threshold:
+            target = freq_ghz * (1.0 - self.config.attack)
+        else:
+            target = freq_ghz * (1.0 - self.config.decay)
+        if abs(target - freq_ghz) < 1e-12:
+            return None
+        return self._issue(FrequencyCommand(target_ghz=target))

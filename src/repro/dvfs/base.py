@@ -1,0 +1,73 @@
+"""Controller interface shared by the adaptive scheme and the baselines.
+
+A controller is attached to one controlled clock domain.  The processor calls
+:meth:`DvfsController.observe` once per signal sampling period (4 ns, 250 MHz)
+with the domain's current queue occupancy and frequency; the controller may
+return a :class:`FrequencyCommand`, which the processor forwards to the
+domain's voltage regulator.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.mcd.domains import DomainId
+
+
+@dataclass(frozen=True)
+class FrequencyCommand:
+    """A requested frequency change.
+
+    Exactly one of the two forms is used:
+
+    * ``steps`` -- a relative change of N controller steps (the adaptive and
+      attack/decay schemes);
+    * ``target_ghz`` -- an absolute setting (the PID scheme computes one per
+      interval).
+    """
+
+    steps: int = 0
+    target_ghz: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.steps != 0 and self.target_ghz is not None:
+            raise ValueError("a command is either relative steps or an absolute target")
+        if self.steps == 0 and self.target_ghz is None:
+            raise ValueError("empty command; return None instead")
+
+
+class DvfsController(abc.ABC):
+    """Per-domain online DVFS decision logic."""
+
+    def __init__(self, domain: DomainId) -> None:
+        self.domain = domain
+        self.commands_issued = 0
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+    @abc.abstractmethod
+    def observe(
+        self, now_ns: float, occupancy: int, freq_ghz: float
+    ) -> Optional[FrequencyCommand]:
+        """Process one queue-occupancy sample; optionally command a change."""
+
+    def reset(self) -> None:
+        """Return to the initial state (between runs)."""
+        self.commands_issued = 0
+
+    def _issue(self, command: FrequencyCommand) -> FrequencyCommand:
+        self.commands_issued += 1
+        return command
+
+
+class FullSpeedController(DvfsController):
+    """The synchronous baseline: never changes frequency."""
+
+    def observe(
+        self, now_ns: float, occupancy: int, freq_ghz: float
+    ) -> Optional[FrequencyCommand]:
+        return None

@@ -1,0 +1,117 @@
+"""Fixed-interval PID controller (Wu et al., ASPLOS 2004).
+
+This is the paper's baseline [23]: once per fixed interval, a PID loop on the
+interval-average queue occupancy error computes the next frequency setting
+(an absolute target, realized through the same slew-limited regulator as
+every other scheme).  The velocity (incremental) PID form is used:
+
+    f[k+1] = f[k] + Kp*(e[k] - e[k-1]) + Ki*e[k] + Kd*(e[k] - 2e[k-1] + e[k-2])
+
+with e[k] = q_avg[k] - q_ref.  A positive error (queue above reference, the
+sender outrunning the receiver) raises frequency; a negative error lowers it.
+
+The interval length is a first-class parameter because the paper's closing
+experiment re-runs this scheme with shorter intervals: shorter intervals
+react faster but average over fewer samples (noisier) and switch more often.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.dvfs.base import DvfsController, FrequencyCommand
+from repro.mcd.domains import DomainId
+
+
+@dataclass(frozen=True)
+class PidConfig:
+    """PID gains and interval length.
+
+    Gains are in GHz per queue entry.  The defaults follow the original
+    scheme's design goals (small overshoot, settling within a few intervals
+    for a full-scale error): with ``q_ref = 4`` an empty queue (e = -4)
+    moves the target ~0.1 GHz per interval, settling across the full DVFS
+    range in roughly ten intervals.
+    """
+
+    interval_ns: float = 10_000.0
+    q_ref: float = 4.0
+    kp: float = 0.012
+    ki: float = 0.024
+    kd: float = 0.004
+
+    def __post_init__(self) -> None:
+        if self.interval_ns <= 0:
+            raise ValueError("interval must be positive")
+        if self.q_ref < 0:
+            raise ValueError("q_ref must be non-negative")
+
+    def with_interval(self, interval_ns: float) -> "PidConfig":
+        """Copy with a different interval (the paper's Table-3 sweep)."""
+        return PidConfig(
+            interval_ns=interval_ns, q_ref=self.q_ref, kp=self.kp, ki=self.ki, kd=self.kd
+        )
+
+
+class PidController(DvfsController):
+    """Interval-based PID frequency control on queue occupancy."""
+
+    def __init__(self, domain: DomainId, config: PidConfig) -> None:
+        super().__init__(domain)
+        self.config = config
+        self._interval_start: Optional[float] = None
+        self._occupancy_sum = 0.0
+        self._samples = 0
+        self._e1: Optional[float] = None  # e[k-1]
+        self._e2: Optional[float] = None  # e[k-2]
+        self.intervals_elapsed = 0
+
+    # ------------------------------------------------------------------
+
+    def reset(self) -> None:
+        super().reset()
+        self._interval_start = None
+        self._occupancy_sum = 0.0
+        self._samples = 0
+        self._e1 = None
+        self._e2 = None
+        self.intervals_elapsed = 0
+
+    def observe(
+        self, now_ns: float, occupancy: int, freq_ghz: float
+    ) -> Optional[FrequencyCommand]:
+        if self._interval_start is None:
+            self._interval_start = now_ns
+        # Decide *before* accumulating the current sample, so every interval
+        # covers the same number of samples.
+        command = None
+        if now_ns - self._interval_start >= self.config.interval_ns and self._samples:
+            command = self._end_interval(now_ns, freq_ghz)
+        self._occupancy_sum += occupancy
+        self._samples += 1
+        return command
+
+    # ------------------------------------------------------------------
+
+    def _end_interval(self, now_ns: float, freq_ghz: float) -> Optional[FrequencyCommand]:
+        q_avg = self._occupancy_sum / self._samples
+        self._interval_start = now_ns
+        self._occupancy_sum = 0.0
+        self._samples = 0
+        self.intervals_elapsed += 1
+
+        error = q_avg - self.config.q_ref
+        e1 = self._e1 if self._e1 is not None else error
+        e2 = self._e2 if self._e2 is not None else e1
+        self._e2 = e1
+        self._e1 = error
+
+        delta = (
+            self.config.kp * (error - e1)
+            + self.config.ki * error
+            + self.config.kd * (error - 2.0 * e1 + e2)
+        )
+        if abs(delta) < 1e-9:
+            return None
+        return self._issue(FrequencyCommand(target_ghz=freq_ghz + delta))

@@ -1,0 +1,93 @@
+"""Slew-rate-limited voltage regulator (XScale-style DVFS model).
+
+Frequency and voltage transition together at 73.3 ns/MHz (paper Table 1:
+73.3 ns/MHz, 7 ns/2.86 mV -- the two rates are locked by the linear V(f)
+map).  The domain keeps executing through a transition; there is no PLL
+relock idle time.  A single controller step of 2.34 MHz therefore takes
+~172 ns to complete -- the switching time ``T_s`` that the adaptive FSM waits
+out in its Act state.
+"""
+
+from __future__ import annotations
+
+from repro.dvfs.base import FrequencyCommand
+from repro.mcd.domains import DomainId, MachineConfig
+
+
+class VoltageRegulator:
+    """Per-domain frequency/voltage actuator."""
+
+    def __init__(
+        self,
+        domain: DomainId,
+        config: MachineConfig,
+        initial_freq_ghz: float = None,
+    ) -> None:
+        self.domain = domain
+        self.config = config
+        freq = config.f_max_ghz if initial_freq_ghz is None else initial_freq_ghz
+        self._current_ghz = config.clamp_frequency(freq)
+        self._target_ghz = self._current_ghz
+        self._voltage = config.voltage_for(self._current_ghz)
+        #: slew in GHz per ns: (1 MHz / 73.3 ns) = 1/73.3 * 1e-3 GHz/ns
+        self.slew_ghz_per_ns = 1.0e-3 / config.slew_ns_per_mhz
+        self.transitions = 0
+        self.total_travel_ghz = 0.0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def current_freq_ghz(self) -> float:
+        return self._current_ghz
+
+    @property
+    def target_freq_ghz(self) -> float:
+        return self._target_ghz
+
+    @property
+    def voltage(self) -> float:
+        """Supply voltage tracking the current frequency (cached; refreshed
+        whenever the frequency physically moves)."""
+        return self._voltage
+
+    @property
+    def in_transition(self) -> bool:
+        return abs(self._target_ghz - self._current_ghz) > 1e-12
+
+    @property
+    def relative_frequency(self) -> float:
+        """f / f_max -- the f-hat used by the controller's delay scaling."""
+        return self._current_ghz / self.config.f_max_ghz
+
+    # ------------------------------------------------------------------
+
+    def apply(self, command: FrequencyCommand) -> None:
+        """Retarget according to a controller command."""
+        if command.target_ghz is not None:
+            new_target = self.config.clamp_frequency(command.target_ghz)
+        else:
+            new_target = self.config.clamp_frequency(
+                self._target_ghz + command.steps * self.config.step_ghz
+            )
+        if abs(new_target - self._target_ghz) > 1e-12:
+            self.transitions += 1
+            self._target_ghz = new_target
+
+    def switching_time_ns(self, steps: int = 1) -> float:
+        """Time to complete a transition of ``steps`` controller steps."""
+        return abs(steps) * self.config.step_ghz * 1e3 * self.config.slew_ns_per_mhz
+
+    def advance(self, dt_ns: float) -> None:
+        """Slew the physical frequency toward the target over ``dt_ns``."""
+        if dt_ns < 0:
+            raise ValueError("dt must be non-negative")
+        delta = self._target_ghz - self._current_ghz
+        if not delta:
+            return
+        max_move = self.slew_ghz_per_ns * dt_ns
+        move = max(-max_move, min(max_move, delta))
+        self._current_ghz += move
+        self.total_travel_ghz += abs(move)
+        if abs(self._target_ghz - self._current_ghz) < 1e-12:
+            self._current_ghz = self._target_ghz
+        self._voltage = self.config.voltage_for(self._current_ghz)

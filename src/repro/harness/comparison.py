@@ -1,0 +1,126 @@
+"""Baseline-relative comparisons across schemes and benchmarks."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.harness.experiment import run_experiment
+from repro.mcd.domains import MachineConfig
+from repro.mcd.processor import SimulationResult
+from repro.power.metrics import (
+    RunMetrics,
+    edp_improvement_percent,
+    energy_savings_percent,
+    performance_degradation_percent,
+)
+from repro.workloads.phases import BenchmarkSpec
+from repro.workloads.suite import get_benchmark
+
+
+@dataclass(frozen=True)
+class SchemeResult:
+    """One scheme's outcome on one benchmark, relative to full speed."""
+
+    scheme: str
+    metrics: RunMetrics
+    energy_savings_pct: float
+    perf_degradation_pct: float
+    edp_improvement_pct: float
+    transitions: int
+
+
+@dataclass(frozen=True)
+class BenchmarkComparison:
+    """All schemes' outcomes on one benchmark."""
+
+    benchmark: str
+    suite: str
+    fast_varying: bool
+    baseline: RunMetrics
+    schemes: Tuple[SchemeResult, ...]
+
+    def result_for(self, scheme: str) -> SchemeResult:
+        for result in self.schemes:
+            if result.scheme == scheme:
+                return result
+        raise KeyError(f"no result for scheme {scheme!r} on {self.benchmark}")
+
+
+def compare_schemes(
+    benchmark: Union[str, BenchmarkSpec],
+    schemes: Sequence[str] = ("adaptive", "attack-decay", "pid"),
+    machine: Optional[MachineConfig] = None,
+    max_instructions: Optional[int] = None,
+    pid_interval_ns: Optional[float] = None,
+    record_history: bool = False,
+) -> BenchmarkComparison:
+    """Run the baseline plus each scheme on one benchmark and compare."""
+    spec = get_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
+    common = dict(
+        machine=machine,
+        max_instructions=max_instructions,
+        record_history=record_history,
+    )
+    baseline_run = run_experiment(spec, scheme="full-speed", **common)
+    baseline = baseline_run.metrics
+
+    results: List[SchemeResult] = []
+    for scheme in schemes:
+        run = run_experiment(
+            spec, scheme=scheme, pid_interval_ns=pid_interval_ns, **common
+        )
+        metrics = run.metrics
+        results.append(
+            SchemeResult(
+                scheme=scheme,
+                metrics=metrics,
+                energy_savings_pct=energy_savings_percent(baseline, metrics),
+                perf_degradation_pct=performance_degradation_percent(baseline, metrics),
+                edp_improvement_pct=edp_improvement_percent(baseline, metrics),
+                transitions=sum(run.transitions.values()),
+            )
+        )
+    return BenchmarkComparison(
+        benchmark=spec.name,
+        suite=spec.suite,
+        fast_varying=spec.fast_varying,
+        baseline=baseline,
+        schemes=tuple(results),
+    )
+
+
+def sweep(
+    benchmarks: Iterable[Union[str, BenchmarkSpec]],
+    schemes: Sequence[str] = ("adaptive", "attack-decay", "pid"),
+    machine: Optional[MachineConfig] = None,
+    max_instructions: Optional[int] = None,
+    pid_interval_ns: Optional[float] = None,
+) -> List[BenchmarkComparison]:
+    """Compare schemes across a benchmark list (the per-figure sweeps)."""
+    return [
+        compare_schemes(
+            benchmark,
+            schemes=schemes,
+            machine=machine,
+            max_instructions=max_instructions,
+            pid_interval_ns=pid_interval_ns,
+        )
+        for benchmark in benchmarks
+    ]
+
+
+def aggregate(
+    comparisons: Sequence[BenchmarkComparison], scheme: str
+) -> Dict[str, float]:
+    """Arithmetic-mean savings/degradation/EDP for one scheme over a sweep."""
+    if not comparisons:
+        raise ValueError("nothing to aggregate")
+    picks = [c.result_for(scheme) for c in comparisons]
+    n = len(picks)
+    return {
+        "energy_savings_pct": sum(p.energy_savings_pct for p in picks) / n,
+        "perf_degradation_pct": sum(p.perf_degradation_pct for p in picks) / n,
+        "edp_improvement_pct": sum(p.edp_improvement_pct for p in picks) / n,
+        "transitions": sum(p.transitions for p in picks) / n,
+    }

@@ -1,0 +1,133 @@
+"""Build controllers and run single (benchmark x scheme) simulations."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Union
+
+from repro.core.config import (
+    AdaptiveConfig,
+    default_adaptive_config,
+    transmeta_adaptive_config,
+)
+from repro.core.controller import AdaptiveDvfsController
+from repro.dvfs.attack_decay import AttackDecayConfig, AttackDecayController
+from repro.dvfs.base import DvfsController
+from repro.dvfs.pid import PidConfig, PidController
+from repro.mcd.domains import CONTROLLED_DOMAINS, DomainId, MachineConfig
+from repro.mcd.processor import MCDProcessor, SimulationResult
+from repro.workloads.generator import generate_trace
+from repro.workloads.phases import BenchmarkSpec
+from repro.workloads.suite import get_benchmark
+
+#: The four schemes of the paper's evaluation -- the synchronous full-speed
+#: baseline, the adaptive scheme (the contribution), and the two prior
+#: fixed-interval schemes -- plus the exploratory "centralized" coordinated
+#: variant (the open problem the paper points at in Section 3.1).
+SCHEMES = ("full-speed", "adaptive", "attack-decay", "pid", "centralized")
+
+#: Per-domain reference occupancies (paper Section 5.1), shared by the
+#: adaptive and PID schemes so the comparison targets the same operating
+#: point.
+_Q_REF = {DomainId.INT: 6, DomainId.FP: 4, DomainId.LS: 4}
+
+
+def build_controllers(
+    scheme: str,
+    machine: Optional[MachineConfig] = None,
+    pid_interval_ns: Optional[float] = None,
+    adaptive_overrides: Optional[Dict[str, object]] = None,
+    attack_decay_interval_ns: Optional[float] = None,
+) -> Dict[DomainId, DvfsController]:
+    """Instantiate one controller per controlled domain for ``scheme``.
+
+    ``pid_interval_ns`` overrides the PID interval (the paper's closing
+    interval-length sweep); ``adaptive_overrides`` are forwarded into every
+    domain's :class:`AdaptiveConfig` (used by the ablation benches).
+    """
+    machine = machine or MachineConfig()
+    if scheme == "full-speed":
+        return {}
+    if scheme == "centralized":
+        from repro.dvfs.centralized import build_centralized_controllers
+
+        return build_centralized_controllers(
+            machine=machine, adaptive_overrides=adaptive_overrides
+        )
+    controllers: Dict[DomainId, DvfsController] = {}
+    for domain in CONTROLLED_DOMAINS:
+        if scheme == "adaptive":
+            overrides = dict(adaptive_overrides or {})
+            # Transmeta-style machines get the paper's "high/big" triggering
+            # defaults; explicit overrides still win.
+            make_config = (
+                transmeta_adaptive_config
+                if machine.stalls_during_transition
+                else default_adaptive_config
+            )
+            config = make_config(domain, **overrides)
+            controllers[domain] = AdaptiveDvfsController(domain, config, machine)
+        elif scheme == "attack-decay":
+            ad_config = AttackDecayConfig(
+                capacity=machine.queue_capacity(domain),
+                **(
+                    {"interval_ns": attack_decay_interval_ns}
+                    if attack_decay_interval_ns is not None
+                    else {}
+                ),
+            )
+            controllers[domain] = AttackDecayController(domain, ad_config)
+        elif scheme == "pid":
+            pid_config = PidConfig(
+                q_ref=float(_Q_REF[domain]),
+                **(
+                    {"interval_ns": pid_interval_ns}
+                    if pid_interval_ns is not None
+                    else {}
+                ),
+            )
+            controllers[domain] = PidController(domain, pid_config)
+        else:
+            raise ValueError(f"unknown scheme {scheme!r}; known: {SCHEMES}")
+    return controllers
+
+
+def run_experiment(
+    benchmark: Union[str, BenchmarkSpec],
+    scheme: str = "adaptive",
+    machine: Optional[MachineConfig] = None,
+    max_instructions: Optional[int] = None,
+    seed: Optional[int] = None,
+    record_history: bool = True,
+    history_stride: int = 4,
+    pid_interval_ns: Optional[float] = None,
+    adaptive_overrides: Optional[Dict[str, object]] = None,
+    initial_frequencies: Optional[Dict[DomainId, float]] = None,
+) -> SimulationResult:
+    """Run one benchmark under one DVFS scheme and return the result.
+
+    ``benchmark`` may be a Table-2 name or an explicit
+    :class:`BenchmarkSpec`.  ``max_instructions`` truncates the run while
+    preserving phase proportions.  ``initial_frequencies`` pins domains to
+    starting frequencies (used by offline mu-f characterization).
+    """
+    spec = get_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
+    machine = machine or MachineConfig()
+    trace = generate_trace(spec, max_instructions=max_instructions, seed=seed)
+    controllers = build_controllers(
+        scheme,
+        machine=machine,
+        pid_interval_ns=pid_interval_ns,
+        adaptive_overrides=adaptive_overrides,
+    )
+    processor = MCDProcessor(
+        trace=trace,
+        config=machine,
+        controllers=controllers,
+        seed=spec.seed,
+        record_history=record_history,
+        history_stride=history_stride,
+        benchmark=spec.name,
+        scheme=scheme,
+        initial_frequencies=initial_frequencies,
+    )
+    return processor.run()

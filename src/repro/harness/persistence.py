@@ -1,0 +1,93 @@
+"""Save and reload experiment results as JSON.
+
+Sweeps of 17 benchmarks x several schemes take minutes; persisting their
+results lets figures be regenerated, compared across code versions, or
+post-processed without re-simulating.  Histories are optional (they
+dominate file size).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, Iterable, List, Optional
+
+from repro.mcd.domains import DomainId
+from repro.mcd.processor import SimulationResult
+
+FORMAT_VERSION = 1
+
+
+def result_to_dict(
+    result: SimulationResult, include_history: bool = False
+) -> Dict:
+    """Serialize one result to plain JSON-compatible data."""
+    data = {
+        "version": FORMAT_VERSION,
+        "benchmark": result.benchmark,
+        "scheme": result.scheme,
+        "time_ns": result.time_ns,
+        "instructions": result.instructions,
+        "energy": {
+            "by_domain": {
+                d.value: e for d, e in result.energy.by_domain.items()
+            },
+            "memory": result.energy.memory,
+            "total": result.energy.total,
+        },
+        "transitions": {d.value: t for d, t in result.transitions.items()},
+        "mean_frequency_ghz": {
+            d.value: f for d, f in result.mean_frequency_ghz.items()
+        },
+        "branch_mispredict_rate": result.branch_mispredict_rate,
+        "l1d_miss_rate": result.l1d_miss_rate,
+        "l2_miss_rate": result.l2_miss_rate,
+        "sync_deferral_rate": result.sync_deferral_rate,
+    }
+    if include_history:
+        history = result.history
+        data["history"] = {
+            "time_ns": list(history.time_ns),
+            "retired": list(history.retired),
+            "occupancy": {
+                d.value: list(v) for d, v in history.occupancy.items()
+            },
+            "frequency_ghz": {
+                d.value: list(v) for d, v in history.frequency_ghz.items()
+            },
+            "issued": {d.value: list(v) for d, v in history.issued.items()},
+        }
+    return data
+
+
+def save_results(
+    path: str,
+    results: Iterable[SimulationResult],
+    include_history: bool = False,
+) -> None:
+    """Write a list of results to a JSON file."""
+    payload = {
+        "version": FORMAT_VERSION,
+        "results": [
+            result_to_dict(r, include_history=include_history) for r in results
+        ],
+    }
+    with open(path, "w") as handle:
+        json.dump(payload, handle)
+
+
+def load_results(path: str) -> List[Dict]:
+    """Load results saved by :func:`save_results` (as dictionaries)."""
+    with open(path) as handle:
+        payload = json.load(handle)
+    version = payload.get("version")
+    if version != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported results-file version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    return payload["results"]
+
+
+def domain_value(data: Dict, field: str, domain: DomainId):
+    """Convenience accessor: ``data[field][domain.value]``."""
+    return data[field][domain.value]

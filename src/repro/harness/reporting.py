@@ -1,0 +1,59 @@
+"""Plain-text tables and CSV series for the benchmark harness output."""
+
+from __future__ import annotations
+
+import csv
+import io
+from typing import Iterable, List, Sequence, Union
+
+Cell = Union[str, int, float]
+
+
+def _render(cell: Cell) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.2f}"
+    return str(cell)
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Cell]], title: str = ""
+) -> str:
+    """Render an aligned fixed-width text table (paper-style rows)."""
+    rendered: List[List[str]] = [[_render(c) for c in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells)).rstrip()
+
+    out: List[str] = []
+    if title:
+        out.append(title)
+        out.append("=" * len(title))
+    out.append(line(list(headers)))
+    out.append(line(["-" * w for w in widths]))
+    out.extend(line(row) for row in rendered)
+    return "\n".join(out)
+
+
+def write_csv(
+    path: str, headers: Sequence[str], rows: Iterable[Sequence[Cell]]
+) -> None:
+    """Write a table to a CSV file."""
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(headers)
+        writer.writerows(rows)
+
+
+def csv_string(headers: Sequence[str], rows: Iterable[Sequence[Cell]]) -> str:
+    """Render a table as a CSV string (for embedding in bench output)."""
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(headers)
+    writer.writerows(rows)
+    return buffer.getvalue()

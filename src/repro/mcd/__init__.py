@@ -1,0 +1,37 @@
+"""GALS multiple-clock-domain processor simulator (substrate).
+
+Implements the 4-domain MCD microarchitecture of Semeraro et al. that the
+paper evaluates on (paper Figure 1): a front end (fetch/rename/dispatch/ROB)
+pinned at maximum frequency, and independently clocked integer, floating-point
+and load/store domains fed through finite issue/interface queues.  Clocks
+carry jitter; inter-domain transfers pay a synchronization-window penalty;
+caches, branch prediction and functional-unit contention are modelled so that
+queue-occupancy trajectories -- the only thing the DVFS controllers observe --
+emerge from genuine microarchitectural behaviour.
+"""
+
+from repro.mcd.domains import DomainId, MachineConfig
+from repro.mcd.clocks import DomainClock
+from repro.mcd.queues import IssueQueue, QueueEntry
+from repro.mcd.synchronization import SynchronizationInterface
+from repro.mcd.cache import Cache, MemoryHierarchy, AccessResult
+from repro.mcd.branch import CombinedPredictor
+from repro.mcd.rob import ReorderBuffer, RobEntry
+from repro.mcd.processor import MCDProcessor, SimulationResult
+
+__all__ = [
+    "DomainId",
+    "MachineConfig",
+    "DomainClock",
+    "IssueQueue",
+    "QueueEntry",
+    "SynchronizationInterface",
+    "Cache",
+    "MemoryHierarchy",
+    "AccessResult",
+    "CombinedPredictor",
+    "ReorderBuffer",
+    "RobEntry",
+    "MCDProcessor",
+    "SimulationResult",
+]

@@ -1,0 +1,110 @@
+"""Per-domain clocks for the GALS simulation.
+
+Each domain owns a :class:`DomainClock`.  A clock produces rising edges one
+period apart, perturbed by normally distributed jitter (paper Table 1:
++-10 ps).  Frequency changes (driven by the voltage regulator) take effect on
+the next edge -- the domain keeps executing through a DVFS transition, per the
+XScale-style model the paper assumes.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Optional
+
+
+class DomainClock:
+    """An independently generated domain clock with jitter.
+
+    Parameters
+    ----------
+    freq_ghz:
+        Initial frequency.  1 GHz means a 1 ns period.
+    jitter_sigma_ns:
+        Standard deviation of per-edge jitter.  Zero disables jitter (useful
+        in unit tests).
+    start_ns:
+        Time of the first edge.  Domains start phase-offset in the processor
+        to avoid artificial lockstep.
+    rng:
+        Source of jitter randomness; pass a seeded ``random.Random`` for
+        reproducibility.
+    """
+
+    def __init__(
+        self,
+        freq_ghz: float,
+        jitter_sigma_ns: float = 0.0,
+        start_ns: float = 0.0,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        if freq_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        if jitter_sigma_ns < 0:
+            raise ValueError("jitter sigma must be non-negative")
+        self._freq_ghz = freq_ghz
+        self.jitter_sigma_ns = jitter_sigma_ns
+        self._rng = rng or random.Random(0)
+        self._next_edge_ns = start_ns
+
+    # ------------------------------------------------------------------
+
+    @property
+    def freq_ghz(self) -> float:
+        return self._freq_ghz
+
+    @property
+    def period_ns(self) -> float:
+        return 1.0 / self._freq_ghz
+
+    @property
+    def next_edge_ns(self) -> float:
+        """Time of the next (not yet consumed) rising edge."""
+        return self._next_edge_ns
+
+    def set_frequency(self, freq_ghz: float) -> None:
+        """Change the clock frequency, effective from the next edge."""
+        if freq_ghz <= 0:
+            raise ValueError("frequency must be positive")
+        self._freq_ghz = freq_ghz
+
+    # ------------------------------------------------------------------
+
+    def advance(self) -> float:
+        """Consume the next edge and schedule its successor.
+
+        Returns the time of the consumed edge.  The successor lands one
+        (current) period later plus jitter; jitter never moves an edge
+        backwards past its predecessor.
+        """
+        edge = self._next_edge_ns
+        period = self.period_ns
+        jitter = self._rng.gauss(0.0, self.jitter_sigma_ns) if self.jitter_sigma_ns else 0.0
+        jitter = max(-0.4 * period, min(0.4 * period, jitter))
+        self._next_edge_ns = edge + period + jitter
+        return edge
+
+    def skip_to(self, t_ns: float) -> None:
+        """Fast-forward an idle clock so its next edge is at or after ``t_ns``.
+
+        Used when a sleeping (fully gated) domain is woken by new queue
+        entries: intermediate edges were gated away and need not be simulated.
+        """
+        if t_ns <= self._next_edge_ns:
+            return
+        period = self.period_ns
+        missed = math.ceil((t_ns - self._next_edge_ns) / period)
+        self._next_edge_ns += missed * period
+
+    def edge_at_or_after(self, t_ns: float) -> float:
+        """Predict the first edge at or after ``t_ns`` (jitter-free estimate).
+
+        Used by the synchronization interface, which must reason about the
+        destination domain's upcoming edges.
+        """
+        if t_ns <= self._next_edge_ns:
+            return self._next_edge_ns
+        period = self.period_ns
+        missed = math.ceil((t_ns - self._next_edge_ns) / period)
+        return self._next_edge_ns + missed * period

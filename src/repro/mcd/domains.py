@@ -1,0 +1,198 @@
+"""Clock-domain identifiers and the machine configuration (paper Table 1)."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Tuple
+
+from repro.workloads.instructions import InstructionKind as K
+
+
+class DomainId(enum.Enum):
+    """The four clock domains of the MCD partition (paper Figure 1)."""
+
+    FRONT_END = "front_end"
+    INT = "int"
+    FP = "fp"
+    LS = "ls"
+
+
+#: Domains whose frequency the DVFS controllers may change.  The front end is
+#: pinned at maximum speed, as in the paper and its predecessors.
+CONTROLLED_DOMAINS: Tuple[DomainId, ...] = (DomainId.INT, DomainId.FP, DomainId.LS)
+
+
+def execution_domain(kind: K) -> DomainId:
+    """Map an opcode class to the domain whose queue/FUs execute it."""
+    if kind.is_fp:
+        return DomainId.FP
+    if kind.is_mem:
+        return DomainId.LS
+    return DomainId.INT
+
+
+#: Functional-unit latencies in domain cycles.
+FU_LATENCY_CYCLES: Dict[K, int] = {
+    K.INT_ALU: 1,
+    K.INT_MUL: 3,
+    K.INT_DIV: 12,
+    K.BRANCH: 1,
+    K.FP_ADD: 2,
+    K.FP_MUL: 4,
+    K.FP_DIV: 12,
+    K.FP_SQRT: 24,
+    # LOAD/STORE latency = 1 (AGU) + cache hierarchy; see loadstore.py.
+    K.LOAD: 1,
+    K.STORE: 1,
+}
+
+
+@dataclass(frozen=True)
+class MachineConfig:
+    """All simulation parameters; defaults reproduce the paper's Table 1.
+
+    Times are nanoseconds, frequencies GHz, voltages volts.  See DESIGN.md
+    section 5 for the handful of values the OCR'd table leaves ambiguous and
+    how they were resolved.
+    """
+
+    # --- DVFS envelope ------------------------------------------------
+    f_min_ghz: float = 0.25
+    f_max_ghz: float = 1.0
+    v_min: float = 0.65
+    v_max: float = 1.20
+    #: frequency slew: 73.3 ns per MHz of change.
+    slew_ns_per_mhz: float = 73.3
+    #: one controller step: 750 MHz range / 320 steps.
+    step_ghz: float = (1.0 - 0.25) / 320.0
+    #: DVFS implementation style (paper Section 3): "xscale" executes
+    #: through transitions with fine-grained steps; "transmeta" pauses the
+    #: domain during each (coarse) transition plus a PLL-relock idle time.
+    dvfs_style: str = "xscale"
+    #: extra per-transition idle time (Transmeta-style PLL relock); the
+    #: domain does no work while a transition + relock is in progress.
+    relock_idle_ns: float = 0.0
+
+    # --- sampling / clocking -------------------------------------------
+    sample_period_ns: float = 4.0  # 250 MHz signal sampling
+    jitter_sigma_ns: float = 0.005  # +-10 ps window ~ 2 sigma
+    sync_window_ns: float = 0.3
+
+    # --- pipeline widths ------------------------------------------------
+    fetch_width: int = 4
+    dispatch_width: int = 4
+    retire_width: int = 8
+    int_issue_width: int = 4
+    fp_issue_width: int = 2
+    ls_issue_width: int = 2
+
+    # --- structures -----------------------------------------------------
+    int_queue_size: int = 20
+    fp_queue_size: int = 16
+    ls_queue_size: int = 16
+    rob_size: int = 80
+    store_buffer_size: int = 64
+
+    # --- functional units -------------------------------------------------
+    int_alus: int = 4
+    int_mult_div: int = 1
+    fp_alus: int = 2
+    fp_mult_div: int = 1
+
+    # --- memory hierarchy ---------------------------------------------------
+    l1i_size: int = 64 * 1024
+    l1i_assoc: int = 2
+    l1d_size: int = 64 * 1024
+    l1d_assoc: int = 2
+    l2_size: int = 1024 * 1024
+    l2_assoc: int = 1  # direct-mapped
+    line_size: int = 64
+    l1_hit_cycles: int = 2
+    l2_hit_cycles: int = 12
+    memory_latency_ns: float = 80.0
+
+    # --- branch handling ------------------------------------------------
+    bimodal_size: int = 1024
+    twolevel_l1_size: int = 1024
+    twolevel_hist_bits: int = 10
+    twolevel_l2_size: int = 1024
+    meta_size: int = 4096
+    btb_sets: int = 4096
+    btb_ways: int = 2
+    mispredict_penalty_cycles: int = 7
+
+    def __post_init__(self) -> None:
+        if not 0 < self.f_min_ghz < self.f_max_ghz:
+            raise ValueError("need 0 < f_min < f_max")
+        if not 0 < self.v_min < self.v_max:
+            raise ValueError("need 0 < v_min < v_max")
+        if self.step_ghz <= 0:
+            raise ValueError("step_ghz must be positive")
+        if self.sample_period_ns <= 0:
+            raise ValueError("sample_period_ns must be positive")
+        if self.dvfs_style not in ("xscale", "transmeta"):
+            raise ValueError("dvfs_style must be 'xscale' or 'transmeta'")
+        if self.relock_idle_ns < 0:
+            raise ValueError("relock_idle_ns must be non-negative")
+
+    @property
+    def stalls_during_transition(self) -> bool:
+        """Transmeta-style implementations idle the domain while switching."""
+        return self.dvfs_style == "transmeta"
+
+    @property
+    def step_switching_time_ns(self) -> float:
+        """Physical time for one controller step, including any relock idle."""
+        return self.step_ghz * 1e3 * self.slew_ns_per_mhz + self.relock_idle_ns
+
+    # ------------------------------------------------------------------
+
+    def voltage_for(self, freq_ghz: float) -> float:
+        """Linear V(f) map across the DVFS envelope, clamped to the rails."""
+        span = self.f_max_ghz - self.f_min_ghz
+        alpha = (freq_ghz - self.f_min_ghz) / span
+        alpha = min(1.0, max(0.0, alpha))
+        return self.v_min + alpha * (self.v_max - self.v_min)
+
+    def clamp_frequency(self, freq_ghz: float) -> float:
+        return min(self.f_max_ghz, max(self.f_min_ghz, freq_ghz))
+
+    def queue_capacity(self, domain: DomainId) -> int:
+        capacities = {
+            DomainId.INT: self.int_queue_size,
+            DomainId.FP: self.fp_queue_size,
+            DomainId.LS: self.ls_queue_size,
+        }
+        if domain not in capacities:
+            raise ValueError(f"{domain} has no issue queue")
+        return capacities[domain]
+
+    def issue_width(self, domain: DomainId) -> int:
+        widths = {
+            DomainId.INT: self.int_issue_width,
+            DomainId.FP: self.fp_issue_width,
+            DomainId.LS: self.ls_issue_width,
+        }
+        if domain not in widths:
+            raise ValueError(f"{domain} has no issue stage")
+        return widths[domain]
+
+
+def transmeta_machine_config(**overrides: object) -> MachineConfig:
+    """A Transmeta-style DVFS machine (paper Section 3).
+
+    Coarse 50 MHz steps (15 across the range instead of 320), and a 2 us
+    PLL-relock halt per transition during which the domain does no work
+    (the V/f ramp itself executes through at the old setting).  The paper's
+    guidance: with this cost structure the triggering condition and
+    adjustment step "should be chosen as relatively high or big" -- pair
+    this machine with :func:`repro.core.config.transmeta_adaptive_config`.
+    """
+    params = {
+        "dvfs_style": "transmeta",
+        "step_ghz": 0.05,
+        "relock_idle_ns": 2_000.0,
+    }
+    params.update(overrides)  # type: ignore[arg-type]
+    return MachineConfig(**params)  # type: ignore[arg-type]

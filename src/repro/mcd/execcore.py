@@ -1,0 +1,169 @@
+"""Integer and floating-point execution domains.
+
+Each execution domain owns its issue/interface queue, a set of functional
+units, and a clock.  At every domain clock edge it issues up to
+``issue_width`` visible, operand-ready entries (scanned in program order, so
+issue is out of order with respect to stalled elders) onto free functional
+units.  ALUs and FP adders/multipliers are pipelined (occupied for one cycle);
+dividers and sqrt are not.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.mcd.clocks import DomainClock
+from repro.mcd.domains import FU_LATENCY_CYCLES, DomainId, MachineConfig
+from repro.mcd.queues import IssueQueue
+from repro.mcd.rob import ReorderBuffer
+from repro.workloads.instructions import InstructionKind as K
+
+#: kinds whose functional unit accepts a new operation every cycle
+_PIPELINED = frozenset({K.INT_ALU, K.BRANCH, K.FP_ADD, K.FP_MUL, K.INT_MUL})
+
+
+class FunctionalUnitPool:
+    """A pool of identical functional units, tracked by busy-until times."""
+
+    def __init__(self, name: str, count: int) -> None:
+        if count <= 0:
+            raise ValueError("need at least one functional unit")
+        self.name = name
+        self._busy_until: List[float] = [0.0] * count
+
+    def acquire(self, now_ns: float, busy_ns: float) -> bool:
+        """Claim a free unit until ``now + busy_ns``; False if none free."""
+        for i, until in enumerate(self._busy_until):
+            if until <= now_ns:
+                self._busy_until[i] = now_ns + busy_ns
+                return True
+        return False
+
+    def any_busy(self, now_ns: float) -> bool:
+        return any(until > now_ns for until in self._busy_until)
+
+    @property
+    def size(self) -> int:
+        return len(self._busy_until)
+
+
+def next_ready_hint(queue: IssueQueue, rob: ReorderBuffer, now_ns: float) -> Optional[float]:
+    """Earliest future time any queued entry could become issuable.
+
+    Used by the simulator to fast-forward a stalled (but non-empty) domain
+    instead of ticking it through a long wait.  Returns ``None`` when the
+    answer is unknowable -- an entry is ready right now (a structural stall),
+    or a producer has not issued yet so its completion time is unknown --
+    in which case the domain must keep ticking cycle by cycle.
+    """
+    best = math.inf
+    for entry in queue:
+        if entry.visible_ns > now_ns:
+            best = min(best, entry.visible_ns)
+            continue
+        ready = entry.visible_ns
+        unknown = False
+        for src in (entry.instruction.src1, entry.instruction.src2):
+            if src is None:
+                continue
+            done = rob.completion_time(src)
+            if done is None:
+                unknown = True
+                break
+            ready = max(ready, done)
+        if unknown:
+            return None
+        if ready <= now_ns:
+            return None  # issuable now but was not issued: FU/port conflict
+        best = min(best, ready)
+    return best if math.isfinite(best) else None
+
+
+class ExecutionDomain:
+    """An INT or FP execution domain."""
+
+    def __init__(
+        self,
+        domain: DomainId,
+        clock: DomainClock,
+        queue: IssueQueue,
+        rob: ReorderBuffer,
+        config: MachineConfig,
+    ) -> None:
+        if domain not in (DomainId.INT, DomainId.FP):
+            raise ValueError("ExecutionDomain handles INT and FP only")
+        self.domain = domain
+        self.clock = clock
+        self.queue = queue
+        self.rob = rob
+        self.issue_width = config.issue_width(domain)
+        if domain is DomainId.INT:
+            self._alu = FunctionalUnitPool("int-alu", config.int_alus)
+            self._muldiv = FunctionalUnitPool("int-muldiv", config.int_mult_div)
+        else:
+            self._alu = FunctionalUnitPool("fp-alu", config.fp_alus)
+            self._muldiv = FunctionalUnitPool("fp-muldiv", config.fp_mult_div)
+        self.issued = 0
+
+    # ------------------------------------------------------------------
+
+    def _pool_for(self, kind: K) -> FunctionalUnitPool:
+        if kind in (K.INT_MUL, K.INT_DIV, K.FP_MUL, K.FP_DIV, K.FP_SQRT):
+            return self._muldiv
+        return self._alu
+
+    def cycle(self, now_ns: float) -> int:
+        """Run one domain cycle; return the number of operations issued."""
+        period = self.clock.period_ns
+        issued = 0
+        issued_entries = None
+        # Hot path: inline visibility and operand-readiness checks over the
+        # live entry list; removals are deferred past the scan.
+        completion_get = self.rob._completion_ns.get
+        for entry in self.queue._entries:
+            if issued >= self.issue_width:
+                break
+            if entry.visible_ns > now_ns:
+                continue
+            inst = entry.instruction
+            src1 = inst.src1
+            if src1 is not None:
+                done = completion_get(src1)
+                if done is None or done > now_ns:
+                    continue
+            src2 = inst.src2
+            if src2 is not None:
+                done = completion_get(src2)
+                if done is None or done > now_ns:
+                    continue
+            pool = self._pool_for(inst.kind)
+            latency_cycles = FU_LATENCY_CYCLES[inst.kind]
+            busy_cycles = 1 if inst.kind in _PIPELINED else latency_cycles
+            if not pool.acquire(now_ns, busy_cycles * period):
+                continue
+            self.rob.mark_done(inst.index, now_ns + latency_cycles * period)
+            if issued_entries is None:
+                issued_entries = [entry]
+            else:
+                issued_entries.append(entry)
+            issued += 1
+        if issued_entries is not None:
+            for entry in issued_entries:
+                self.queue.remove(entry)
+        self.issued += issued
+        return issued
+
+    def is_idle(self, now_ns: float) -> bool:
+        """True when the domain could be fully clock-gated at ``now_ns``."""
+        return (
+            self.queue.is_empty
+            and not self._alu.any_busy(now_ns)
+            and not self._muldiv.any_busy(now_ns)
+        )
+
+    def stall_hint(self, now_ns: float) -> Optional[float]:
+        """Earliest time a stalled (non-empty) domain could issue; see
+        :func:`next_ready_hint`.  (Entries blocked only by a busy functional
+        unit report "unknown", keeping the domain ticking.)"""
+        return next_ready_hint(self.queue, self.rob, now_ns)

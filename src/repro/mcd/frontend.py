@@ -1,0 +1,194 @@
+"""Front-end domain: fetch, branch prediction, dispatch, retirement.
+
+The front end runs at the fixed maximum frequency (as in the paper and its
+predecessors: only INT, FP and LS are DVFS-controlled).  Each front-end cycle
+retires completed ROB head entries, then fetches and dispatches up to
+``dispatch_width`` instructions into the per-domain issue/interface queues,
+stalling on I-cache misses, ROB/queue fullness, and mispredicted branches
+(no wrong-path execution: a mispredict blocks fetch until the branch resolves
+plus a fixed redirect penalty).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence
+
+from repro.mcd.branch import CombinedPredictor
+from repro.mcd.cache import MemoryHierarchy
+from repro.mcd.clocks import DomainClock
+from repro.mcd.domains import DomainId, MachineConfig, execution_domain
+from repro.mcd.queues import IssueQueue
+from repro.mcd.rob import ReorderBuffer, RobEntry
+from repro.mcd.synchronization import SynchronizationInterface
+from repro.workloads.instructions import Instruction, InstructionKind as K
+
+
+class FrontEnd:
+    """Fetch/rename/dispatch/retire, pinned at f_max."""
+
+    def __init__(
+        self,
+        trace: Sequence[Instruction],
+        clock: DomainClock,
+        rob: ReorderBuffer,
+        queues: Dict[DomainId, IssueQueue],
+        domain_clocks: Dict[DomainId, DomainClock],
+        hierarchy: MemoryHierarchy,
+        predictor: CombinedPredictor,
+        sync: SynchronizationInterface,
+        config: MachineConfig,
+    ) -> None:
+        self.domain = DomainId.FRONT_END
+        self.trace = trace
+        self.clock = clock
+        self.rob = rob
+        self.queues = queues
+        self.domain_clocks = domain_clocks
+        self.hierarchy = hierarchy
+        self.predictor = predictor
+        self.sync = sync
+        self.config = config
+
+        self.next_index = 0
+        self.dispatched = 0
+        self._icache_stall_until = 0.0
+        self._blocked_on: Optional[RobEntry] = None
+        self._last_fetch_line = -1
+        #: why the most recent cycle dispatched nothing: one of None,
+        #: "branch", "icache", "rob_full", "queue_full", "trace_done"
+        self.last_stall: Optional[str] = None
+        #: callbacks fired when an entry is pushed (processor uses this to
+        #: wake sleeping execution domains)
+        self.on_dispatch = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def trace_exhausted(self) -> bool:
+        return self.next_index >= len(self.trace)
+
+    @property
+    def finished(self) -> bool:
+        return self.trace_exhausted and self.rob.is_empty
+
+    # ------------------------------------------------------------------
+
+    def cycle(self, now_ns: float) -> int:
+        """One front-end cycle: retire then fetch/dispatch.
+
+        Returns the number of instructions dispatched this cycle.
+        """
+        self.rob.retire(now_ns, self.config.retire_width)
+        self.last_stall = None
+        if self.trace_exhausted:
+            self.last_stall = "trace_done"
+            return 0
+        if not self._redirect_clear(now_ns):
+            self.last_stall = "branch"
+            return 0
+        if self._icache_stall_until > now_ns:
+            self.last_stall = "icache"
+            return 0
+        return self._fetch_and_dispatch(now_ns)
+
+    def stall_hint(self, now_ns: float) -> Optional[float]:
+        """Earliest future time the stalled front end could make progress.
+
+        Called by the simulator after a cycle that dispatched nothing, to
+        fast-forward through long stalls instead of ticking at 1 GHz.
+        Returns ``None`` when the resume time is unknowable (e.g. waiting on
+        a queue drained by another domain), in which case the front end must
+        keep ticking.  The hint is additionally capped at the ROB head's
+        completion time so retirement stays timely.
+        """
+        candidate: Optional[float] = None
+        entry = self._blocked_on
+        if entry is not None:
+            if not math.isfinite(entry.done_ns):
+                return None  # branch not yet executed; resolve time unknown
+            penalty_ns = self.config.mispredict_penalty_cycles * self.clock.period_ns
+            candidate = entry.done_ns + penalty_ns
+        elif self._icache_stall_until > now_ns:
+            candidate = self._icache_stall_until
+        elif self.rob.is_full:
+            head_done = self.rob.head_done_ns
+            if head_done is None or not math.isfinite(head_done):
+                return None
+            candidate = head_done
+        if candidate is None or candidate <= now_ns:
+            return None
+        head_done = self.rob.head_done_ns
+        if head_done is not None and math.isfinite(head_done):
+            if head_done <= now_ns:
+                return None  # retirement work pending right now: keep ticking
+            candidate = min(candidate, head_done)
+        return candidate
+
+    # ------------------------------------------------------------------
+
+    def _redirect_clear(self, now_ns: float) -> bool:
+        """Check (and clear) a pending mispredict redirect."""
+        entry = self._blocked_on
+        if entry is None:
+            return True
+        penalty_ns = self.config.mispredict_penalty_cycles * self.clock.period_ns
+        if entry.done_ns + penalty_ns <= now_ns:
+            self._blocked_on = None
+            return True
+        return False
+
+    def _fetch_and_dispatch(self, now_ns: float) -> int:
+        dispatched = 0
+        period = self.clock.period_ns
+        for _ in range(self.config.dispatch_width):
+            if self.trace_exhausted:
+                break
+            inst = self.trace[self.next_index]
+
+            if self._icache_miss(inst.pc, now_ns):
+                if dispatched == 0:
+                    self.last_stall = "icache"
+                break
+            if self.rob.is_full:
+                if dispatched == 0:
+                    self.last_stall = "rob_full"
+                break
+            queue = self.queues[execution_domain(inst.kind)]
+            if queue.is_full:
+                if dispatched == 0:
+                    self.last_stall = "queue_full"
+                break
+
+            self.rob.allocate(inst, now_ns)
+            dst_clock = self.domain_clocks[execution_domain(inst.kind)]
+            visible = self.sync.arrival_time(now_ns + period, dst_clock)
+            entry = queue.push(inst, visible_ns=visible, now_ns=now_ns)
+            if self.on_dispatch is not None:
+                self.on_dispatch(execution_domain(inst.kind), entry)
+            self.next_index += 1
+            dispatched += 1
+
+            if inst.kind is K.BRANCH:
+                correct = self.predictor.resolve(inst.pc, inst.taken, inst.target)
+                if not correct:
+                    # fetch blocks until the branch executes + redirect penalty
+                    self._blocked_on = self.rob.entry(inst.index)
+                    break
+        self.dispatched += dispatched
+        return dispatched
+
+    def _icache_miss(self, pc: int, now_ns: float) -> bool:
+        """Access the I-cache at line granularity; set a stall on a miss."""
+        line = pc // self.config.line_size
+        if line == self._last_fetch_line:
+            return False
+        self._last_fetch_line = line
+        result = self.hierarchy.access_inst(pc)
+        if result.l1_hit:
+            return False
+        cycles, fixed_ns = self.hierarchy.latency_split(result)
+        # L1 hit time is pipelined into fetch; only the miss path stalls.
+        extra_cycles = cycles - self.hierarchy.l1_hit_cycles
+        self._icache_stall_until = now_ns + extra_cycles * self.clock.period_ns + fixed_ns
+        return True

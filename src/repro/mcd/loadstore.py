@@ -1,0 +1,118 @@
+"""Load/store execution domain.
+
+The LS domain owns the load/store queue, the L1 data cache and the unified
+L2 (paper Figure 1).  Cache access times scale with the LS clock; main-memory
+time is frequency-independent -- the two-part execution-time split that
+underlies the paper's mu-f model.  Stores complete after address generation
+plus the L1 write (a write buffer absorbs miss latency); loads pay the full
+miss path.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.mcd.cache import MemoryHierarchy
+from repro.mcd.clocks import DomainClock
+from repro.mcd.domains import DomainId, MachineConfig
+from repro.mcd.execcore import FunctionalUnitPool, next_ready_hint
+from repro.mcd.queues import IssueQueue
+from repro.mcd.rob import ReorderBuffer
+from repro.mcd.storebuffer import StoreBuffer
+from repro.workloads.instructions import InstructionKind as K
+
+
+class LoadStoreDomain:
+    """The LS clock domain: LSQ issue + data-side memory hierarchy."""
+
+    def __init__(
+        self,
+        clock: DomainClock,
+        queue: IssueQueue,
+        rob: ReorderBuffer,
+        hierarchy: MemoryHierarchy,
+        config: MachineConfig,
+    ) -> None:
+        self.domain = DomainId.LS
+        self.clock = clock
+        self.queue = queue
+        self.rob = rob
+        self.hierarchy = hierarchy
+        self.issue_width = config.issue_width(DomainId.LS)
+        self._ports = FunctionalUnitPool("dcache-ports", config.ls_issue_width)
+        self._l1_write_cycles = config.l1_hit_cycles
+        self.store_buffer = StoreBuffer(config.store_buffer_size)
+        self.issued = 0
+        self.loads = 0
+        self.stores = 0
+
+    # ------------------------------------------------------------------
+
+    def cycle(self, now_ns: float) -> int:
+        """Run one LS domain cycle; return the number of memory ops issued."""
+        period = self.clock.period_ns
+        issued = 0
+        issued_entries = None
+        completion_get = self.rob._completion_ns.get
+        for entry in self.queue._entries:
+            if issued >= self.issue_width:
+                break
+            if entry.visible_ns > now_ns:
+                continue
+            inst = entry.instruction
+            src1 = inst.src1
+            if src1 is not None:
+                done = completion_get(src1)
+                if done is None or done > now_ns:
+                    continue
+            src2 = inst.src2
+            if src2 is not None:
+                done = completion_get(src2)
+                if done is None or done > now_ns:
+                    continue
+            if inst.kind is K.STORE and not self.store_buffer.can_accept(now_ns):
+                self.store_buffer.record_full_stall()
+                continue  # store buffer full: this store waits, loads may pass
+            if not self._ports.acquire(now_ns, period):
+                break  # both cache ports taken this cycle
+            latency_ns, drain_ns = self._access_latency(inst, period)
+            if drain_ns is not None:
+                self.store_buffer.push(now_ns, now_ns + drain_ns)
+            self.rob.mark_done(inst.index, now_ns + latency_ns)
+            if issued_entries is None:
+                issued_entries = [entry]
+            else:
+                issued_entries.append(entry)
+            issued += 1
+        if issued_entries is not None:
+            for entry in issued_entries:
+                self.queue.remove(entry)
+        self.issued += issued
+        return issued
+
+    def _access_latency(self, inst, period_ns: float) -> "tuple[float, Optional[float]]":
+        """(architectural completion latency, background drain latency).
+
+        The drain latency is ``None`` for loads; for stores it is the full
+        miss-path time the store buffer carries in the background.
+        """
+        agu_ns = period_ns  # one cycle of address generation
+        result = self.hierarchy.access_data(inst.addr)
+        cycles, fixed_ns = self.hierarchy.latency_split(result)
+        full_path_ns = agu_ns + cycles * period_ns + fixed_ns
+        if inst.kind is K.STORE:
+            self.stores += 1
+            # the store completes architecturally after the L1 write; the
+            # buffer drains the (possibly missing) memory write behind it
+            complete_ns = agu_ns + self._l1_write_cycles * period_ns
+            return complete_ns, full_path_ns
+        self.loads += 1
+        return full_path_ns, None
+
+    def is_idle(self, now_ns: float) -> bool:
+        """True when the domain could be fully clock-gated at ``now_ns``."""
+        return self.queue.is_empty and not self._ports.any_busy(now_ns)
+
+    def stall_hint(self, now_ns: float) -> Optional[float]:
+        """Earliest time a stalled (non-empty) LS domain could issue."""
+        return next_ready_hint(self.queue, self.rob, now_ns)

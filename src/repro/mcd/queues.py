@@ -1,0 +1,101 @@
+"""Bounded issue/interface queues.
+
+In the MCD implementation the paper builds on, the synchronization interface
+queue between two domains is merged with the existing issue queue (paper
+Section 2).  :class:`IssueQueue` models that combined structure: the sender
+(front end) writes entries; each entry becomes *visible* to the receiver only
+after the synchronization interface delay; the receiver issues visible, ready
+entries out of order.  Occupancy -- what the DVFS controller samples -- counts
+every written entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterator, List, Optional
+
+from repro.workloads.instructions import Instruction
+
+
+@dataclass
+class QueueEntry:
+    """One queue slot: the instruction plus interface timing."""
+
+    instruction: Instruction
+    #: time at which the receiver domain may first observe the entry
+    visible_ns: float
+    #: time the sender wrote the entry (for occupancy/latency stats)
+    enqueued_ns: float
+
+
+class QueueFullError(RuntimeError):
+    """Raised when pushing to a full queue (callers normally check first)."""
+
+
+class IssueQueue:
+    """A finite combined issue/interface queue."""
+
+    def __init__(self, name: str, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.name = name
+        self.capacity = capacity
+        self._entries: List[QueueEntry] = []
+        #: optional callback fired when a removal frees a slot in a
+        #: previously full queue (the simulator uses it to wake a dispatch
+        #: stage sleeping on queue-full backpressure)
+        self.on_slot_freed = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[QueueEntry]:
+        return iter(self._entries)
+
+    # ------------------------------------------------------------------
+
+    def push(self, instruction: Instruction, visible_ns: float, now_ns: float) -> QueueEntry:
+        """Write an entry from the sender side.
+
+        Raises :class:`QueueFullError` when at capacity -- the dispatch stage
+        is expected to test :attr:`is_full` and stall instead.
+        """
+        if self.is_full:
+            raise QueueFullError(f"queue {self.name} is full ({self.capacity})")
+        entry = QueueEntry(instruction=instruction, visible_ns=visible_ns, enqueued_ns=now_ns)
+        self._entries.append(entry)
+        return entry
+
+    def visible_entries(self, now_ns: float) -> List[QueueEntry]:
+        """Entries the receiver may consider at time ``now_ns``, program order."""
+        return [e for e in self._entries if e.visible_ns <= now_ns]
+
+    def earliest_visibility(self) -> Optional[float]:
+        """Earliest time any queued entry becomes visible, or ``None`` if empty."""
+        if not self._entries:
+            return None
+        return min(e.visible_ns for e in self._entries)
+
+    def remove(self, entry: QueueEntry) -> None:
+        """Issue (remove) a specific entry."""
+        was_full = self.is_full
+        self._entries.remove(entry)
+        if was_full and self.on_slot_freed is not None:
+            self.on_slot_freed(self)
+
+    def clear(self) -> None:
+        self._entries.clear()

@@ -1,0 +1,131 @@
+"""Reorder buffer and in-flight instruction tracking.
+
+The ROB lives in the front-end domain (paper Figure 1).  Entries are
+allocated at dispatch, marked with a completion time when their instruction
+issues in an execution domain, and retired in order by the front end.
+Producer completion times are kept in a side table so dependences resolve
+even after the producer retires.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, Optional
+
+from repro.workloads.instructions import Instruction
+
+_NOT_DONE = math.inf
+
+
+@dataclass
+class RobEntry:
+    """One reorder-buffer slot."""
+
+    instruction: Instruction
+    dispatch_ns: float
+    #: time execution finishes; +inf until the instruction issues
+    done_ns: float = _NOT_DONE
+
+    @property
+    def index(self) -> int:
+        return self.instruction.index
+
+    def is_done(self, now_ns: float) -> bool:
+        return self.done_ns <= now_ns
+
+
+class ReorderBuffer:
+    """In-order allocate / in-order retire window of in-flight instructions."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        self._entries: Deque[RobEntry] = deque()
+        self._by_index: Dict[int, RobEntry] = {}
+        #: completion times of all issued instructions, by trace index;
+        #: survives retirement so later consumers can check readiness.
+        self._completion_ns: Dict[int, float] = {}
+        self.retired = 0
+        #: optional callback fired when the *oldest* entry completes (used by
+        #: the simulator to wake a front end sleeping on ROB-full)
+        self.on_head_done = None
+
+    # ------------------------------------------------------------------
+
+    @property
+    def occupancy(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    # ------------------------------------------------------------------
+
+    def allocate(self, instruction: Instruction, now_ns: float) -> RobEntry:
+        """Allocate an entry at dispatch (raises if full)."""
+        if self.is_full:
+            raise RuntimeError("ROB full; dispatch should have stalled")
+        entry = RobEntry(instruction=instruction, dispatch_ns=now_ns)
+        self._entries.append(entry)
+        self._by_index[instruction.index] = entry
+        return entry
+
+    def mark_done(self, trace_index: int, done_ns: float) -> None:
+        """Record the completion time of an issued instruction."""
+        self._completion_ns[trace_index] = done_ns
+        entry = self._by_index.get(trace_index)
+        if entry is not None:
+            entry.done_ns = done_ns
+            if (
+                self.on_head_done is not None
+                and self._entries
+                and self._entries[0] is entry
+            ):
+                self.on_head_done(done_ns)
+
+    def completion_time(self, trace_index: int) -> Optional[float]:
+        """Completion time of a producer, or None if it has not issued yet."""
+        return self._completion_ns.get(trace_index)
+
+    def operand_ready(self, producer_index: Optional[int], now_ns: float) -> bool:
+        """Is a source operand available at ``now_ns``?
+
+        ``None`` means no register producer (immediate), hence ready.
+        """
+        if producer_index is None:
+            return True
+        done = self._completion_ns.get(producer_index)
+        return done is not None and done <= now_ns
+
+    def entry(self, trace_index: int) -> Optional[RobEntry]:
+        return self._by_index.get(trace_index)
+
+    @property
+    def head_done_ns(self) -> Optional[float]:
+        """Completion time of the oldest entry (may be +inf), None if empty."""
+        if not self._entries:
+            return None
+        return self._entries[0].done_ns
+
+    # ------------------------------------------------------------------
+
+    def retire(self, now_ns: float, width: int) -> int:
+        """Retire up to ``width`` completed head entries; return the count."""
+        retired = 0
+        while retired < width and self._entries:
+            head = self._entries[0]
+            if not head.is_done(now_ns):
+                break
+            self._entries.popleft()
+            del self._by_index[head.index]
+            retired += 1
+        self.retired += retired
+        return retired

@@ -1,0 +1,72 @@
+"""Store (retire) buffer of the LS domain (paper Table 1: 64 entries).
+
+A store completes architecturally as soon as it is written into the store
+buffer (after address generation plus the L1 tag access); the buffer then
+drains the actual memory write in the background, paying the full miss path
+without stalling the pipeline.  The buffer is finite: when it is full, new
+stores cannot issue until the oldest drain completes -- long store bursts
+against a missing cache therefore do backpressure the LS domain, which is
+what the paper's LS-queue dynamics rely on.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque
+
+
+class StoreBuffer:
+    """A finite buffer of in-flight store drains, ordered by completion."""
+
+    def __init__(self, capacity: int) -> None:
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        self.capacity = capacity
+        #: completion (drain) times of buffered stores, oldest first.
+        #: Drains are initiated in order, so the deque stays sorted.
+        self._drains: Deque[float] = deque()
+        self.total_stores = 0
+        self.full_stalls = 0
+
+    # ------------------------------------------------------------------
+
+    def _evict_drained(self, now_ns: float) -> None:
+        drains = self._drains
+        while drains and drains[0] <= now_ns:
+            drains.popleft()
+
+    def occupancy(self, now_ns: float) -> int:
+        """Stores still draining at ``now_ns``."""
+        self._evict_drained(now_ns)
+        return len(self._drains)
+
+    def can_accept(self, now_ns: float) -> bool:
+        self._evict_drained(now_ns)
+        return len(self._drains) < self.capacity
+
+    def push(self, now_ns: float, drain_done_ns: float) -> None:
+        """Buffer a store whose memory write finishes at ``drain_done_ns``.
+
+        Raises when full -- the LS issue logic is expected to check
+        :meth:`can_accept` and stall instead.
+        """
+        self._evict_drained(now_ns)
+        if len(self._drains) >= self.capacity:
+            raise RuntimeError("store buffer full; issue should have stalled")
+        # drains are initiated in program order; keep monotone completion so
+        # occupancy checks stay O(1)
+        if self._drains and drain_done_ns < self._drains[-1]:
+            drain_done_ns = self._drains[-1]
+        self._drains.append(drain_done_ns)
+        self.total_stores += 1
+
+    def record_full_stall(self) -> None:
+        self.full_stalls += 1
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._drains
+
+    def next_drain_ns(self) -> float:
+        """Completion time of the oldest drain (inf when empty)."""
+        return self._drains[0] if self._drains else float("inf")

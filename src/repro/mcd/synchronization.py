@@ -1,0 +1,58 @@
+"""Inter-domain synchronization interface.
+
+Models the arbitration-based interface of Sjogren & Myers used by the MCD
+implementation the paper builds on (paper Section 2): a signal generated in
+the source domain at time *t* can be latched at the first destination clock
+edge that is at least a *synchronization window* (300 ps, Table 1) after the
+data is stable.  An edge that falls inside the window cannot safely latch the
+data and the transfer waits for the following destination edge -- that
+occasional extra destination cycle is the MCD synchronization overhead.
+"""
+
+from __future__ import annotations
+
+from repro.mcd.clocks import DomainClock
+
+
+class SynchronizationInterface:
+    """Computes when cross-domain data becomes visible to its receiver."""
+
+    def __init__(self, sync_window_ns: float) -> None:
+        if sync_window_ns < 0:
+            raise ValueError("sync window must be non-negative")
+        self.sync_window_ns = sync_window_ns
+        self._transfers = 0
+        self._deferred = 0
+
+    # ------------------------------------------------------------------
+
+    def arrival_time(self, data_ready_ns: float, dst_clock: DomainClock) -> float:
+        """First destination edge that can safely latch data ready at ``t``.
+
+        The destination edge must trail ``data_ready_ns`` by at least the
+        synchronization window; otherwise the transfer defers one destination
+        cycle.
+        """
+        edge = dst_clock.edge_at_or_after(data_ready_ns)
+        self._transfers += 1
+        if edge - data_ready_ns < self.sync_window_ns:
+            self._deferred += 1
+            edge += dst_clock.period_ns
+        return edge
+
+    # ------------------------------------------------------------------
+
+    @property
+    def transfers(self) -> int:
+        """Total cross-domain transfers mediated."""
+        return self._transfers
+
+    @property
+    def deferred(self) -> int:
+        """Transfers that paid an extra destination cycle."""
+        return self._deferred
+
+    @property
+    def deferral_rate(self) -> float:
+        """Fraction of transfers that hit the synchronization window."""
+        return self._deferred / self._transfers if self._transfers else 0.0

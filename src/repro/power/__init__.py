@@ -1,0 +1,27 @@
+"""Energy accounting (Wattch-substitute).
+
+Per-domain activity-based CV^2 energy with aggressive clock gating, matching
+the assumptions of the paper's simulation environment: gating is applied
+whenever a unit is unused, so DVFS savings come from the quadratic voltage
+reduction on the cycles that do run (plus reduced gated/leakage power at
+lower voltage).  Absolute units are arbitrary; all paper metrics are
+*relative* to the full-speed baseline.
+"""
+
+from repro.power.model import DomainPowerParams, PowerModel, EnergyAccount
+from repro.power.metrics import (
+    RunMetrics,
+    energy_savings_percent,
+    performance_degradation_percent,
+    edp_improvement_percent,
+)
+
+__all__ = [
+    "DomainPowerParams",
+    "PowerModel",
+    "EnergyAccount",
+    "RunMetrics",
+    "energy_savings_percent",
+    "performance_degradation_percent",
+    "edp_improvement_percent",
+]

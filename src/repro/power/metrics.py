@@ -1,0 +1,45 @@
+"""Baseline-relative metrics: the quantities the paper's figures report."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RunMetrics:
+    """Summary numbers for one simulation run."""
+
+    time_ns: float
+    energy: float
+    instructions: int
+
+    @property
+    def edp(self) -> float:
+        """Energy-delay product (arbitrary units x ns)."""
+        return self.energy * self.time_ns
+
+    @property
+    def ipns(self) -> float:
+        """Instructions per nanosecond (overall throughput)."""
+        return self.instructions / self.time_ns if self.time_ns else 0.0
+
+
+def energy_savings_percent(baseline: RunMetrics, run: RunMetrics) -> float:
+    """Percent energy saved relative to the full-speed baseline."""
+    if baseline.energy <= 0:
+        raise ValueError("baseline energy must be positive")
+    return 100.0 * (baseline.energy - run.energy) / baseline.energy
+
+
+def performance_degradation_percent(baseline: RunMetrics, run: RunMetrics) -> float:
+    """Percent execution-time increase relative to the baseline."""
+    if baseline.time_ns <= 0:
+        raise ValueError("baseline time must be positive")
+    return 100.0 * (run.time_ns - baseline.time_ns) / baseline.time_ns
+
+
+def edp_improvement_percent(baseline: RunMetrics, run: RunMetrics) -> float:
+    """Percent improvement (reduction) in energy-delay product."""
+    if baseline.edp <= 0:
+        raise ValueError("baseline EDP must be positive")
+    return 100.0 * (baseline.edp - run.edp) / baseline.edp

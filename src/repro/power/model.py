@@ -1,0 +1,139 @@
+"""Per-domain activity-based energy model.
+
+Energy is accounted in three ways:
+
+* **Active cycles** -- a domain cycle that issues operations costs
+  ``c_eff * V^2 * (base + slope * ops/width)``: switched capacitance of the
+  clocked logic plus per-operation datapath energy.
+* **Gated idle cycles** -- a cycle with nothing to do costs a small gated
+  fraction (residual clocking + ungateable logic).
+* **Background power** -- leakage (always) and, for fully sleeping domains,
+  the same gated-cycle rate accrued analytically over the sleep interval,
+  since the simulator skips their edges.
+
+Main-memory accesses cost a fixed external energy, unaffected by any domain's
+DVFS setting, mirroring the paper's treatment of main memory as an external
+domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.mcd.domains import DomainId
+
+
+@dataclass(frozen=True)
+class DomainPowerParams:
+    """Energy coefficients for one clock domain.
+
+    ``c_eff`` is the effective switched capacitance (arbitrary energy units
+    per cycle at 1 V); ``width`` normalizes per-op energy to the domain's
+    issue width.
+    """
+
+    c_eff: float
+    width: int
+    active_base: float = 0.4
+    active_slope: float = 0.6
+    gated_fraction: float = 0.08
+    leakage_fraction: float = 0.02
+
+    def active_cycle_energy(self, ops: int, voltage: float) -> float:
+        utilization = min(1.0, ops / self.width)
+        return self.c_eff * voltage * voltage * (
+            self.active_base + self.active_slope * utilization
+        )
+
+    def gated_cycle_energy(self, voltage: float) -> float:
+        return self.c_eff * voltage * voltage * self.gated_fraction
+
+    def leakage_power(self, voltage: float) -> float:
+        """Leakage per nanosecond (frequency independent)."""
+        return self.c_eff * voltage * voltage * self.leakage_fraction
+
+    def gated_power(self, voltage: float, freq_ghz: float) -> float:
+        """Gated-cycle energy rate per nanosecond at frequency ``freq_ghz``."""
+        return self.gated_cycle_energy(voltage) * freq_ghz
+
+
+#: Default domain capacitance weights, loosely proportional to the Wattch
+#: breakdown of an out-of-order core: the front end (fetch, rename, ROB,
+#: I-cache) dominates, followed by the integer core, LS (D-cache + L2
+#: controller) and the FP core.
+DEFAULT_DOMAIN_PARAMS: Dict[DomainId, DomainPowerParams] = {
+    DomainId.FRONT_END: DomainPowerParams(c_eff=0.85, width=4),
+    DomainId.INT: DomainPowerParams(c_eff=0.80, width=4),
+    DomainId.FP: DomainPowerParams(c_eff=0.60, width=2),
+    DomainId.LS: DomainPowerParams(c_eff=0.75, width=2),
+}
+
+#: External main-memory energy per access (arbitrary units).
+MEMORY_ACCESS_ENERGY = 8.0
+
+
+class EnergyAccount:
+    """Accumulates energy per domain plus external memory energy.
+
+    The paper's Wattch-based metric is *processor* energy; main memory is
+    "an external separate clock domain not controlled by the processor"
+    (paper Section 2).  :attr:`chip_total` is therefore the quantity the
+    evaluation compares; :attr:`total` additionally includes the external
+    memory energy for system-level accounting.
+    """
+
+    def __init__(self) -> None:
+        self.by_domain: Dict[DomainId, float] = {d: 0.0 for d in DomainId}
+        self.memory = 0.0
+
+    def add(self, domain: DomainId, energy: float) -> None:
+        self.by_domain[domain] += energy
+
+    def add_memory(self, energy: float) -> None:
+        self.memory += energy
+
+    @property
+    def chip_total(self) -> float:
+        """Processor (chip) energy: the paper's comparison quantity."""
+        return sum(self.by_domain.values())
+
+    @property
+    def total(self) -> float:
+        """Chip energy plus external main-memory energy."""
+        return sum(self.by_domain.values()) + self.memory
+
+
+class PowerModel:
+    """Stateless energy calculator bound to a parameter set."""
+
+    def __init__(self, params: Dict[DomainId, DomainPowerParams] = None) -> None:
+        self.params = dict(DEFAULT_DOMAIN_PARAMS if params is None else params)
+        missing = set(DomainId) - set(self.params)
+        if missing:
+            raise ValueError(f"missing power params for domains: {missing}")
+
+    def active_cycle(self, domain: DomainId, ops: int, voltage: float) -> float:
+        return self.params[domain].active_cycle_energy(ops, voltage)
+
+    def gated_cycle(self, domain: DomainId, voltage: float) -> float:
+        return self.params[domain].gated_cycle_energy(voltage)
+
+    def background(
+        self,
+        domain: DomainId,
+        voltage: float,
+        freq_ghz: float,
+        dt_ns: float,
+        sleeping: bool,
+    ) -> float:
+        """Background energy over ``dt_ns``: leakage, plus gated-cycle rate
+        while the domain sleeps (its edges are skipped by the simulator)."""
+        p = self.params[domain]
+        power = p.leakage_power(voltage)
+        if sleeping:
+            power += p.gated_power(voltage, freq_ghz)
+        return power * dt_ns
+
+    def memory_access(self) -> float:
+        return MEMORY_ACCESS_ENERGY

@@ -1,0 +1,32 @@
+"""Section 5.2: spectral analysis of workload variability.
+
+The paper classifies benchmarks by *fast* workload variation: total queue
+variance says nothing about time scale, so it estimates the variance
+*spectrum* of the queue-occupancy series with the multi-taper method and
+integrates the spectral density over short wavelengths only -- wavelengths
+shorter than a fixed-interval controller's interval, the swings such a
+controller averages away.
+"""
+
+from repro.spectral.multitaper import VarianceSpectrum, multitaper_spectrum
+from repro.spectral.classify import (
+    FAST_WAVELENGTH_SAMPLES,
+    band_variance,
+    fast_variation_metric,
+    classify_fast_varying,
+    demand_shares,
+    workload_fast_variation_metric,
+    classify_fast_varying_trace,
+)
+
+__all__ = [
+    "VarianceSpectrum",
+    "multitaper_spectrum",
+    "FAST_WAVELENGTH_SAMPLES",
+    "band_variance",
+    "fast_variation_metric",
+    "classify_fast_varying",
+    "demand_shares",
+    "workload_fast_variation_metric",
+    "classify_fast_varying_trace",
+]

@@ -1,0 +1,128 @@
+"""Terminal-friendly visualization of simulation results.
+
+Pure-text rendering (no plotting dependencies): line plots for time series
+such as the Figure-7 frequency trace, horizontal bar charts for per-benchmark
+comparisons, and sparklines for compact inline series.  All functions return
+strings; nothing prints.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def line_plot(
+    xs: Sequence[float],
+    ys: Sequence[float],
+    width: int = 72,
+    height: int = 16,
+    x_label: str = "",
+    y_format: str = "{:4.2f}",
+) -> str:
+    """Render a line plot of ``ys`` over ``xs`` as ASCII art.
+
+    The series is resampled to ``width`` columns; each column plots the
+    value nearest its position.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have the same length")
+    if len(ys) < 2:
+        raise ValueError("need at least two points")
+    if width < 8 or height < 4:
+        raise ValueError("plot too small")
+    lo, hi = min(ys), max(ys)
+    span = (hi - lo) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    n = len(ys)
+    for col in range(width):
+        value = ys[int(col * (n - 1) / (width - 1))]
+        row = height - 1 - int((value - lo) / span * (height - 1))
+        grid[row][col] = "*"
+    lines = []
+    for i, row in enumerate(grid):
+        if i == 0:
+            label = y_format.format(hi)
+        elif i == height - 1:
+            label = y_format.format(lo)
+        else:
+            label = ""
+        lines.append(f"{label:>8} |{''.join(row)}")
+    lines.append(" " * 9 + "-" * width)
+    if x_label:
+        lines.append(" " * 9 + f"{xs[0]:g} .. {xs[-1]:g} {x_label}")
+    return "\n".join(lines)
+
+
+def sparkline(ys: Sequence[float], width: Optional[int] = None) -> str:
+    """A one-line unicode sparkline of ``ys`` (resampled to ``width``)."""
+    if not ys:
+        raise ValueError("need at least one point")
+    values = list(ys)
+    if width is not None and width > 0 and len(values) > width:
+        n = len(values)
+        values = [values[int(i * (n - 1) / (width - 1))] for i in range(width)]
+    lo, hi = min(values), max(values)
+    span = (hi - lo) or 1.0
+    levels = len(_SPARK_LEVELS) - 1
+    return "".join(
+        _SPARK_LEVELS[int((v - lo) / span * levels)] for v in values
+    )
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    value_format: str = "{:6.2f}",
+    title: str = "",
+) -> str:
+    """Horizontal bar chart; negative values extend left of the axis."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not values:
+        raise ValueError("nothing to chart")
+    label_width = max(len(label) for label in labels)
+    biggest = max(abs(v) for v in values) or 1.0
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("-" * len(title))
+    for label, value in zip(labels, values):
+        bar_len = int(round(abs(value) / biggest * width))
+        bar = ("#" if value >= 0 else "-") * bar_len
+        lines.append(
+            f"{label:<{label_width}}  {value_format.format(value)} |{bar}"
+        )
+    return "\n".join(lines)
+
+
+def frequency_trace(result, domain, width: int = 72, height: int = 16) -> str:
+    """Figure-7-style rendering: a domain's frequency over retired
+    instructions, from a :class:`~repro.mcd.processor.SimulationResult`."""
+    history = result.history
+    ys = history.frequency_ghz[domain]
+    xs = history.retired
+    if len(ys) < 2:
+        raise ValueError("result carries no frequency history (record_history?)")
+    header = (
+        f"{result.benchmark} / {result.scheme}: {domain.value} frequency (GHz)"
+    )
+    return header + "\n" + line_plot(
+        xs, ys, width=width, height=height, x_label="instructions"
+    )
+
+
+def occupancy_trace(result, domain, width: int = 72, height: int = 12) -> str:
+    """Queue-occupancy counterpart of :func:`frequency_trace`."""
+    history = result.history
+    ys = [float(v) for v in history.occupancy[domain]]
+    xs = history.retired
+    if len(ys) < 2:
+        raise ValueError("result carries no occupancy history (record_history?)")
+    header = f"{result.benchmark} / {result.scheme}: {domain.value} queue occupancy"
+    return header + "\n" + line_plot(
+        xs, ys, width=width, height=height, x_label="instructions",
+        y_format="{:4.1f}",
+    )

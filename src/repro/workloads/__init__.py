@@ -1,0 +1,43 @@
+"""Synthetic benchmark workloads.
+
+The paper evaluates on MediaBench and SPEC2000 binaries run under a
+SimpleScalar-derived simulator.  Real binaries and reference inputs are not
+available here, so this package provides the documented substitution: a
+deterministic, phase-driven instruction-trace generator
+(:mod:`repro.workloads.generator`) plus one named specification per benchmark
+(:mod:`repro.workloads.suite`) encoding the published workload traits that
+matter to a queue-driven DVFS controller -- instruction mix, ILP, working-set
+size, branch behaviour, and phase structure over time.
+"""
+
+from repro.workloads.instructions import Instruction, InstructionKind
+from repro.workloads.phases import PhaseSpec, BenchmarkSpec
+from repro.workloads.generator import TraceGenerator, generate_trace
+from repro.workloads.suite import (
+    BENCHMARKS,
+    MEDIABENCH,
+    SPEC2000_INT,
+    SPEC2000_FP,
+    get_benchmark,
+)
+from repro.workloads.stats import TraceStats, analyze_trace, format_stats
+from repro.workloads.traceio import load_trace, save_trace
+
+__all__ = [
+    "Instruction",
+    "InstructionKind",
+    "PhaseSpec",
+    "BenchmarkSpec",
+    "TraceGenerator",
+    "generate_trace",
+    "BENCHMARKS",
+    "MEDIABENCH",
+    "SPEC2000_INT",
+    "SPEC2000_FP",
+    "get_benchmark",
+    "TraceStats",
+    "analyze_trace",
+    "format_stats",
+    "load_trace",
+    "save_trace",
+]

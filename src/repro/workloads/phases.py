@@ -1,0 +1,197 @@
+"""Phase and benchmark specifications for the synthetic trace generator.
+
+A benchmark is a sequence of *phases*.  Each phase fixes the statistical
+character of the instruction stream: opcode mix, dependence distances (ILP),
+data working set and access regularity, and branch behaviour.  Phase changes
+are the workload swings the paper's adaptive controller is designed to chase;
+their lengths (in instructions) therefore determine whether a benchmark is
+"fast-varying" in the sense of Section 5.2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Sequence, Tuple
+
+from repro.workloads.instructions import InstructionKind
+
+
+def _normalized(mix: Dict[InstructionKind, float]) -> Dict[InstructionKind, float]:
+    total = sum(mix.values())
+    if total <= 0:
+        raise ValueError("instruction mix weights must sum to a positive value")
+    return {kind: weight / total for kind, weight in mix.items() if weight > 0}
+
+
+@dataclass(frozen=True)
+class PhaseSpec:
+    """Statistical description of one program phase.
+
+    Attributes
+    ----------
+    name:
+        Human-readable phase label (appears in diagnostics only).
+    length:
+        Number of dynamic instructions in the phase.
+    mix:
+        Relative weights per :class:`InstructionKind`; normalized on
+        construction.  A phase with zero FP weight presents an emptying FP
+        queue, the situation Figure 7 of the paper illustrates.
+    mean_dep_distance:
+        Mean register-dependence distance (instructions).  Small values mean
+        long dependence chains (low ILP, slow drain); large values mean
+        independent instructions (high ILP, fast drain).
+    dep_density:
+        Probability that a source operand has a register producer at all
+        (vs. an immediate).
+    working_set:
+        Size in bytes of the data region touched by loads/stores.  Working
+        sets larger than a cache level produce genuine misses in the cache
+        substrate.
+    stride_fraction:
+        Fraction of memory accesses that walk sequentially through the
+        working set (prefetch-friendly, low miss rate once resident); the
+        remainder are uniform-random within the working set.
+    code_footprint:
+        Static code size in bytes; PCs cycle through it, so footprints larger
+        than the I-cache generate instruction misses.
+    hot_code_fraction, hot_code_size:
+        Hot-loop model (the 90/10 rule): this fraction of branch sites
+        target the first ``hot_code_size`` bytes of the footprint, so
+        execution concentrates in warm code with occasional cold excursions.
+        Without this, large-footprint programs would present the branch
+        predictor an endless stream of cold sites.
+    hot_data_fraction, hot_data_size:
+        Analogous data locality: this fraction of accesses touch a hot
+        subset of the working set.
+    branch_taken_bias:
+        Probability a conditional branch is taken.
+    branch_entropy:
+        Probability that a branch outcome deviates from its per-PC bias --
+        i.e. how unpredictable branches are (0 = perfectly biased and easily
+        learned; 0.5 = random).
+    """
+
+    name: str
+    length: int
+    mix: Dict[InstructionKind, float]
+    mean_dep_distance: float = 4.0
+    dep_density: float = 0.8
+    working_set: int = 32 * 1024
+    stride_fraction: float = 0.7
+    code_footprint: int = 8 * 1024
+    hot_code_fraction: float = 0.9
+    hot_code_size: int = 4 * 1024
+    hot_data_fraction: float = 0.3
+    hot_data_size: int = 16 * 1024
+    branch_taken_bias: float = 0.6
+    branch_entropy: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise ValueError("phase length must be positive")
+        if self.mean_dep_distance < 1.0:
+            raise ValueError("mean_dep_distance must be >= 1")
+        if not 0.0 <= self.dep_density <= 1.0:
+            raise ValueError("dep_density must be in [0, 1]")
+        if self.working_set <= 0 or self.code_footprint <= 0:
+            raise ValueError("working_set and code_footprint must be positive")
+        if not 0.0 <= self.stride_fraction <= 1.0:
+            raise ValueError("stride_fraction must be in [0, 1]")
+        if not 0.0 <= self.branch_taken_bias <= 1.0:
+            raise ValueError("branch_taken_bias must be in [0, 1]")
+        if not 0.0 <= self.branch_entropy <= 0.5:
+            raise ValueError("branch_entropy must be in [0, 0.5]")
+        if not 0.0 <= self.hot_code_fraction <= 1.0:
+            raise ValueError("hot_code_fraction must be in [0, 1]")
+        if not 0.0 <= self.hot_data_fraction <= 1.0:
+            raise ValueError("hot_data_fraction must be in [0, 1]")
+        if self.hot_code_size <= 0 or self.hot_data_size <= 0:
+            raise ValueError("hot region sizes must be positive")
+        object.__setattr__(self, "mix", _normalized(dict(self.mix)))
+
+    def scaled(self, factor: float) -> "PhaseSpec":
+        """Return a copy with ``length`` scaled by ``factor`` (min 1)."""
+        return replace(self, length=max(1, int(round(self.length * factor))))
+
+
+@dataclass(frozen=True)
+class BenchmarkSpec:
+    """A named benchmark: an ordered list of phases plus provenance notes.
+
+    Attributes
+    ----------
+    name:
+        Benchmark name as the paper's Table 2 lists it (e.g. ``epic-decode``).
+    suite:
+        Owning suite: ``mediabench``, ``spec2000int`` or ``spec2000fp``.
+    phases:
+        Ordered phase specifications.  The full trace length is the sum of
+        phase lengths.
+    seed:
+        Default RNG seed, derived from the name so every benchmark is
+        deterministic but distinct.
+    fast_varying:
+        Ground-truth label used in Section 5.2-style analysis: whether the
+        benchmark's workload swings are shorter than a fixed-interval
+        controller's interval.  The spectral classifier is validated against
+        this label.
+    notes:
+        Short justification of the phase structure (what published trait of
+        the real benchmark it encodes).
+    """
+
+    name: str
+    suite: str
+    phases: Tuple[PhaseSpec, ...]
+    seed: int = 0
+    fast_varying: bool = False
+    notes: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("a benchmark needs at least one phase")
+        if self.suite not in ("mediabench", "spec2000int", "spec2000fp"):
+            raise ValueError(f"unknown suite {self.suite!r}")
+        object.__setattr__(self, "phases", tuple(self.phases))
+        if self.seed == 0:
+            object.__setattr__(
+                self, "seed", sum(ord(c) for c in self.name) * 2654435761 % 2**31
+            )
+
+    @property
+    def length(self) -> int:
+        return sum(phase.length for phase in self.phases)
+
+    def scaled(self, factor: float) -> "BenchmarkSpec":
+        """Return a copy with every phase length scaled by ``factor``."""
+        return BenchmarkSpec(
+            name=self.name,
+            suite=self.suite,
+            phases=tuple(phase.scaled(factor) for phase in self.phases),
+            seed=self.seed,
+            fast_varying=self.fast_varying,
+            notes=self.notes,
+        )
+
+    def truncated(self, max_instructions: int) -> "BenchmarkSpec":
+        """Return a copy scaled so the total length is ``max_instructions``.
+
+        Phase *proportions* are preserved, matching the scaling rule in
+        DESIGN.md: shrinking a run shortens every phase alike.
+        """
+        if max_instructions <= 0:
+            raise ValueError("max_instructions must be positive")
+        if self.length <= max_instructions:
+            return self
+        return self.scaled(max_instructions / self.length)
+
+
+def phase_boundaries(phases: Sequence[PhaseSpec]) -> List[int]:
+    """Cumulative instruction indices at which each phase ends."""
+    bounds: List[int] = []
+    total = 0
+    for phase in phases:
+        total += phase.length
+        bounds.append(total)
+    return bounds

@@ -1,0 +1,127 @@
+"""Trace statistics: summarize what a workload asks of the machine.
+
+Used to validate that generated traces realize their specs (the tests do
+exactly that) and to characterize custom workloads before running them --
+mix, dependence structure, code/data footprints and branch behaviour are
+the quantities that drive queue dynamics and hence DVFS behaviour.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Dict, Sequence
+
+from repro.workloads.instructions import Instruction, InstructionKind
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.mcd.domains import DomainId
+
+
+@dataclass(frozen=True)
+class TraceStats:
+    """Summary statistics of one instruction trace."""
+
+    instructions: int
+    mix: Dict[InstructionKind, float]
+    domain_shares: Dict["DomainId", float]
+    mean_dep_distance: float
+    dep_density: float
+    branch_count: int
+    branch_taken_fraction: float
+    branch_sites: int
+    code_footprint_bytes: int
+    data_working_set_bytes: int
+
+    @property
+    def fp_share(self) -> float:
+        from repro.mcd.domains import DomainId
+
+        return self.domain_shares.get(DomainId.FP, 0.0)
+
+    @property
+    def mem_share(self) -> float:
+        from repro.mcd.domains import DomainId
+
+        return self.domain_shares.get(DomainId.LS, 0.0)
+
+
+def analyze_trace(
+    trace: Sequence[Instruction], line_size: int = 64
+) -> TraceStats:
+    """Compute :class:`TraceStats` for a trace."""
+    if not trace:
+        raise ValueError("trace is empty")
+    if line_size <= 0:
+        raise ValueError("line_size must be positive")
+    # local import: workloads is imported by mcd.domains, so importing it at
+    # module scope would be circular
+    from repro.mcd.domains import execution_domain
+
+    kind_counts: Counter = Counter()
+    domain_counts: Counter = Counter()
+    dep_distances = []
+    operands = 0
+    dep_operands = 0
+    branches = 0
+    taken = 0
+    branch_pcs = set()
+    code_lines = set()
+    data_lines = set()
+
+    for inst in trace:
+        kind_counts[inst.kind] += 1
+        domain_counts[execution_domain(inst.kind)] += 1
+        code_lines.add(inst.pc // line_size)
+        for src in (inst.src1, inst.src2):
+            operands += 1
+            if src is not None:
+                dep_operands += 1
+                dep_distances.append(inst.index - src)
+        if inst.kind is InstructionKind.BRANCH:
+            branches += 1
+            taken += inst.taken
+            branch_pcs.add(inst.pc)
+        if inst.addr is not None:
+            data_lines.add(inst.addr // line_size)
+
+    n = len(trace)
+    return TraceStats(
+        instructions=n,
+        mix={kind: count / n for kind, count in kind_counts.items()},
+        domain_shares={d: count / n for d, count in domain_counts.items()},
+        mean_dep_distance=(
+            sum(dep_distances) / len(dep_distances) if dep_distances else 0.0
+        ),
+        dep_density=dep_operands / operands if operands else 0.0,
+        branch_count=branches,
+        branch_taken_fraction=taken / branches if branches else 0.0,
+        branch_sites=len(branch_pcs),
+        code_footprint_bytes=len(code_lines) * line_size,
+        data_working_set_bytes=len(data_lines) * line_size,
+    )
+
+
+def format_stats(stats: TraceStats) -> str:
+    """Human-readable multi-line rendering of :class:`TraceStats`."""
+    lines = [
+        f"instructions       : {stats.instructions}",
+        "mix                : "
+        + ", ".join(
+            f"{kind.value}={share:.2f}"
+            for kind, share in sorted(
+                stats.mix.items(), key=lambda item: -item[1]
+            )
+        ),
+        "domain shares      : "
+        + ", ".join(
+            f"{d.value}={share:.2f}" for d, share in stats.domain_shares.items()
+        ),
+        f"mean dep distance  : {stats.mean_dep_distance:.2f}",
+        f"dep density        : {stats.dep_density:.2f}",
+        f"branches           : {stats.branch_count} "
+        f"({stats.branch_taken_fraction:.0%} taken, {stats.branch_sites} sites)",
+        f"code footprint     : {stats.code_footprint_bytes} bytes (touched)",
+        f"data working set   : {stats.data_working_set_bytes} bytes (touched)",
+    ]
+    return "\n".join(lines)

@@ -1,0 +1,397 @@
+"""Named benchmark specifications (the paper's Table 2 population).
+
+The paper evaluates 6 MediaBench, 6 SPEC2000int and 5 SPEC2000fp programs.
+Each spec below encodes the published workload traits that matter to a
+queue-driven DVFS controller.  Two traits are load-bearing for the paper's
+results and are therefore modelled carefully:
+
+* **epic-decode** (the Figure 7/8 exemplar): the FP issue queue is empty
+  except for two distinct phases -- one modest mid-run increase and one
+  dramatic late burst (paper Section 5.1).
+* **fast-varying group** (Section 5.2): media codecs process small frames or
+  sample blocks, so their domain workloads swing on a microsecond scale --
+  shorter than a fixed-interval controller's interval.  These are built from
+  many short alternating phases and carry ``fast_varying=True``.
+
+Default lengths are ~100-200k instructions (the ~100x instruction-count
+scaling documented in DESIGN.md); the harness may truncate further for quick
+runs, preserving phase proportions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.workloads.instructions import InstructionKind as K
+from repro.workloads.phases import BenchmarkSpec, PhaseSpec
+
+# ----------------------------------------------------------------------
+# mix presets
+# ----------------------------------------------------------------------
+
+INT_MIX = {K.INT_ALU: 0.52, K.INT_MUL: 0.02, K.LOAD: 0.20, K.STORE: 0.10, K.BRANCH: 0.16}
+INT_MEM_MIX = {K.INT_ALU: 0.34, K.LOAD: 0.34, K.STORE: 0.14, K.BRANCH: 0.18}
+FP_MIX = {K.FP_ADD: 0.26, K.FP_MUL: 0.16, K.FP_DIV: 0.02, K.INT_ALU: 0.22,
+          K.LOAD: 0.22, K.STORE: 0.06, K.BRANCH: 0.06}
+FP_HEAVY_MIX = {K.FP_ADD: 0.36, K.FP_MUL: 0.24, K.FP_DIV: 0.03, K.FP_SQRT: 0.01,
+                K.INT_ALU: 0.12, K.LOAD: 0.18, K.STORE: 0.04, K.BRANCH: 0.02}
+FP_TRICKLE_MIX = {K.FP_ADD: 0.13, K.FP_MUL: 0.07, K.INT_ALU: 0.36, K.LOAD: 0.22,
+                  K.STORE: 0.09, K.BRANCH: 0.13}
+MEM_BOUND_MIX = {K.INT_ALU: 0.24, K.LOAD: 0.44, K.STORE: 0.12, K.BRANCH: 0.20}
+
+
+def _phase(name: str, length: int, mix: Dict[K, float], **kw: object) -> PhaseSpec:
+    return PhaseSpec(name=name, length=length, mix=mix, **kw)  # type: ignore[arg-type]
+
+
+def _alternating(
+    names: Tuple[str, str],
+    mixes: Tuple[Dict[K, float], Dict[K, float]],
+    burst: int,
+    repeats: int,
+    **kw: object,
+) -> List[PhaseSpec]:
+    """Build the short alternating-phase trains of the fast-varying group.
+
+    The two phase objects are *reused* across repetitions (same name, hence
+    the same static code layout): the program re-executes the same two
+    kernels over and over, so branch predictors and caches stay warm across
+    bursts -- only the workload character swings.
+    """
+    first = _phase(names[0], burst, mixes[0], **kw)
+    second = _phase(names[1], burst, mixes[1], **kw)
+    phases: List[PhaseSpec] = []
+    for _ in range(repeats):
+        phases.append(first)
+        phases.append(second)
+    return phases
+
+
+# ----------------------------------------------------------------------
+# MediaBench (6)
+# ----------------------------------------------------------------------
+
+_EPIC_DECODE = BenchmarkSpec(
+    name="epic-decode",
+    suite="mediabench",
+    fast_varying=False,
+    notes=(
+        "FP queue empty except two phases: a modest mid-run increase and a "
+        "dramatic late burst (paper Sec 5.1, Fig 7)."
+    ),
+    # epic is scaled less aggressively than the rest of the suite (~12x vs
+    # ~100x): every phase -- including the dramatic FP burst -- must outlast
+    # the regulator's 55 us full-range ramp (73.3 ns/MHz x 750 MHz), or the
+    # ramp transient dominates the phase and distorts both Figure 7's shape
+    # and the energy/performance numbers.
+    phases=(
+        _phase("int-head", 180_000, INT_MIX, mean_dep_distance=3.0),
+        _phase("fp-modest", 120_000, FP_TRICKLE_MIX, mean_dep_distance=4.0),
+        _phase("int-mid", 280_000, INT_MIX, mean_dep_distance=3.0),
+        _phase("fp-burst", 140_000, FP_HEAVY_MIX, mean_dep_distance=6.0),
+        _phase("int-tail", 80_000, INT_MIX, mean_dep_distance=3.0),
+    ),
+)
+
+_ADPCM_ENCODE = BenchmarkSpec(
+    name="adpcm-encode",
+    suite="mediabench",
+    fast_varying=True,
+    notes=(
+        "Tiny per-sample kernel: alternates short compute bursts with "
+        "sequential I/O-like access runs every few thousand instructions."
+    ),
+    phases=tuple(
+        _alternating(
+            ("compute", "stream"),
+            (
+                {K.INT_ALU: 0.58, K.INT_MUL: 0.04, K.LOAD: 0.16, K.STORE: 0.08, K.BRANCH: 0.14},
+                MEM_BOUND_MIX,
+            ),
+            burst=2_500,
+            repeats=24,
+            working_set=16 * 1024,
+            code_footprint=2 * 1024,
+        )
+    ),
+)
+
+_G721_ENCODE = BenchmarkSpec(
+    name="g721-encode",
+    suite="mediabench",
+    fast_varying=False,
+    notes="Steady integer DSP kernel with long multiply chains; little phase change.",
+    phases=(
+        _phase(
+            "steady",
+            110_000,
+            {K.INT_ALU: 0.48, K.INT_MUL: 0.10, K.LOAD: 0.20, K.STORE: 0.08, K.BRANCH: 0.14},
+            mean_dep_distance=2.5,
+            code_footprint=4 * 1024,
+            working_set=8 * 1024,
+        ),
+    ),
+)
+
+_GSM_DECODE = BenchmarkSpec(
+    name="gsm-decode",
+    suite="mediabench",
+    fast_varying=True,
+    notes=(
+        "Per-frame LTP/synthesis filter alternation: short high-ILP multiply "
+        "bursts against low-ILP control sections, ~1.5k-instruction frames."
+    ),
+    phases=tuple(
+        _alternating(
+            ("filter", "control"),
+            (
+                {K.INT_ALU: 0.40, K.INT_MUL: 0.22, K.LOAD: 0.22, K.STORE: 0.06, K.BRANCH: 0.10},
+                {K.INT_ALU: 0.44, K.LOAD: 0.22, K.STORE: 0.10, K.BRANCH: 0.24},
+            ),
+            burst=1_500,
+            repeats=40,
+            working_set=12 * 1024,
+            code_footprint=6 * 1024,
+        )
+    ),
+)
+
+_JPEG_ENCODE = BenchmarkSpec(
+    name="jpeg-encode",
+    suite="mediabench",
+    fast_varying=True,
+    notes=(
+        "Per-block pipeline: DCT (mul-heavy, high ILP) then quantize/Huffman "
+        "(branchy, serial), alternating every ~2k instructions."
+    ),
+    phases=tuple(
+        _alternating(
+            ("dct", "huffman"),
+            (
+                {K.INT_ALU: 0.34, K.INT_MUL: 0.26, K.LOAD: 0.26, K.STORE: 0.08, K.BRANCH: 0.06},
+                {K.INT_ALU: 0.42, K.LOAD: 0.20, K.STORE: 0.08, K.BRANCH: 0.30},
+            ),
+            burst=2_000,
+            repeats=30,
+            working_set=64 * 1024,
+            code_footprint=12 * 1024,
+        )
+    ),
+)
+
+_MPEG2_DECODE = BenchmarkSpec(
+    name="mpeg2-decode",
+    suite="mediabench",
+    fast_varying=True,
+    notes=(
+        "Macroblock loop: IDCT/motion-compensation bursts (some FP in the "
+        "reference decoder) against bitstream parsing, ~3k-instruction swings."
+    ),
+    phases=tuple(
+        _alternating(
+            ("idct", "parse"),
+            (
+                {K.FP_ADD: 0.12, K.FP_MUL: 0.08, K.INT_ALU: 0.30, K.LOAD: 0.32,
+                 K.STORE: 0.12, K.BRANCH: 0.06},
+                {K.INT_ALU: 0.46, K.LOAD: 0.20, K.STORE: 0.06, K.BRANCH: 0.28},
+            ),
+            burst=3_000,
+            repeats=20,
+            working_set=256 * 1024,
+            code_footprint=24 * 1024,
+        )
+    ),
+)
+
+_MESA_MIPMAP = BenchmarkSpec(
+    name="mesa-mipmap",
+    suite="mediabench",
+    fast_varying=False,
+    notes="3D rasterization: sustained mixed FP/INT with a large texture working set.",
+    phases=(
+        _phase("raster", 60_000, FP_MIX, working_set=512 * 1024, mean_dep_distance=4.5),
+        _phase("setup", 20_000, INT_MIX, working_set=64 * 1024),
+        _phase("raster2", 50_000, FP_MIX, working_set=512 * 1024, mean_dep_distance=4.5),
+    ),
+)
+
+# ----------------------------------------------------------------------
+# SPEC2000int (6)
+# ----------------------------------------------------------------------
+
+_BZIP2 = BenchmarkSpec(
+    name="bzip2",
+    suite="spec2000int",
+    fast_varying=False,
+    notes="Block-sort compression: long sort phase (memory heavy) then Huffman phase.",
+    phases=(
+        _phase("sort", 60_000, MEM_BOUND_MIX, working_set=1024 * 1024,
+               stride_fraction=0.35, mean_dep_distance=3.5),
+        _phase("huffman", 40_000, INT_MIX, working_set=128 * 1024,
+               branch_entropy=0.12),
+    ),
+)
+
+_GCC = BenchmarkSpec(
+    name="gcc",
+    suite="spec2000int",
+    fast_varying=False,
+    notes="Pointer-chasing, branchy, large code footprint (I-cache pressure).",
+    phases=(
+        _phase("parse", 35_000, INT_MIX, code_footprint=192 * 1024,
+               working_set=512 * 1024, branch_entropy=0.15, stride_fraction=0.3),
+        _phase("optimize", 45_000, INT_MEM_MIX, code_footprint=192 * 1024,
+               working_set=768 * 1024, branch_entropy=0.12, stride_fraction=0.25),
+        _phase("emit", 25_000, INT_MIX, code_footprint=96 * 1024,
+               working_set=256 * 1024, branch_entropy=0.10),
+    ),
+)
+
+_GZIP = BenchmarkSpec(
+    name="gzip",
+    suite="spec2000int",
+    fast_varying=False,
+    notes="LZ77 matching: steady integer/load mix, moderate working set.",
+    phases=(
+        _phase("deflate", 70_000, INT_MEM_MIX, working_set=192 * 1024,
+               stride_fraction=0.5, mean_dep_distance=3.0),
+        _phase("inflate", 30_000, INT_MIX, working_set=64 * 1024),
+    ),
+)
+
+_MCF = BenchmarkSpec(
+    name="mcf",
+    suite="spec2000int",
+    fast_varying=False,
+    notes="Network simplex: dominated by random pointer loads over a huge arena.",
+    phases=(
+        _phase("simplex", 100_000, MEM_BOUND_MIX, working_set=8 * 1024 * 1024,
+               stride_fraction=0.05, mean_dep_distance=2.2, branch_entropy=0.10),
+    ),
+)
+
+_PARSER = BenchmarkSpec(
+    name="parser",
+    suite="spec2000int",
+    fast_varying=False,
+    notes="Dictionary lookups and recursive linkage: branchy with random access.",
+    phases=(
+        _phase("link", 90_000, INT_MEM_MIX, working_set=1024 * 1024,
+               stride_fraction=0.2, branch_entropy=0.14, mean_dep_distance=2.8),
+    ),
+)
+
+_VPR = BenchmarkSpec(
+    name="vpr",
+    suite="spec2000int",
+    fast_varying=False,
+    notes="Place-and-route: alternating long placement and routing phases.",
+    phases=(
+        _phase("place", 55_000, INT_MIX, working_set=512 * 1024,
+               branch_entropy=0.10, mean_dep_distance=3.5),
+        _phase("route", 45_000, MEM_BOUND_MIX, working_set=1024 * 1024,
+               stride_fraction=0.25),
+    ),
+)
+
+# ----------------------------------------------------------------------
+# SPEC2000fp (5)
+# ----------------------------------------------------------------------
+
+_APPLU = BenchmarkSpec(
+    name="applu",
+    suite="spec2000fp",
+    fast_varying=False,
+    notes="Dense PDE solver: sustained high-ILP FP with strided array sweeps.",
+    phases=(
+        _phase("sweep", 100_000, FP_HEAVY_MIX, working_set=2 * 1024 * 1024,
+               stride_fraction=0.9, mean_dep_distance=6.0, branch_entropy=0.02),
+    ),
+)
+
+_ART = BenchmarkSpec(
+    name="art",
+    suite="spec2000fp",
+    fast_varying=True,
+    notes=(
+        "Neural-net image match: scan/match alternation per F1 layer pass -- "
+        "short FP bursts against memory-bound scans (~2.5k instructions)."
+    ),
+    phases=tuple(
+        _alternating(
+            ("match", "scan"),
+            (FP_HEAVY_MIX, MEM_BOUND_MIX),
+            burst=2_500,
+            repeats=20,
+            working_set=4 * 1024 * 1024,
+            stride_fraction=0.6,
+        )
+    ),
+)
+
+_EQUAKE = BenchmarkSpec(
+    name="equake",
+    suite="spec2000fp",
+    fast_varying=False,
+    notes="Sparse matrix-vector FP with irregular loads; steady per-timestep profile.",
+    phases=(
+        _phase("smvp", 90_000, FP_MIX, working_set=4 * 1024 * 1024,
+               stride_fraction=0.3, mean_dep_distance=3.5),
+    ),
+)
+
+_SWIM = BenchmarkSpec(
+    name="swim",
+    suite="spec2000fp",
+    fast_varying=False,
+    notes="Shallow-water stencil: very regular high-ILP FP, large strided arrays.",
+    phases=(
+        _phase("stencil", 100_000, FP_HEAVY_MIX, working_set=8 * 1024 * 1024,
+               stride_fraction=0.95, mean_dep_distance=8.0, branch_entropy=0.01),
+    ),
+)
+
+_APSI = BenchmarkSpec(
+    name="apsi",
+    suite="spec2000fp",
+    fast_varying=False,
+    notes="Meteorology code: FP compute phases separated by integer setup phases.",
+    phases=(
+        _phase("setup", 20_000, INT_MIX, working_set=128 * 1024),
+        _phase("fp-a", 40_000, FP_MIX, working_set=1024 * 1024, stride_fraction=0.8),
+        _phase("setup2", 15_000, INT_MIX, working_set=128 * 1024),
+        _phase("fp-b", 35_000, FP_HEAVY_MIX, working_set=1024 * 1024, stride_fraction=0.8),
+    ),
+)
+
+# ----------------------------------------------------------------------
+# registry
+# ----------------------------------------------------------------------
+
+MEDIABENCH: Tuple[BenchmarkSpec, ...] = (
+    _ADPCM_ENCODE, _EPIC_DECODE, _G721_ENCODE, _GSM_DECODE, _JPEG_ENCODE, _MPEG2_DECODE,
+)
+SPEC2000_INT: Tuple[BenchmarkSpec, ...] = (_BZIP2, _GCC, _GZIP, _MCF, _PARSER, _VPR)
+SPEC2000_FP: Tuple[BenchmarkSpec, ...] = (_APPLU, _ART, _EQUAKE, _SWIM, _APSI)
+
+# mesa appears in MediaBench in some MCD studies; keep it addressable by name
+# without inflating the 6/6/5 counts of Table 2.
+_EXTRAS: Tuple[BenchmarkSpec, ...] = (_MESA_MIPMAP,)
+
+BENCHMARKS: Dict[str, BenchmarkSpec] = {
+    spec.name: spec
+    for spec in MEDIABENCH + SPEC2000_INT + SPEC2000_FP + _EXTRAS
+}
+
+FAST_VARYING_GROUP: Tuple[str, ...] = tuple(
+    spec.name for spec in MEDIABENCH + SPEC2000_INT + SPEC2000_FP if spec.fast_varying
+)
+
+
+def get_benchmark(name: str) -> BenchmarkSpec:
+    """Look up a benchmark spec by its Table 2 name."""
+    try:
+        return BENCHMARKS[name]
+    except KeyError:
+        known = ", ".join(sorted(BENCHMARKS))
+        raise KeyError(f"unknown benchmark {name!r}; known: {known}") from None

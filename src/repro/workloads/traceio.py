@@ -1,0 +1,98 @@
+"""Trace file I/O: save and reload instruction traces as JSON lines.
+
+Lets a workload be generated once, inspected or edited externally, and
+replayed exactly -- or imported from another tool entirely (any program
+that can emit the simple one-object-per-line format below can drive the
+simulator).
+
+Format: one JSON object per line.  Required keys: ``i`` (index), ``k``
+(kind value, e.g. ``"int_alu"``), ``pc``.  Optional: ``s1``/``s2``
+(producer indices), ``a`` (address), ``t`` (taken, 0/1), ``tg`` (target).
+A leading header line ``{"format": "repro-trace", "version": 1}`` makes
+files self-identifying.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Iterable, List, Sequence
+
+from repro.workloads.instructions import Instruction, InstructionKind
+
+FORMAT_NAME = "repro-trace"
+FORMAT_VERSION = 1
+
+
+def _to_record(inst: Instruction) -> dict:
+    record = {"i": inst.index, "k": inst.kind.value, "pc": inst.pc}
+    if inst.src1 is not None:
+        record["s1"] = inst.src1
+    if inst.src2 is not None:
+        record["s2"] = inst.src2
+    if inst.addr is not None:
+        record["a"] = inst.addr
+    if inst.kind is InstructionKind.BRANCH:
+        record["t"] = int(inst.taken)
+        record["tg"] = inst.target
+    return record
+
+
+def _from_record(record: dict) -> Instruction:
+    try:
+        kind = InstructionKind(record["k"])
+        return Instruction(
+            index=record["i"],
+            kind=kind,
+            pc=record["pc"],
+            src1=record.get("s1"),
+            src2=record.get("s2"),
+            addr=record.get("a"),
+            taken=bool(record.get("t", 0)),
+            target=record.get("tg", 0),
+        )
+    except (KeyError, ValueError) as exc:
+        raise ValueError(f"malformed trace record {record!r}: {exc}") from exc
+
+
+def save_trace(path: str, trace: Sequence[Instruction]) -> None:
+    """Write a trace to ``path`` in JSON-lines format."""
+    with open(path, "w") as handle:
+        handle.write(
+            json.dumps({"format": FORMAT_NAME, "version": FORMAT_VERSION}) + "\n"
+        )
+        for inst in trace:
+            handle.write(json.dumps(_to_record(inst)) + "\n")
+
+
+def load_trace(path: str) -> List[Instruction]:
+    """Read a trace written by :func:`save_trace` (or a compatible tool).
+
+    Validates the header, per-record structure, and index contiguity (the
+    simulator requires instructions numbered 0..n-1 in order).
+    """
+    trace: List[Instruction] = []
+    with open(path) as handle:
+        header_line = handle.readline()
+        if not header_line:
+            raise ValueError("empty trace file")
+        header = json.loads(header_line)
+        if header.get("format") != FORMAT_NAME:
+            raise ValueError(f"not a {FORMAT_NAME} file: {header!r}")
+        if header.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported trace version {header.get('version')!r}"
+            )
+        for line_no, line in enumerate(handle, start=2):
+            line = line.strip()
+            if not line:
+                continue
+            inst = _from_record(json.loads(line))
+            if inst.index != len(trace):
+                raise ValueError(
+                    f"line {line_no}: expected index {len(trace)}, "
+                    f"got {inst.index}"
+                )
+            trace.append(inst)
+    if not trace:
+        raise ValueError("trace file contains no instructions")
+    return trace

@@ -1,0 +1,143 @@
+"""Unit tests for the continuous aggregate model (paper eqs 1-9)."""
+
+import pytest
+
+from repro.analysis.model import ClosedLoopModel, ControllerModel, ServiceModel
+
+
+class TestServiceModel:
+    def test_mu_f_relationship(self):
+        """1/mu = t1 + c2/f: the two-part execution-time split."""
+        service = ServiceModel(t1=0.5, c2=2.0)
+        f = 0.8
+        assert 1.0 / service.mu(f) == pytest.approx(0.5 + 2.0 / f)
+
+    def test_mu_increases_with_frequency(self):
+        service = ServiceModel(t1=0.5, c2=2.0)
+        assert service.mu(1.0) > service.mu(0.5) > service.mu(0.25)
+
+    def test_mu_saturates_at_frequency_independent_bound(self):
+        """As f -> inf, mu -> 1/t1: memory-bound code cannot go faster."""
+        service = ServiceModel(t1=0.5, c2=2.0)
+        assert service.mu(1e9) == pytest.approx(2.0, rel=1e-6)
+
+    def test_pure_compute_scales_linearly(self):
+        """With t1 = 0, mu = f/c2: halve the clock, halve the rate."""
+        service = ServiceModel(t1=0.0, c2=2.0)
+        assert service.mu(1.0) == pytest.approx(2.0 * service.mu(0.5))
+
+    def test_derivative_matches_numerics(self):
+        service = ServiceModel(t1=0.3, c2=1.5)
+        f, h = 0.7, 1e-6
+        numeric = (service.mu(f + h) - service.mu(f - h)) / (2 * h)
+        assert service.dmu_df(f) == pytest.approx(numeric, rel=1e-5)
+
+    def test_k_approx_exact_at_operating_point(self):
+        """dmu/df == k/f^2 exactly at f_op by construction."""
+        service = ServiceModel(t1=0.3, c2=1.5)
+        f_op = 0.6
+        k = service.k_approx(f_op)
+        assert k / (f_op * f_op) == pytest.approx(service.dmu_df(f_op))
+
+    def test_k_approx_quality_near_and_far(self):
+        """The quadratic approximation is tight near the operating point and
+        degrades (but stays order-of-magnitude right) at the range edges --
+        the honest statement of the paper's simplification."""
+        service = ServiceModel(t1=1.0, c2=1.0)
+        f_op = 0.6
+        k = service.k_approx(f_op)
+        for f in (0.5, 0.7):  # near the operating point
+            assert k / (f * f) == pytest.approx(service.dmu_df(f), rel=0.35)
+        for f in (0.25, 1.0):  # range edges
+            ratio = (k / (f * f)) / service.dmu_df(f)
+            assert 0.25 < ratio < 4
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ServiceModel(t1=-0.1, c2=1.0)
+        with pytest.raises(ValueError):
+            ServiceModel(t1=0.1, c2=0.0)
+        with pytest.raises(ValueError):
+            ServiceModel(0.1, 1.0).mu(0.0)
+
+
+class TestControllerModel:
+    def _ctrl(self):
+        return ControllerModel(step=0.01, t_m0=50.0, t_l0=8.0)
+
+    def test_positive_level_raises_frequency(self):
+        assert self._ctrl().f_dot(q=8.0, q_dot=0.0, f=1.0, q_ref=4.0) > 0
+
+    def test_negative_level_lowers_frequency(self):
+        assert self._ctrl().f_dot(q=0.0, q_dot=0.0, f=1.0, q_ref=4.0) < 0
+
+    def test_slope_term_adds(self):
+        ctrl = self._ctrl()
+        without = ctrl.f_dot(q=4.0, q_dot=0.0, f=1.0, q_ref=4.0)
+        with_slope = ctrl.f_dot(q=4.0, q_dot=2.0, f=1.0, q_ref=4.0)
+        assert without == pytest.approx(0.0)
+        assert with_slope > 0
+
+    def test_slope_term_weighted_by_shorter_delay(self):
+        """T_l0 < T_m0 makes a unit of slope stronger than a unit of level."""
+        ctrl = self._ctrl()
+        level_only = ctrl.f_dot(q=5.0, q_dot=0.0, f=1.0, q_ref=4.0)
+        slope_only = ctrl.f_dot(q=4.0, q_dot=1.0, f=1.0, q_ref=4.0)
+        assert slope_only > level_only
+
+    def test_delay_scaling_slows_low_frequency(self):
+        """g(f) = 1/f^2: at half frequency the commanded slew is 4x weaker."""
+        ctrl = self._ctrl()
+        full = ctrl.f_dot(q=0.0, q_dot=0.0, f=1.0, q_ref=4.0)
+        low = ctrl.f_dot(q=0.0, q_dot=0.0, f=0.5, q_ref=4.0)
+        assert low == pytest.approx(full / 4.0)
+
+    def test_rejects_bad_params(self):
+        with pytest.raises(ValueError):
+            ControllerModel(step=0.0, t_m0=50.0, t_l0=8.0)
+        with pytest.raises(ValueError):
+            ControllerModel(step=0.01, t_m0=0.0, t_l0=8.0)
+
+
+class TestClosedLoop:
+    def _model(self):
+        return ClosedLoopModel(
+            controller=ControllerModel(step=0.01, t_m0=50.0, t_l0=8.0),
+            service=ServiceModel(t1=0.2, c2=1.0),
+            q_ref=4.0,
+        )
+
+    def test_queue_grows_when_load_exceeds_service(self):
+        model = self._model()
+        q_dot, _ = model.derivative((4.0, 0.5), load=10.0)
+        assert q_dot > 0
+
+    def test_queue_shrinks_when_overprovisioned(self):
+        model = self._model()
+        q_dot, _ = model.derivative((4.0, 1.0), load=0.0)
+        assert q_dot < 0
+
+    def test_empty_queue_cannot_go_negative(self):
+        model = self._model()
+        q_dot, _ = model.derivative((0.0, 1.0), load=0.0)
+        assert q_dot == 0.0
+
+    def test_full_queue_saturates(self):
+        model = self._model()
+        q_dot, _ = model.derivative((16.0, 0.25), load=100.0)
+        assert q_dot == 0.0
+
+    def test_frequency_saturations(self):
+        model = self._model()
+        _, f_dot = model.derivative((0.0, model.f_min), load=0.0)
+        assert f_dot == 0.0
+        _, f_dot = model.derivative((16.0, model.f_max), load=100.0)
+        assert f_dot == 0.0
+
+    def test_equilibrium(self):
+        """At q = q_ref with load = mu(f), nothing moves."""
+        model = self._model()
+        f = 0.7
+        q_dot, f_dot = model.derivative((4.0, f), load=model.service.mu(f))
+        assert q_dot == pytest.approx(0.0)
+        assert f_dot == pytest.approx(0.0)

@@ -1,0 +1,154 @@
+"""Unit tests for the stability analysis (paper eq 13, Remarks 1-3)."""
+
+import math
+
+import pytest
+
+from repro.analysis.linearize import LinearizedSystem, linearize
+from repro.analysis.model import ClosedLoopModel, ControllerModel, ServiceModel
+from repro.analysis.stability import (
+    StabilityReport,
+    analyze,
+    characteristic_roots,
+    damping_ratio,
+    delay_ratio_bounds,
+    is_stable,
+    percent_overshoot,
+    recommended_delay_ratio_range,
+    rise_time,
+    settling_time,
+)
+
+
+def _system(t_m0=50.0, t_l0=8.0, step=0.0031, gamma=1.0, f_op=0.6):
+    model = ClosedLoopModel(
+        controller=ControllerModel(step=step, t_m0=t_m0, t_l0=t_l0),
+        service=ServiceModel(t1=0.2, c2=1.0),
+        q_ref=4.0,
+        gamma=gamma,
+    )
+    return linearize(model, f_op)
+
+
+class TestLinearization:
+    def test_gains_formula(self):
+        """K_m = m*gamma*k*step/T_m0, K_l = l*gamma*k*step/T_l0 (eq 12)."""
+        sys = _system()
+        service = ServiceModel(t1=0.2, c2=1.0)
+        k = service.k_approx(0.6)
+        assert sys.k_m == pytest.approx(k * 0.0031 / 50.0)
+        assert sys.k_l == pytest.approx(k * 0.0031 / 8.0)
+
+    def test_gain_ratio_is_delay_ratio(self):
+        sys = _system(t_m0=40.0, t_l0=10.0)
+        assert sys.k_l / sys.k_m == pytest.approx(4.0)
+
+    def test_rejects_out_of_range_operating_point(self):
+        model = ClosedLoopModel(
+            controller=ControllerModel(step=0.01, t_m0=50.0, t_l0=8.0),
+            service=ServiceModel(t1=0.2, c2=1.0),
+            q_ref=4.0,
+        )
+        with pytest.raises(ValueError):
+            linearize(model, 0.1)
+
+    def test_rejects_nonpositive_gains(self):
+        with pytest.raises(ValueError):
+            LinearizedSystem(k_m=0.0, k_l=1.0, k=1.0, f_op=1.0)
+
+
+class TestCharacteristicRoots:
+    def test_roots_satisfy_characteristic_equation(self):
+        k_m, k_l = 0.04, 0.3
+        for s in characteristic_roots(k_m, k_l):
+            residual = s * s + k_l * s + k_m
+            assert abs(residual) < 1e-12
+
+    def test_overdamped_real_roots(self):
+        r1, r2 = characteristic_roots(k_m=0.01, k_l=1.0)  # K_l^2 > 4 K_m
+        assert abs(r1.imag) < 1e-12 and abs(r2.imag) < 1e-12
+
+    def test_underdamped_complex_pair(self):
+        r1, r2 = characteristic_roots(k_m=1.0, k_l=0.2)
+        assert r1.imag != 0
+        assert r1.real == pytest.approx(r2.real)
+        assert r1.imag == pytest.approx(-r2.imag)
+
+
+class TestRemark1:
+    """Stability for any positive parameters."""
+
+    @pytest.mark.parametrize("k_m", [1e-6, 0.01, 1.0, 100.0])
+    @pytest.mark.parametrize("k_l", [1e-6, 0.1, 10.0])
+    def test_always_stable_with_positive_gains(self, k_m, k_l):
+        assert is_stable(k_m, k_l)
+
+    def test_any_positive_delays_and_step_are_stable(self):
+        for t_m0 in (1.0, 50.0, 1000.0):
+            for t_l0 in (0.5, 8.0, 100.0):
+                sys = _system(t_m0=t_m0, t_l0=t_l0)
+                assert analyze(sys).stable
+
+
+class TestRemark2:
+    """Smaller delays -> faster response."""
+
+    def test_smaller_delays_shrink_settling_time(self):
+        slow = analyze(_system(t_m0=100.0, t_l0=16.0))
+        fast = analyze(_system(t_m0=25.0, t_l0=4.0))
+        assert fast.settling_time < slow.settling_time
+
+    def test_settling_time_formula(self):
+        assert settling_time(0.5) == pytest.approx(16.0)
+
+    def test_rise_time_positive_and_shrinks_with_gain(self):
+        assert rise_time(0.04, 0.2) > rise_time(0.16, 0.4)
+
+
+class TestRemark3:
+    """Delay-ratio constraint for small overshoot."""
+
+    def test_damping_ratio_formula(self):
+        assert damping_ratio(k_m=0.25, k_l=0.5) == pytest.approx(0.5)
+
+    def test_overshoot_decreases_with_damping(self):
+        # same K_m, increasing K_l
+        o1 = percent_overshoot(0.25, 0.2)
+        o2 = percent_overshoot(0.25, 0.5)
+        o3 = percent_overshoot(0.25, 1.0)  # critically damped
+        assert o1 > o2 > o3 == 0.0
+
+    def test_half_damping_gives_sixteen_percent(self):
+        assert percent_overshoot(0.25, 0.5) == pytest.approx(16.3, abs=0.2)
+
+    def test_delay_ratio_bounds_at_kl_half(self):
+        """The paper's worked example: K_l = 1/2 gives R in [2, 8]."""
+        lo, hi = delay_ratio_bounds(0.5)
+        assert lo == pytest.approx(2.0)
+        assert hi == pytest.approx(8.0)
+        assert recommended_delay_ratio_range() == (lo, hi)
+
+    def test_paper_default_delays_inside_recommended_range(self):
+        lo, hi = recommended_delay_ratio_range()
+        assert lo <= 50.0 / 8.0 <= hi
+
+    def test_ratio_maps_monotonically_to_damping(self):
+        """Larger T_m0/T_l0 (smaller K_m at fixed K_l) -> more damping."""
+        xi = [
+            analyze(_system(t_m0=r * 8.0, t_l0=8.0)).damping_ratio
+            for r in (2.0, 4.0, 8.0)
+        ]
+        assert xi[0] < xi[1] < xi[2]
+
+
+class TestReport:
+    def test_summary_renders(self):
+        report = analyze(_system())
+        text = report.summary()
+        assert "STABLE" in text
+        assert "xi=" in text
+
+    def test_report_fields_consistent(self):
+        report = analyze(_system())
+        assert report.natural_frequency == pytest.approx(math.sqrt(report.k_m))
+        assert report.settling_time == pytest.approx(8.0 / report.k_l)

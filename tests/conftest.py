@@ -1,0 +1,50 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.mcd.domains import MachineConfig
+from repro.workloads.instructions import InstructionKind as K
+from repro.workloads.phases import BenchmarkSpec, PhaseSpec
+
+
+@pytest.fixture
+def machine() -> MachineConfig:
+    """The paper's Table-1 machine."""
+    return MachineConfig()
+
+
+@pytest.fixture
+def quiet_machine() -> MachineConfig:
+    """Table-1 machine without clock jitter, for deterministic timing tests."""
+    return MachineConfig(jitter_sigma_ns=0.0)
+
+
+@pytest.fixture
+def int_phase() -> PhaseSpec:
+    return PhaseSpec(
+        name="int",
+        length=2000,
+        mix={K.INT_ALU: 0.6, K.LOAD: 0.2, K.STORE: 0.05, K.BRANCH: 0.15},
+    )
+
+
+@pytest.fixture
+def fp_phase() -> PhaseSpec:
+    return PhaseSpec(
+        name="fp",
+        length=2000,
+        mix={K.FP_ADD: 0.4, K.FP_MUL: 0.2, K.INT_ALU: 0.2, K.LOAD: 0.2},
+    )
+
+
+@pytest.fixture
+def tiny_benchmark(int_phase, fp_phase) -> BenchmarkSpec:
+    """A small two-phase benchmark for integration tests."""
+    return BenchmarkSpec(
+        name="tiny-test",
+        suite="mediabench",
+        phases=(int_phase, fp_phase),
+        notes="test fixture",
+    )

@@ -1,0 +1,65 @@
+"""Unit tests for the adaptive controller configuration."""
+
+import pytest
+
+from repro.core.config import AdaptiveConfig, default_adaptive_config
+from repro.mcd.domains import DomainId
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        AdaptiveConfig()
+
+    def test_rejects_negative_qref(self):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(q_ref=-1)
+
+    def test_rejects_negative_windows(self):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(dw_level=-0.5)
+
+    def test_rejects_nonpositive_delays(self):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(t_m0=0)
+        with pytest.raises(ValueError):
+            AdaptiveConfig(t_l0=-1)
+
+    def test_rejects_nonpositive_constants(self):
+        with pytest.raises(ValueError):
+            AdaptiveConfig(m=0.0)
+
+
+class TestPaperDefaults:
+    def test_delays_match_section_51(self):
+        config = AdaptiveConfig()
+        assert config.t_m0 == 50.0
+        assert config.t_l0 == 8.0
+
+    def test_delay_ratio_in_remark3_range(self):
+        """Section 4's Remark 3: T_m0/T_l0 should be roughly 2-8."""
+        config = AdaptiveConfig()
+        assert 2.0 <= config.delay_ratio <= 8.0
+
+    def test_deviation_windows(self):
+        config = AdaptiveConfig()
+        assert config.dw_level == 1.0
+        assert config.dw_slope == 0.0
+
+    def test_per_domain_qref(self):
+        assert default_adaptive_config(DomainId.INT).q_ref == 6
+        assert default_adaptive_config(DomainId.FP).q_ref == 4
+        assert default_adaptive_config(DomainId.LS).q_ref == 4
+
+    def test_front_end_not_controllable(self):
+        with pytest.raises(ValueError):
+            default_adaptive_config(DomainId.FRONT_END)
+
+    def test_overrides(self):
+        config = default_adaptive_config(DomainId.FP, t_m0=16.0, q_ref=8)
+        assert config.t_m0 == 16.0
+        assert config.q_ref == 8
+
+    def test_with_delays(self):
+        config = AdaptiveConfig().with_delays(100.0, 10.0)
+        assert config.t_m0 == 100.0 and config.t_l0 == 10.0
+        assert config.q_ref == AdaptiveConfig().q_ref

@@ -1,0 +1,184 @@
+"""Unit tests for the assembled adaptive DVFS controller.
+
+These drive the controller with synthetic occupancy streams at the 4 ns
+sampling period and assert the paper's described behaviours: inactivity on
+steady workloads, downward scaling on emptiness, fast reaction to severe
+swings, and the hold during physical switching.
+"""
+
+import pytest
+
+from repro.core.config import AdaptiveConfig
+from repro.core.controller import AdaptiveDvfsController
+from repro.mcd.domains import DomainId, MachineConfig
+
+
+def _controller(**overrides):
+    machine = MachineConfig()
+    config = AdaptiveConfig(q_ref=4, **overrides)
+    return AdaptiveDvfsController(DomainId.FP, config, machine), machine
+
+
+def _drive(controller, occupancies, freq=1.0, t0=0.0, dt=4.0):
+    """Feed a list of occupancy samples; return the commands issued."""
+    commands = []
+    t = t0
+    for occ in occupancies:
+        cmd = controller.observe(t, occ, freq)
+        if cmd is not None:
+            commands.append((t, cmd))
+        t += dt
+    return commands
+
+
+class TestInactivity:
+    def test_steady_at_reference_never_acts(self):
+        controller, _ = _controller()
+        commands = _drive(controller, [4] * 2000)
+        assert commands == []
+
+    def test_small_wobble_inside_windows_never_acts(self):
+        """Occupancy oscillating within the deviation window is noise."""
+        controller, _ = _controller()
+        # level in {-1, 0, +1}: inside DW_level; slope alternates +-1...
+        # slope DW is 0, so slope +-1 counts -- but it alternates sign each
+        # sample, restarting the count each time: no action with t_l0 = 8.
+        wobble = [4, 5, 4, 5, 4, 5] * 300
+        commands = _drive(controller, wobble)
+        assert commands == []
+
+
+class TestScalingDown:
+    def test_empty_queue_steps_down(self):
+        controller, _ = _controller()
+        commands = _drive(controller, [0] * 500)
+        assert commands
+        assert all(cmd.steps < 0 for _, cmd in commands)
+
+    def test_first_reaction_within_scaled_delay(self):
+        """|level| = 4 with t_m0 = 50 -> counter needs ceil(50/4) = 13
+        samples; the first command must come at sample 13, i.e. within 52 ns
+        -- not at the end of any 10 us interval."""
+        controller, _ = _controller()
+        commands = _drive(controller, [0] * 100)
+        first_t, _ = commands[0]
+        assert first_t == pytest.approx(12 * 4.0)
+
+    def test_down_steps_slower_at_low_frequency(self):
+        """The 1/f^2 count-down scaling: more cautious near f_min."""
+        fast_ctrl, _ = _controller()
+        slow_ctrl, _ = _controller()
+        fast = _drive(fast_ctrl, [0] * 2000, freq=1.0)
+        slow = _drive(slow_ctrl, [0] * 2000, freq=0.5)
+        assert len(slow) < len(fast)
+
+
+class TestScalingUp:
+    def test_full_queue_steps_up(self):
+        controller, _ = _controller()
+        commands = _drive(controller, [16] * 200)
+        assert commands
+        assert all(cmd.steps > 0 for _, cmd in commands)
+
+    def test_sudden_jump_triggers_slope_fsm_quickly(self):
+        """A severe swing (slope +5/sample) must trigger within ~2 samples
+        via the slope signal (t_l0 = 8, increments of 5)."""
+        controller, _ = _controller()
+        ramp = [4, 4, 4, 9, 14]  # steady, then climbing fast
+        commands = _drive(controller, ramp)
+        assert commands
+        t, cmd = commands[0]
+        assert cmd.steps > 0
+        assert t <= 4 * 4.0
+
+    def test_combined_trigger_gives_double_step(self):
+        """When level and slope trigger together the scheduler combines
+        them into one +-2-step action.
+
+        Construction: hold occupancy 6 (level +2/sample, slope quiet) for 24
+        samples so the level counter sits at 48, then jump to 16 -- the jump
+        adds 12 to the level counter (60 >= 50, trigger) and drives the slope
+        counter to 10 (>= 8, trigger) on the same sample.
+        """
+        controller, _ = _controller()
+        stream = [4] + [6] * 24 + [16]
+        commands = _drive(controller, stream)
+        assert commands
+        assert commands[-1][1].steps == 2
+
+
+class TestSwitchingHold:
+    def test_no_new_action_during_switch(self):
+        controller, machine = _controller()
+        commands = _drive(controller, [16] * 200)
+        ts = controller.switching_time_ns
+        for (t1, c1), (t2, c2) in zip(commands, commands[1:]):
+            assert t2 - t1 >= ts * abs(c1.steps) - 1e-9
+
+    def test_switching_time_matches_regulator_physics(self):
+        controller, machine = _controller()
+        expected = machine.step_ghz * 1e3 * machine.slew_ns_per_mhz
+        assert controller.switching_time_ns == pytest.approx(expected)
+
+
+class TestAblations:
+    def test_level_only_controller_still_works(self):
+        controller, _ = _controller(use_slope_signal=False)
+        commands = _drive(controller, [0] * 500)
+        assert commands
+
+    def test_level_only_misses_fast_swings(self):
+        """Without the slope signal, a short spike whose accumulated level
+        deviation stays under T_m0 produces no reaction at all, while the
+        slope FSM (T_l0 = 8) catches it within two samples."""
+        spike = [4] * 50 + [9, 14, 16, 14, 9] + [4] * 50
+        with_slope, _ = _controller()
+        without, _ = _controller(use_slope_signal=False)
+        cmds_with = _drive(with_slope, spike)
+        cmds_without = _drive(without, spike)
+        assert len(cmds_with) >= 1
+        assert len(cmds_without) == 0
+
+    def test_fsms_return_to_wait_after_swing(self):
+        """After a swing subsides and any in-flight switch completes, both
+        FSMs must be back in Wait (Figure 4's reset arcs)."""
+        from repro.core.fsm import FsmState
+
+        controller, _ = _controller()
+        # a falling swing, then long enough at the reference for the
+        # switching hold (~43 samples) to expire and the FSMs to reset
+        stream = [16, 15, 13, 11, 9, 7, 5] + [4] * 120
+        _drive(controller, stream)
+        assert controller.level_fsm.state is FsmState.WAIT
+        assert controller.slope_fsm.state is FsmState.WAIT
+
+    def test_opposite_simultaneous_triggers_cancel(self):
+        """Queue far above reference (level counting up) while draining fast
+        (slope counting down): when both fire on one sample the scheduler
+        cancels them, no command is issued, and both FSMs reset to Wait.
+
+        Construction (t_m0 = 26, t_l0 = 6): three samples at occupancy 12
+        put the level counter at 24; the drop to 6 adds 2 (level trigger at
+        26) while the slope of -6 fills the slope counter (6 >= 6) on the
+        same sample.  Count-down frequency scaling is disabled so the slope
+        increment is exact.
+        """
+        from repro.core.fsm import FsmState
+
+        controller, _ = _controller(t_m0=26.0, t_l0=6.0, freq_scaled_down_delay=False)
+        commands = _drive(controller, [12, 12, 12, 6])
+        assert commands == []
+        assert controller.scheduler.cancellations == 1
+        assert controller.level_fsm.state is FsmState.WAIT
+        assert controller.slope_fsm.state is FsmState.WAIT
+
+
+class TestReset:
+    def test_reset_restores_initial_state(self):
+        controller, _ = _controller()
+        _drive(controller, [0] * 300)
+        assert controller.commands_issued > 0
+        controller.reset()
+        assert controller.commands_issued == 0
+        assert controller.scheduler.actions == 0
+        assert _drive(controller, [4] * 10) == []

@@ -1,0 +1,136 @@
+"""Unit tests for the per-signal time-delay FSM (paper Figures 3-4)."""
+
+import pytest
+
+from repro.core.fsm import FsmState, TimeDelayFsm
+
+
+def _fsm(delay=4.0, dw=1.0, **kw):
+    return TimeDelayFsm(delay=delay, deviation_window=dw, **kw)
+
+
+class TestDeviationWindow:
+    def test_inside_window_stays_waiting(self):
+        fsm = _fsm(dw=1.0)
+        for signal in (0.0, 0.5, -0.5, 1.0, -1.0):
+            assert fsm.step(signal, 1.0) == 0
+            assert fsm.state is FsmState.WAIT
+
+    def test_outside_window_starts_counting(self):
+        fsm = _fsm(delay=100.0, dw=1.0)
+        fsm.step(2.0, 1.0)
+        assert fsm.state is FsmState.COUNT_UP
+        fsm.reset()
+        fsm.step(-2.0, 1.0)
+        assert fsm.state is FsmState.COUNT_DOWN
+
+    def test_zero_window_any_nonzero_counts(self):
+        fsm = _fsm(delay=100.0, dw=0.0)
+        fsm.step(0.5, 1.0)
+        assert fsm.state is FsmState.COUNT_UP
+
+    def test_boundary_is_inside(self):
+        """The window is closed: |signal| == DW does not count."""
+        fsm = _fsm(dw=1.0)
+        fsm.step(1.0, 1.0)
+        assert fsm.state is FsmState.WAIT
+
+
+class TestResettableDelay:
+    def test_returning_inside_window_resets_counter(self):
+        fsm = _fsm(delay=3.0, dw=1.0, signal_scaled=False)
+        fsm.step(2.0, 1.0)
+        fsm.step(2.0, 1.0)
+        fsm.step(0.0, 1.0)  # back inside: reset
+        assert fsm.counter == 0.0
+        assert fsm.state is FsmState.WAIT
+        # needs the full delay again
+        assert fsm.step(2.0, 1.0) == 0
+        assert fsm.step(2.0, 1.0) == 0
+        assert fsm.step(2.0, 1.0) == 1
+
+    def test_crossing_sides_restarts_count(self):
+        fsm = _fsm(delay=3.0, dw=1.0, signal_scaled=False, freq_scaled_down=False)
+        fsm.step(2.0, 1.0)
+        fsm.step(2.0, 1.0)
+        fsm.step(-2.0, 1.0)  # crossed: restart counting down
+        assert fsm.state is FsmState.COUNT_DOWN
+        assert fsm.counter == pytest.approx(1.0)
+
+    def test_trigger_after_delay_and_reset(self):
+        fsm = _fsm(delay=3.0, dw=1.0, signal_scaled=False)
+        assert fsm.step(2.0, 1.0) == 0
+        assert fsm.step(2.0, 1.0) == 0
+        assert fsm.step(2.0, 1.0) == 1
+        assert fsm.state is FsmState.WAIT
+        assert fsm.counter == 0.0
+
+    def test_down_trigger(self):
+        fsm = _fsm(delay=2.0, dw=1.0, signal_scaled=False, freq_scaled_down=False)
+        assert fsm.step(-2.0, 1.0) == 0
+        assert fsm.step(-2.0, 1.0) == -1
+
+
+class TestSignalScaledDelay:
+    def test_larger_signal_triggers_sooner(self):
+        """Counter increments by |signal|: the eq-5 scaling emulation."""
+        slow = _fsm(delay=8.0, dw=1.0, signal_scaled=True)
+        fast = _fsm(delay=8.0, dw=1.0, signal_scaled=True)
+        slow_steps = fast_steps = 0
+        while slow.step(2.0, 1.0) == 0:
+            slow_steps += 1
+        while fast.step(8.0, 1.0) == 0:
+            fast_steps += 1
+        assert fast_steps < slow_steps
+
+    def test_unscaled_counts_samples(self):
+        fsm = _fsm(delay=5.0, dw=1.0, signal_scaled=False)
+        triggers = [fsm.step(3.0, 1.0) for _ in range(5)]
+        assert triggers == [0, 0, 0, 0, 1]
+
+
+class TestFrequencyScaledCountDown:
+    def test_low_frequency_slows_count_down(self):
+        """At f_hat = 0.5 the count-down delay is 4x longer (1/f^2)."""
+
+        def samples_to_trigger(f_rel):
+            fsm = _fsm(delay=4.0, dw=1.0, signal_scaled=False, freq_scaled_down=True)
+            for n in range(1, 200):
+                if fsm.step(-2.0, f_rel) != 0:
+                    return n
+            raise AssertionError("never triggered")
+
+        assert samples_to_trigger(0.5) == 4 * samples_to_trigger(1.0)
+
+    def test_count_up_not_frequency_scaled(self):
+        """Only the count-*down* delay is scaled: scaling up must stay fast
+        even at low frequency."""
+        fsm = _fsm(delay=4.0, dw=1.0, signal_scaled=False, freq_scaled_down=True)
+        steps = 0
+        while fsm.step(2.0, 0.25) == 0 and steps < 100:
+            steps += 1
+        assert steps == 3  # same as at full frequency
+
+    def test_disabled_scaling(self):
+        fsm = _fsm(delay=4.0, dw=1.0, signal_scaled=False, freq_scaled_down=False)
+        steps = 0
+        while fsm.step(-2.0, 0.25) == 0 and steps < 100:
+            steps += 1
+        assert steps == 3
+
+
+class TestValidation:
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            TimeDelayFsm(delay=0.0, deviation_window=1.0)
+        with pytest.raises(ValueError):
+            TimeDelayFsm(delay=1.0, deviation_window=-1.0)
+        with pytest.raises(ValueError):
+            TimeDelayFsm(delay=1.0, deviation_window=0.0, scale=0.0)
+
+    def test_rejects_bad_frequency(self):
+        fsm = _fsm()
+        with pytest.raises(ValueError):
+            fsm.step(2.0, 0.0)
+        with pytest.raises(ValueError):
+            fsm.step(2.0, 1.5)

@@ -1,0 +1,57 @@
+"""Unit tests for the hardware-cost model (paper Figure 5 and the
+"smaller and cheaper hardware" claim)."""
+
+import pytest
+
+from repro.core.hardware import (
+    adaptive_decision_logic_cost,
+    attack_decay_decision_logic_cost,
+    pid_decision_logic_cost,
+    _bits_for,
+)
+from repro.mcd.domains import MachineConfig
+
+
+class TestBitWidths:
+    def test_bits_for(self):
+        assert _bits_for(1) == 1
+        assert _bits_for(20) == 5
+        assert _bits_for(63) == 6
+        assert _bits_for(64) == 7
+        assert _bits_for(255) == 8
+
+    def test_paper_figure5_widths(self):
+        """A ~20-entry queue needs a 6-bit adder and 7-bit signal; the
+        time-delay counter is 8 bits for delays up to 256."""
+        cost = adaptive_decision_logic_cost(queue_size=63, delay_max=256)
+        blocks = cost.as_dict()
+        assert blocks["level adder"] == 6 * 5
+        assert blocks["level comparator"] == 7 * 4
+        assert blocks["level delay counter"] == 8 * 8
+
+
+class TestCostComparison:
+    def test_adaptive_cheaper_than_pid(self):
+        """The paper's hardware claim: no multipliers -> much smaller."""
+        adaptive = adaptive_decision_logic_cost()
+        pid = pid_decision_logic_cost()
+        assert adaptive.total_gates < pid.total_gates / 3
+
+    def test_adaptive_cheaper_than_attack_decay(self):
+        adaptive = adaptive_decision_logic_cost()
+        ad = attack_decay_decision_logic_cost()
+        assert adaptive.total_gates < ad.total_gates
+
+    def test_pid_dominated_by_multipliers(self):
+        pid = pid_decision_logic_cost()
+        blocks = pid.as_dict()
+        assert blocks["gain multipliers (x3)"] > pid.total_gates / 2
+
+    def test_from_machine_config(self):
+        cost = adaptive_decision_logic_cost(machine=MachineConfig())
+        assert cost.total_gates > 0
+        assert cost.scheme == "adaptive"
+
+    def test_total_is_sum_of_blocks(self):
+        cost = adaptive_decision_logic_cost()
+        assert cost.total_gates == sum(cost.as_dict().values())

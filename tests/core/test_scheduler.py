@@ -1,0 +1,86 @@
+"""Unit tests for the action scheduler (paper Section 3.1 reconciliation)."""
+
+import pytest
+
+from repro.core.scheduler import ActionScheduler
+
+
+def _sched(ts=172.0, combine=True):
+    return ActionScheduler(switching_time_ns=ts, combine_actions=combine)
+
+
+class TestSingleTriggers:
+    def test_level_only(self):
+        action = _sched().reconcile(0.0, 1, 0)
+        assert action.steps == 1
+
+    def test_slope_only_down(self):
+        action = _sched().reconcile(0.0, 0, -1)
+        assert action.steps == -1
+
+    def test_no_triggers(self):
+        assert _sched().reconcile(0.0, 0, 0) is None
+
+
+class TestReconciliation:
+    def test_identical_triggers_combine_to_double_step(self):
+        sched = _sched()
+        action = sched.reconcile(0.0, 1, 1)
+        assert action.steps == 2
+        assert sched.combined == 1
+
+    def test_identical_down_triggers(self):
+        assert _sched().reconcile(0.0, -1, -1).steps == -2
+
+    def test_opposite_triggers_cancel(self):
+        sched = _sched()
+        assert sched.reconcile(0.0, 1, -1) is None
+        assert sched.cancellations == 1
+        assert sched.actions == 0
+
+    def test_serialize_mode_takes_level_action(self):
+        sched = _sched(combine=False)
+        action = sched.reconcile(0.0, 1, 1)
+        assert action.steps == 1
+
+
+class TestSwitchingTime:
+    def test_busy_during_switch(self):
+        sched = _sched(ts=172.0)
+        action = sched.reconcile(0.0, 1, 0)
+        assert action.completes_ns == pytest.approx(172.0)
+        assert sched.busy(100.0)
+        assert not sched.busy(172.0)
+
+    def test_double_step_takes_double_time(self):
+        sched = _sched(ts=172.0)
+        action = sched.reconcile(0.0, -1, -1)
+        assert action.completes_ns == pytest.approx(344.0)
+
+    def test_zero_switching_time_never_busy(self):
+        sched = _sched(ts=0.0)
+        sched.reconcile(0.0, 1, 0)
+        assert not sched.busy(0.0)
+
+
+class TestBookkeeping:
+    def test_action_count(self):
+        sched = _sched()
+        sched.reconcile(0.0, 1, 0)
+        sched.reconcile(500.0, 0, -1)
+        assert sched.actions == 2
+
+    def test_reset(self):
+        sched = _sched()
+        sched.reconcile(0.0, 1, 1)
+        sched.reset()
+        assert sched.actions == 0
+        assert not sched.busy(0.0)
+
+    def test_rejects_invalid_triggers(self):
+        with pytest.raises(ValueError):
+            _sched().reconcile(0.0, 2, 0)
+
+    def test_rejects_negative_switching_time(self):
+        with pytest.raises(ValueError):
+            ActionScheduler(switching_time_ns=-1.0)

@@ -1,0 +1,111 @@
+"""Unit tests for the attack/decay fixed-interval baseline."""
+
+import pytest
+
+from repro.dvfs.attack_decay import AttackDecayConfig, AttackDecayController
+from repro.mcd.domains import DomainId
+
+
+def _controller(**overrides):
+    defaults = dict(interval_ns=100.0, capacity=16)
+    defaults.update(overrides)
+    return AttackDecayController(DomainId.FP, AttackDecayConfig(**defaults))
+
+
+def _drive(ctrl, occupancies, freq=1.0, dt=4.0):
+    commands = []
+    t = 0.0
+    for occ in occupancies:
+        cmd = ctrl.observe(t, occ, freq)
+        if cmd is not None:
+            commands.append((t, cmd))
+        t += dt
+    return commands
+
+
+class TestIntervalBoundary:
+    def test_no_decision_before_interval_ends(self):
+        ctrl = _controller(interval_ns=1000.0)
+        commands = _drive(ctrl, [16] * 100)  # 400 ns < 1000 ns
+        assert commands == []
+
+    def test_first_interval_only_establishes_reference(self):
+        ctrl = _controller(interval_ns=100.0)
+        commands = _drive(ctrl, [16] * 26)  # one interval
+        assert commands == []
+        assert ctrl.intervals_elapsed == 1
+
+    def test_decisions_happen_once_per_interval(self):
+        ctrl = _controller(interval_ns=100.0)
+        _drive(ctrl, [0] * 26 + [16] * 26 + [0] * 26)
+        assert ctrl.intervals_elapsed == 3
+
+
+class TestAttack:
+    def test_utilization_jump_attacks_up(self):
+        ctrl = _controller()
+        commands = _drive(ctrl, [0] * 26 + [16] * 26)
+        assert len(commands) == 1
+        _, cmd = commands[0]
+        assert cmd.target_ghz == pytest.approx(1.0 * 1.07)
+
+    def test_utilization_drop_attacks_down(self):
+        ctrl = _controller()
+        commands = _drive(ctrl, [16] * 26 + [0] * 26)
+        _, cmd = commands[-1]
+        assert cmd.target_ghz == pytest.approx(1.0 * 0.93)
+
+    def test_subthreshold_change_does_not_attack(self):
+        """A 1-entry wiggle on a 16-entry queue is ~6% utilization -- above
+        threshold; a fractional-entry average change is not."""
+        ctrl = _controller(threshold=0.10)
+        commands = _drive(ctrl, [8] * 26 + [9] * 26)
+        if commands:
+            _, cmd = commands[-1]
+            assert cmd.target_ghz < 1.0  # decay, not attack
+
+
+class TestDecay:
+    def test_steady_workload_decays_down(self):
+        ctrl = _controller(decay=0.01)
+        commands = _drive(ctrl, [8] * 26 * 3)
+        assert commands
+        for _, cmd in commands:
+            assert cmd.target_ghz == pytest.approx(0.99, abs=0.001)
+
+    def test_zero_decay_stays_put(self):
+        ctrl = _controller(decay=0.0)
+        commands = _drive(ctrl, [8] * 26 * 3)
+        assert commands == []
+
+
+class TestIntervalAveraging:
+    def test_intra_interval_swing_cancels_out(self):
+        """The paper's core criticism: surges that drain again within the
+        interval leave the interval average unchanged, so the fixed-interval
+        scheme never attacks -- however violent the swing."""
+        ctrl = _controller(decay=0.0)
+        # violent 5-sample swing whose period divides the 25-sample
+        # interval: every interval averages exactly 6.4 entries
+        swing = [16, 16, 0, 0, 0] * 40
+        commands = _drive(ctrl, swing)
+        assert commands == []
+
+
+class TestValidation:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            AttackDecayConfig(interval_ns=0)
+        with pytest.raises(ValueError):
+            AttackDecayConfig(attack=1.5)
+        with pytest.raises(ValueError):
+            AttackDecayConfig(decay=-0.1)
+        with pytest.raises(ValueError):
+            AttackDecayConfig(capacity=0)
+
+    def test_reset(self):
+        ctrl = _controller()
+        _drive(ctrl, [0] * 60)
+        ctrl.reset()
+        assert ctrl.intervals_elapsed == 0
+        assert _drive(ctrl, [8] * 26) == []

@@ -1,0 +1,49 @@
+"""Unit tests for the controller interface and the full-speed baseline."""
+
+import pytest
+
+from repro.dvfs.base import DvfsController, FrequencyCommand, FullSpeedController
+from repro.mcd.domains import DomainId
+
+
+class TestFrequencyCommand:
+    def test_relative_command(self):
+        cmd = FrequencyCommand(steps=-2)
+        assert cmd.steps == -2 and cmd.target_ghz is None
+
+    def test_absolute_command(self):
+        cmd = FrequencyCommand(target_ghz=0.5)
+        assert cmd.target_ghz == 0.5 and cmd.steps == 0
+
+    def test_rejects_both_forms(self):
+        with pytest.raises(ValueError):
+            FrequencyCommand(steps=1, target_ghz=0.5)
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            FrequencyCommand()
+
+
+class TestFullSpeed:
+    def test_never_commands(self):
+        ctrl = FullSpeedController(DomainId.FP)
+        for t in range(100):
+            assert ctrl.observe(t * 4.0, t % 17, 1.0) is None
+        assert ctrl.commands_issued == 0
+
+    def test_name(self):
+        assert FullSpeedController(DomainId.INT).name == "FullSpeedController"
+
+
+class TestIssueCounting:
+    def test_issue_increments_counter(self):
+        class Once(DvfsController):
+            def observe(self, now_ns, occupancy, freq_ghz):
+                return self._issue(FrequencyCommand(steps=1))
+
+        ctrl = Once(DomainId.LS)
+        ctrl.observe(0.0, 0, 1.0)
+        ctrl.observe(4.0, 0, 1.0)
+        assert ctrl.commands_issued == 2
+        ctrl.reset()
+        assert ctrl.commands_issued == 0

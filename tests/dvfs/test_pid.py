@@ -1,0 +1,113 @@
+"""Unit tests for the PID fixed-interval baseline."""
+
+import pytest
+
+from repro.dvfs.pid import PidConfig, PidController
+from repro.mcd.domains import DomainId
+
+
+def _controller(**overrides):
+    defaults = dict(interval_ns=100.0, q_ref=4.0)
+    defaults.update(overrides)
+    return PidController(DomainId.FP, PidConfig(**defaults))
+
+
+def _drive(ctrl, occupancies, freq=1.0, dt=4.0, track_freq=False):
+    """Feed samples; optionally let frequency follow commands instantly."""
+    commands = []
+    t, f = 0.0, freq
+    for occ in occupancies:
+        cmd = ctrl.observe(t, occ, f)
+        if cmd is not None:
+            commands.append((t, cmd))
+            if track_freq:
+                f = min(1.0, max(0.25, cmd.target_ghz))
+        t += dt
+    return commands
+
+
+class TestIntervalBehaviour:
+    def test_silent_within_interval(self):
+        ctrl = _controller(interval_ns=1000.0)
+        assert _drive(ctrl, [0] * 200) == []
+
+    def test_one_decision_per_interval(self):
+        ctrl = _controller()
+        _drive(ctrl, [0] * 26 * 5)
+        assert ctrl.intervals_elapsed == 5
+
+
+class TestControlLaw:
+    def test_empty_queue_lowers_frequency(self):
+        ctrl = _controller()
+        commands = _drive(ctrl, [0] * 26 * 3)
+        assert commands
+        for _, cmd in commands:
+            assert cmd.target_ghz < 1.0
+
+    def test_full_queue_raises_frequency(self):
+        ctrl = _controller()
+        commands = _drive(ctrl, [16] * 26 * 2, freq=0.5)
+        assert commands
+        assert commands[-1][1].target_ghz > 0.5
+
+    def test_at_reference_no_command(self):
+        ctrl = _controller()
+        assert _drive(ctrl, [4] * 26 * 4) == []
+
+    def test_integral_action_accumulates(self):
+        """A persistent error keeps pushing in the same direction."""
+        ctrl = _controller()
+        commands = _drive(ctrl, [0] * 26 * 6, track_freq=True)
+        targets = [cmd.target_ghz for _, cmd in commands]
+        assert all(b < a for a, b in zip(targets, targets[1:]))
+
+    def test_velocity_form_step_size(self):
+        """First decision after a constant error e: delta = ki * e (the
+        difference terms vanish when e[k]=e[k-1]=e[k-2])."""
+        config = PidConfig(interval_ns=100.0, q_ref=4.0)
+        ctrl = PidController(DomainId.FP, config)
+        commands = _drive(ctrl, [0] * 26 * 2)
+        _, cmd = commands[0]
+        assert cmd.target_ghz == pytest.approx(1.0 + config.ki * (-4.0))
+
+    def test_interval_averaging_blind_spot(self):
+        """Same blind spot as attack/decay: symmetric intra-interval swings
+        average to the reference and produce (almost) no action."""
+        config = PidConfig(interval_ns=100.0, q_ref=4.0)
+        ctrl = PidController(DomainId.FP, config)
+        # 5-sample swing (period divides the 25-sample interval) averaging
+        # exactly q_ref: every interval error is identically zero
+        swing = [10, 10, 0, 0, 0] * 48
+        assert _drive(ctrl, swing) == []
+
+
+class TestIntervalSweep:
+    def test_with_interval(self):
+        config = PidConfig(interval_ns=10_000.0)
+        short = config.with_interval(2_500.0)
+        assert short.interval_ns == 2_500.0
+        assert short.ki == config.ki
+
+    def test_shorter_interval_reacts_sooner(self):
+        long_ctrl = _controller(interval_ns=400.0)
+        short_ctrl = _controller(interval_ns=100.0)
+        long_cmds = _drive(long_ctrl, [0] * 150)
+        short_cmds = _drive(short_ctrl, [0] * 150)
+        assert short_cmds and long_cmds
+        assert short_cmds[0][0] < long_cmds[0][0]
+
+
+class TestValidation:
+    def test_rejects_bad_config(self):
+        with pytest.raises(ValueError):
+            PidConfig(interval_ns=0)
+        with pytest.raises(ValueError):
+            PidConfig(q_ref=-1)
+
+    def test_reset(self):
+        ctrl = _controller()
+        _drive(ctrl, [0] * 100)
+        ctrl.reset()
+        assert ctrl.intervals_elapsed == 0
+        assert ctrl.commands_issued == 0

@@ -1,0 +1,132 @@
+"""Unit tests for the slew-rate-limited voltage regulator."""
+
+import pytest
+
+from repro.dvfs.base import FrequencyCommand
+from repro.dvfs.regulator import VoltageRegulator
+from repro.mcd.domains import DomainId, MachineConfig
+
+
+def _regulator(**cfg_overrides):
+    config = MachineConfig(**cfg_overrides)
+    return VoltageRegulator(DomainId.FP, config), config
+
+
+class TestTargeting:
+    def test_starts_at_fmax(self):
+        reg, config = _regulator()
+        assert reg.current_freq_ghz == config.f_max_ghz
+        assert not reg.in_transition
+
+    def test_step_command_moves_target(self):
+        reg, config = _regulator()
+        reg.apply(FrequencyCommand(steps=-2))
+        assert reg.target_freq_ghz == pytest.approx(
+            config.f_max_ghz - 2 * config.step_ghz
+        )
+        assert reg.in_transition
+
+    def test_absolute_command(self):
+        reg, _ = _regulator()
+        reg.apply(FrequencyCommand(target_ghz=0.5))
+        assert reg.target_freq_ghz == pytest.approx(0.5)
+
+    def test_target_clamped_to_envelope(self):
+        reg, config = _regulator()
+        reg.apply(FrequencyCommand(target_ghz=2.0))
+        assert reg.target_freq_ghz == config.f_max_ghz
+        reg.apply(FrequencyCommand(target_ghz=0.01))
+        assert reg.target_freq_ghz == config.f_min_ghz
+
+    def test_step_up_at_fmax_is_not_a_transition(self):
+        reg, _ = _regulator()
+        reg.apply(FrequencyCommand(steps=3))
+        assert not reg.in_transition
+        assert reg.transitions == 0
+
+
+class TestSlew:
+    def test_slew_rate_limits_travel(self):
+        reg, config = _regulator()
+        reg.apply(FrequencyCommand(target_ghz=config.f_min_ghz))
+        reg.advance(73.3)  # exactly 1 MHz of travel
+        assert config.f_max_ghz - reg.current_freq_ghz == pytest.approx(1e-3)
+
+    def test_reaches_target_and_stops(self):
+        reg, config = _regulator()
+        reg.apply(FrequencyCommand(steps=-1))
+        total = reg.switching_time_ns(1)
+        reg.advance(total * 2)
+        assert reg.current_freq_ghz == pytest.approx(reg.target_freq_ghz)
+        assert not reg.in_transition
+
+    def test_switching_time_matches_table1(self):
+        """One 2.34 MHz step at 73.3 ns/MHz ~= 172 ns."""
+        reg, config = _regulator()
+        assert reg.switching_time_ns(1) == pytest.approx(
+            config.step_ghz * 1e3 * 73.3
+        )
+        assert reg.switching_time_ns(1) == pytest.approx(171.8, abs=0.5)
+
+    def test_full_range_traversal_time(self):
+        """750 MHz at 73.3 ns/MHz ~= 55 us."""
+        reg, _ = _regulator()
+        assert reg.switching_time_ns(320) == pytest.approx(55.0e3, rel=0.01)
+
+    def test_upward_slew(self):
+        config = MachineConfig()
+        reg = VoltageRegulator(DomainId.FP, config, initial_freq_ghz=0.25)
+        reg.apply(FrequencyCommand(target_ghz=1.0))
+        reg.advance(73.3 * 10)
+        assert reg.current_freq_ghz == pytest.approx(0.26)
+
+    def test_advance_rejects_negative_dt(self):
+        reg, _ = _regulator()
+        with pytest.raises(ValueError):
+            reg.advance(-1.0)
+
+    def test_execution_continues_through_transition(self):
+        """XScale-style: current frequency is always a valid operating
+        point, never zero or out of range during a transition."""
+        reg, config = _regulator()
+        reg.apply(FrequencyCommand(target_ghz=config.f_min_ghz))
+        for _ in range(100):
+            reg.advance(100.0)
+            assert config.f_min_ghz <= reg.current_freq_ghz <= config.f_max_ghz
+
+
+class TestVoltageTracking:
+    def test_voltage_follows_frequency(self):
+        reg, config = _regulator()
+        assert reg.voltage == pytest.approx(config.v_max)
+        reg.apply(FrequencyCommand(target_ghz=config.f_min_ghz))
+        reg.advance(1e6)
+        assert reg.voltage == pytest.approx(config.v_min)
+
+    def test_voltage_midpoint(self):
+        config = MachineConfig()
+        mid_f = (config.f_min_ghz + config.f_max_ghz) / 2
+        reg = VoltageRegulator(DomainId.FP, config, initial_freq_ghz=mid_f)
+        assert reg.voltage == pytest.approx((config.v_min + config.v_max) / 2)
+
+
+class TestAccounting:
+    def test_transition_count(self):
+        reg, _ = _regulator()
+        reg.apply(FrequencyCommand(steps=-1))
+        reg.apply(FrequencyCommand(steps=-1))
+        reg.apply(FrequencyCommand(target_ghz=0.9))
+        assert reg.transitions == 3
+
+    def test_total_travel(self):
+        reg, config = _regulator()
+        reg.apply(FrequencyCommand(target_ghz=0.9))
+        reg.advance(1e6)
+        reg.apply(FrequencyCommand(target_ghz=1.0))
+        reg.advance(1e6)
+        assert reg.total_travel_ghz == pytest.approx(0.2)
+
+    def test_relative_frequency(self):
+        config = MachineConfig()
+        reg = VoltageRegulator(DomainId.INT, config, initial_freq_ghz=0.5)
+        assert reg.relative_frequency == pytest.approx(0.5)

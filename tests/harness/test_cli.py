@@ -1,0 +1,57 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run", "gzip"])
+        assert args.scheme == "adaptive"
+        assert args.instructions == 60_000
+
+    def test_run_rejects_unknown_benchmark(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "doom"])
+
+    def test_compare_rejects_full_speed(self):
+        """full-speed is the implicit baseline, not a comparable scheme."""
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "gzip", "--schemes", "full-speed"])
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "epic-decode" in out
+        assert "fast" in out and "steady" in out
+
+    def test_run(self, capsys):
+        assert main(["run", "adpcm-encode", "--instructions", "3000"]) == 0
+        out = capsys.readouterr().out
+        assert "instructions retired" in out
+        assert "mean f (fp )" in out or "mean f (fp" in out
+
+    def test_compare(self, capsys):
+        assert main(
+            ["compare", "adpcm-encode", "--schemes", "adaptive",
+             "--instructions", "3000"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "energy savings" in out
+
+    def test_analyze(self, capsys):
+        assert main(["analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "STABLE" in out
+        assert "xi=" in out
+
+    def test_analyze_custom_delays(self, capsys):
+        assert main(["analyze", "--t-m0", "16", "--t-l0", "8"]) == 0
+        assert "STABLE" in capsys.readouterr().out

@@ -1,0 +1,95 @@
+"""Tests for the experiment harness (controllers + single runs)."""
+
+import pytest
+
+from repro.core.controller import AdaptiveDvfsController
+from repro.dvfs.attack_decay import AttackDecayController
+from repro.dvfs.pid import PidController
+from repro.harness.experiment import SCHEMES, build_controllers, run_experiment
+from repro.mcd.domains import CONTROLLED_DOMAINS, DomainId, MachineConfig
+
+
+class TestBuildControllers:
+    def test_full_speed_is_empty(self):
+        assert build_controllers("full-speed") == {}
+
+    def test_adaptive_builds_one_per_domain(self):
+        controllers = build_controllers("adaptive")
+        assert set(controllers) == set(CONTROLLED_DOMAINS)
+        for domain, ctrl in controllers.items():
+            assert isinstance(ctrl, AdaptiveDvfsController)
+            assert ctrl.domain is domain
+
+    def test_adaptive_per_domain_qref(self):
+        controllers = build_controllers("adaptive")
+        assert controllers[DomainId.INT].config.q_ref == 6
+        assert controllers[DomainId.FP].config.q_ref == 4
+
+    def test_attack_decay_uses_domain_capacity(self):
+        controllers = build_controllers("attack-decay")
+        assert isinstance(controllers[DomainId.INT], AttackDecayController)
+        assert controllers[DomainId.INT].config.capacity == 20
+        assert controllers[DomainId.FP].config.capacity == 16
+
+    def test_pid_interval_override(self):
+        controllers = build_controllers("pid", pid_interval_ns=2500.0)
+        for ctrl in controllers.values():
+            assert isinstance(ctrl, PidController)
+            assert ctrl.config.interval_ns == 2500.0
+
+    def test_adaptive_overrides_forwarded(self):
+        controllers = build_controllers(
+            "adaptive", adaptive_overrides={"use_slope_signal": False}
+        )
+        for ctrl in controllers.values():
+            assert not ctrl.config.use_slope_signal
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError, match="unknown scheme"):
+            build_controllers("turbo")
+
+    def test_schemes_constant_lists_all(self):
+        assert set(SCHEMES) == {
+            "full-speed", "adaptive", "attack-decay", "pid", "centralized",
+        }
+
+    def test_centralized_builds_coordinated_controllers(self):
+        from repro.dvfs.centralized import CoordinatedAdaptiveController
+
+        controllers = build_controllers("centralized")
+        assert set(controllers) == set(CONTROLLED_DOMAINS)
+        coordinators = {
+            id(ctrl.coordinator) for ctrl in controllers.values()
+        }
+        assert len(coordinators) == 1  # one shared coordinator
+        for ctrl in controllers.values():
+            assert isinstance(ctrl, CoordinatedAdaptiveController)
+
+
+class TestRunExperiment:
+    def test_run_by_name(self):
+        result = run_experiment(
+            "adpcm-encode", scheme="full-speed", max_instructions=3000
+        )
+        assert result.benchmark == "adpcm-encode"
+        assert result.scheme == "full-speed"
+        assert result.instructions > 2500
+
+    def test_run_by_spec(self, tiny_benchmark):
+        result = run_experiment(tiny_benchmark, scheme="adaptive")
+        assert result.benchmark == "tiny-test"
+        assert result.time_ns > 0
+
+    def test_deterministic(self, tiny_benchmark):
+        a = run_experiment(tiny_benchmark, scheme="adaptive")
+        b = run_experiment(tiny_benchmark, scheme="adaptive")
+        assert a.time_ns == b.time_ns
+        assert a.energy.total == b.energy.total
+
+    def test_adaptive_issues_transitions(self, tiny_benchmark):
+        result = run_experiment(tiny_benchmark, scheme="adaptive")
+        assert sum(result.transitions.values()) > 0
+
+    def test_full_speed_never_transitions(self, tiny_benchmark):
+        result = run_experiment(tiny_benchmark, scheme="full-speed")
+        assert sum(result.transitions.values()) == 0

@@ -1,0 +1,67 @@
+"""Tests for result persistence."""
+
+import json
+
+import pytest
+
+from repro.harness.experiment import run_experiment
+from repro.harness.persistence import (
+    FORMAT_VERSION,
+    domain_value,
+    load_results,
+    result_to_dict,
+    save_results,
+)
+from repro.mcd.domains import DomainId
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run_experiment(
+        "adpcm-encode", scheme="adaptive", max_instructions=5000,
+        history_stride=8,
+    )
+
+
+class TestSerialization:
+    def test_roundtrip_core_fields(self, result, tmp_path):
+        path = str(tmp_path / "results.json")
+        save_results(path, [result])
+        loaded = load_results(path)
+        assert len(loaded) == 1
+        data = loaded[0]
+        assert data["benchmark"] == "adpcm-encode"
+        assert data["scheme"] == "adaptive"
+        assert data["time_ns"] == pytest.approx(result.time_ns)
+        assert data["energy"]["total"] == pytest.approx(result.energy.total)
+        assert domain_value(data, "transitions", DomainId.FP) == (
+            result.transitions[DomainId.FP]
+        )
+
+    def test_history_excluded_by_default(self, result):
+        assert "history" not in result_to_dict(result)
+
+    def test_history_included_on_request(self, result, tmp_path):
+        path = str(tmp_path / "with_history.json")
+        save_results(path, [result], include_history=True)
+        data = load_results(path)[0]
+        history = data["history"]
+        assert len(history["time_ns"]) == len(result.history.time_ns)
+        assert history["frequency_ghz"]["fp"] == result.history.frequency_ghz[DomainId.FP]
+
+    def test_file_is_valid_json(self, result, tmp_path):
+        path = tmp_path / "plain.json"
+        save_results(str(path), [result])
+        payload = json.loads(path.read_text())
+        assert payload["version"] == FORMAT_VERSION
+
+    def test_version_check(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"version": 999, "results": []}))
+        with pytest.raises(ValueError, match="version"):
+            load_results(str(path))
+
+    def test_multiple_results(self, result, tmp_path):
+        path = str(tmp_path / "multi.json")
+        save_results(path, [result, result])
+        assert len(load_results(path)) == 2

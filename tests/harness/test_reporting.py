@@ -1,0 +1,42 @@
+"""Tests for table/CSV rendering."""
+
+import pytest
+
+from repro.harness.reporting import csv_string, format_table, write_csv
+
+
+class TestFormatTable:
+    def test_aligned_columns(self):
+        text = format_table(
+            ["name", "value"],
+            [["alpha", 1], ["b", 123.456]],
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("name")
+        assert "alpha" in lines[2]
+        assert "123.46" in lines[3]
+
+    def test_title_with_rule(self):
+        text = format_table(["a"], [[1]], title="Table 9")
+        lines = text.splitlines()
+        assert lines[0] == "Table 9"
+        assert lines[1] == "=" * len("Table 9")
+
+    def test_row_width_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_float_formatting(self):
+        text = format_table(["x"], [[3.14159]])
+        assert "3.14" in text and "3.14159" not in text
+
+
+class TestCsv:
+    def test_csv_string(self):
+        text = csv_string(["a", "b"], [[1, 2], [3, 4]])
+        assert text.splitlines() == ["a,b", "1,2", "3,4"]
+
+    def test_write_csv_roundtrip(self, tmp_path):
+        path = tmp_path / "out.csv"
+        write_csv(str(path), ["x", "y"], [[1, 2.5]])
+        assert path.read_text().splitlines() == ["x,y", "1,2.5"]

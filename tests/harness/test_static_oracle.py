@@ -1,0 +1,111 @@
+"""Tests for the static-oracle baseline."""
+
+import pytest
+
+from repro.harness.static_oracle import (
+    StaticOracleResult,
+    evaluate_static,
+    find_static_best,
+)
+from repro.harness.experiment import run_experiment
+from repro.mcd.domains import CONTROLLED_DOMAINS, DomainId
+from repro.workloads.instructions import InstructionKind as K
+from repro.workloads.phases import BenchmarkSpec, PhaseSpec
+
+_WINDOW = 8_000
+
+
+def _int_only_spec():
+    return BenchmarkSpec(
+        name="oracle-int",
+        suite="spec2000int",
+        phases=(
+            PhaseSpec(
+                name="int",
+                length=_WINDOW,
+                mix={K.INT_ALU: 0.7, K.LOAD: 0.15, K.BRANCH: 0.15},
+            ),
+        ),
+    )
+
+
+class TestEvaluateStatic:
+    def test_pinning_changes_outcome(self):
+        spec = _int_only_spec()
+        full = evaluate_static(spec, {d: 1.0 for d in CONTROLLED_DOMAINS})
+        fp_low = evaluate_static(
+            spec,
+            {DomainId.INT: 1.0, DomainId.FP: 0.25, DomainId.LS: 1.0},
+        )
+        # FP is unused here: pinning it low saves energy at no time cost
+        assert fp_low.energy < full.energy
+        assert fp_low.time_ns == pytest.approx(full.time_ns, rel=0.01)
+
+    def test_pinning_busy_domain_slows_execution(self):
+        spec = _int_only_spec()
+        full = evaluate_static(spec, {d: 1.0 for d in CONTROLLED_DOMAINS})
+        int_low = evaluate_static(
+            spec,
+            {DomainId.INT: 0.25, DomainId.FP: 1.0, DomainId.LS: 1.0},
+        )
+        # slowdown is bounded by how INT-throughput-limited the run is
+        # (mispredict and load stalls absorb part of the frequency cut)
+        assert int_low.time_ns > 1.15 * full.time_ns
+
+
+class TestFindStaticBest:
+    @pytest.fixture(scope="class")
+    def oracle(self):
+        return find_static_best(
+            _int_only_spec(), candidates=(0.25, 1.0), max_instructions=_WINDOW
+        )
+
+    def test_lowers_idle_fp_domain(self, oracle):
+        assert oracle.frequencies[DomainId.FP] == 0.25
+
+    def test_result_at_least_as_good_as_corner_settings(self, oracle):
+        """The unconstrained search must weakly beat the obvious corners."""
+        for corner in (1.0, 0.25):
+            metrics = evaluate_static(
+                _int_only_spec(), {d: corner for d in CONTROLLED_DOMAINS}
+            )
+            assert oracle.metrics.edp <= metrics.edp + 1e-9
+
+    def test_beats_all_fmax(self, oracle):
+        full = evaluate_static(
+            _int_only_spec(), {d: 1.0 for d in CONTROLLED_DOMAINS}
+        )
+        assert oracle.metrics.edp < full.edp
+
+    def test_evaluation_budget_is_modest(self, oracle):
+        # coordinate descent, not exhaustive: far fewer than 2^3 * passes
+        assert oracle.evaluations <= 1 + 2 * 3 * 1 * 2
+
+    def test_rejects_bad_arguments(self):
+        with pytest.raises(ValueError):
+            find_static_best(_int_only_spec(), candidates=())
+        with pytest.raises(ValueError):
+            find_static_best(_int_only_spec(), max_passes=0)
+
+
+class TestPerformanceBudget:
+    def test_budget_constrains_the_search(self):
+        """With a tight budget the oracle may not slow the busy INT domain,
+        even though doing so would improve EDP."""
+        spec = _int_only_spec()
+        baseline = evaluate_static(spec, {d: 1.0 for d in CONTROLLED_DOMAINS})
+        constrained = find_static_best(
+            spec, candidates=(0.25, 1.0), max_degradation_pct=1.0
+        )
+        assert constrained.frequencies[DomainId.INT] == 1.0
+        assert constrained.metrics.time_ns <= baseline.time_ns * 1.015
+        # the idle FP domain can still be lowered for free
+        assert constrained.frequencies[DomainId.FP] == 0.25
+
+    def test_unconstrained_saves_at_least_as_much_edp(self):
+        spec = _int_only_spec()
+        free = find_static_best(spec, candidates=(0.25, 1.0))
+        tight = find_static_best(
+            spec, candidates=(0.25, 1.0), max_degradation_pct=0.5
+        )
+        assert free.metrics.edp <= tight.metrics.edp + 1e-9

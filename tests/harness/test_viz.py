@@ -1,0 +1,101 @@
+"""Tests for terminal visualization."""
+
+import pytest
+
+from repro import viz
+from repro.harness.experiment import run_experiment
+from repro.mcd.domains import DomainId
+
+
+class TestLinePlot:
+    def test_renders_extremes_as_labels(self):
+        text = viz.line_plot([0, 1, 2, 3], [1.0, 3.0, 2.0, 1.5])
+        assert "3.00" in text
+        assert "1.00" in text
+
+    def test_width_and_height_respected(self):
+        text = viz.line_plot(list(range(100)), [float(i % 7) for i in range(100)],
+                             width=40, height=8)
+        lines = text.splitlines()
+        assert len(lines) == 8 + 1  # grid + axis
+        assert all(len(line) <= 10 + 40 for line in lines)
+
+    def test_flat_series_does_not_crash(self):
+        text = viz.line_plot([0, 1, 2], [5.0, 5.0, 5.0])
+        assert "*" in text
+
+    def test_x_label(self):
+        text = viz.line_plot([0, 10], [1.0, 2.0], x_label="instructions")
+        assert "instructions" in text
+
+    def test_rejects_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            viz.line_plot([0, 1], [1.0])
+
+    def test_rejects_tiny_plot(self):
+        with pytest.raises(ValueError):
+            viz.line_plot([0, 1], [1.0, 2.0], width=2)
+
+
+class TestSparkline:
+    def test_levels(self):
+        spark = viz.sparkline([0.0, 1.0])
+        assert spark[0] == "▁" and spark[-1] == "█"
+
+    def test_resampling(self):
+        spark = viz.sparkline(list(range(100)), width=10)
+        assert len(spark) == 10
+
+    def test_flat(self):
+        assert len(viz.sparkline([2.0, 2.0, 2.0])) == 3
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            viz.sparkline([])
+
+
+class TestBarChart:
+    def test_bars_scale_with_values(self):
+        text = viz.bar_chart(["a", "b"], [10.0, 5.0], width=20)
+        a_line, b_line = text.splitlines()
+        assert a_line.count("#") == 2 * b_line.count("#")
+
+    def test_negative_values_use_dashes(self):
+        text = viz.bar_chart(["up", "down"], [5.0, -5.0])
+        lines = text.splitlines()
+        assert "#" in lines[0]
+        assert "-" in lines[1].split("|")[1]
+
+    def test_title(self):
+        text = viz.bar_chart(["x"], [1.0], title="Energy savings")
+        assert text.splitlines()[0] == "Energy savings"
+
+    def test_rejects_mismatch(self):
+        with pytest.raises(ValueError):
+            viz.bar_chart(["a"], [1.0, 2.0])
+
+
+class TestResultTraces:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_experiment(
+            "adpcm-encode", scheme="adaptive", max_instructions=10_000,
+            history_stride=8,
+        )
+
+    def test_frequency_trace(self, result):
+        text = viz.frequency_trace(result, DomainId.FP)
+        assert "adpcm-encode" in text
+        assert "fp frequency" in text
+
+    def test_occupancy_trace(self, result):
+        text = viz.occupancy_trace(result, DomainId.INT)
+        assert "queue occupancy" in text
+
+    def test_requires_history(self):
+        result = run_experiment(
+            "adpcm-encode", scheme="full-speed", max_instructions=3000,
+            record_history=False,
+        )
+        with pytest.raises(ValueError, match="history"):
+            viz.frequency_trace(result, DomainId.FP)

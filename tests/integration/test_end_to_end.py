@@ -1,0 +1,100 @@
+"""End-to-end integration tests across the whole stack.
+
+These run real (truncated) benchmarks through the full simulator and assert
+the qualitative properties the paper's evaluation rests on.  Magnitudes are
+asserted loosely -- the substrate is a simplified simulator -- but signs and
+orderings are the reproduction targets.
+"""
+
+import pytest
+
+from repro.harness.comparison import compare_schemes
+from repro.harness.experiment import run_experiment
+from repro.mcd.domains import DomainId
+
+
+@pytest.fixture(scope="module")
+def epic_adaptive():
+    return run_experiment(
+        "epic-decode", scheme="adaptive", max_instructions=60_000, history_stride=16
+    )
+
+
+@pytest.fixture(scope="module")
+def epic_baseline():
+    return run_experiment(
+        "epic-decode", scheme="full-speed", max_instructions=60_000, history_stride=16
+    )
+
+
+class TestFigure7Shape:
+    """The FP-domain frequency trace on epic-decode (paper Figure 7)."""
+
+    def test_fp_frequency_drops_during_int_head(self, epic_adaptive):
+        h = epic_adaptive.history
+        fp = h.frequency_ghz[DomainId.FP]
+        n = len(fp)
+        head_min = min(fp[: n // 4])
+        assert head_min < 0.85  # falling away from f_max while FP is idle
+
+    def test_fp_frequency_recovers_in_fp_burst(self, epic_adaptive):
+        h = epic_adaptive.history
+        fp = h.frequency_ghz[DomainId.FP]
+        n = len(fp)
+        # the dramatic burst sits in the last ~20% of the run
+        tail_max = max(fp[int(n * 0.75):])
+        mid_min = min(fp[int(n * 0.4): int(n * 0.7)])
+        # the swing amplitude grows with run length (slew-limited); at this
+        # truncation a clear upward swing of several tens of MHz is expected
+        assert tail_max > mid_min + 0.08
+
+    def test_fp_queue_fills_during_burst(self, epic_adaptive):
+        h = epic_adaptive.history
+        occ = h.occupancy[DomainId.FP]
+        n = len(occ)
+        assert max(occ[int(n * 0.75):]) >= 12  # near-full during the burst
+        assert max(occ[: n // 4], default=0) <= 4  # empty-ish in the head
+
+
+class TestEnergyPerformance:
+    def test_adaptive_saves_energy(self, epic_adaptive, epic_baseline):
+        assert epic_adaptive.energy.total < epic_baseline.energy.total
+
+    def test_perf_degradation_bounded(self, epic_adaptive, epic_baseline):
+        slowdown = epic_adaptive.time_ns / epic_baseline.time_ns
+        assert slowdown < 1.20
+
+    def test_transitions_happen_on_phase_changes(self, epic_adaptive):
+        assert sum(epic_adaptive.transitions.values()) > 50
+
+    def test_mean_fp_frequency_well_below_max(self, epic_adaptive):
+        """epic's FP queue is empty most of the run."""
+        assert epic_adaptive.mean_frequency_ghz[DomainId.FP] < 0.9
+
+
+class TestSchemeOrdering:
+    """On a fast-varying benchmark the adaptive scheme must beat both
+    fixed-interval baselines on EDP (the paper's headline group result)."""
+
+    @pytest.fixture(scope="class")
+    def gsm(self):
+        return compare_schemes(
+            "gsm-decode",
+            schemes=("adaptive", "attack-decay", "pid"),
+            max_instructions=60_000,
+        )
+
+    def test_all_schemes_ran(self, gsm):
+        assert {s.scheme for s in gsm.schemes} == {"adaptive", "attack-decay", "pid"}
+
+    def test_adaptive_edp_at_least_matches_fixed_interval(self, gsm):
+        adaptive = gsm.result_for("adaptive").edp_improvement_pct
+        pid = gsm.result_for("pid").edp_improvement_pct
+        attack = gsm.result_for("attack-decay").edp_improvement_pct
+        assert adaptive >= pid - 0.5
+        assert adaptive >= attack - 0.5
+
+    def test_adaptive_reacts_more_often_than_fixed_interval(self, gsm):
+        """The adaptive scheme's transitions are workload-driven, not
+        interval-driven: on a fast-varying app it acts far more often."""
+        assert gsm.result_for("adaptive").transitions > 5 * gsm.result_for("pid").transitions

@@ -1,0 +1,120 @@
+"""Unit tests for the cache hierarchy."""
+
+import pytest
+
+from repro.mcd.cache import AccessResult, Cache, MemoryHierarchy
+from repro.mcd.domains import MachineConfig
+
+
+class TestCacheGeometry:
+    def test_set_count(self):
+        cache = Cache("c", size_bytes=64 * 1024, assoc=2, line_size=64)
+        assert cache.n_sets == 512
+
+    def test_direct_mapped(self):
+        cache = Cache("c", size_bytes=1024, assoc=1, line_size=64)
+        assert cache.n_sets == 16
+
+    def test_rejects_inconsistent_geometry(self):
+        with pytest.raises(ValueError):
+            Cache("c", size_bytes=1000, assoc=2, line_size=64)
+        with pytest.raises(ValueError):
+            Cache("c", size_bytes=0, assoc=1, line_size=64)
+
+
+class TestCacheBehaviour:
+    def test_cold_miss_then_hit(self):
+        cache = Cache("c", 1024, 2, 64)
+        assert not cache.access(0x1000)
+        assert cache.access(0x1000)
+        assert cache.access(0x103F)  # same 64B line
+
+    def test_different_lines_miss_separately(self):
+        cache = Cache("c", 1024, 2, 64)
+        cache.access(0x0)
+        assert not cache.access(0x40)
+
+    def test_lru_eviction(self):
+        # 2-way, line 64, 2 sets => set 0 holds lines 0, 2, 4...
+        cache = Cache("c", 256, 2, 64)
+        a, b, c = 0x000, 0x100, 0x200  # all map to set 0
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)      # a is now MRU
+        cache.access(c)      # evicts b (LRU)
+        assert cache.probe(a)
+        assert not cache.probe(b)
+        assert cache.probe(c)
+
+    def test_probe_does_not_count(self):
+        cache = Cache("c", 1024, 2, 64)
+        cache.probe(0x0)
+        assert cache.accesses == 0
+
+    def test_miss_rate(self):
+        cache = Cache("c", 1024, 2, 64)
+        cache.access(0x0)
+        cache.access(0x0)
+        assert cache.miss_rate == pytest.approx(0.5)
+
+    def test_working_set_larger_than_cache_thrashes(self):
+        cache = Cache("c", 1024, 1, 64)
+        # 4 KB of lines round-robin: pure capacity misses
+        for _ in range(4):
+            for line in range(64):
+                cache.access(line * 64)
+        assert cache.miss_rate > 0.9
+
+    def test_working_set_within_cache_stays_resident(self):
+        cache = Cache("c", 4096, 2, 64)
+        for _ in range(4):
+            for line in range(16):
+                cache.access(line * 64)
+        assert cache.hits >= 3 * 16
+
+
+class TestHierarchy:
+    def _hierarchy(self):
+        return MemoryHierarchy.from_config(MachineConfig())
+
+    def test_from_config_dimensions(self):
+        h = self._hierarchy()
+        assert h.l1d.size_bytes == 64 * 1024 and h.l1d.assoc == 2
+        assert h.l2.size_bytes == 1024 * 1024 and h.l2.assoc == 1
+
+    def test_l1_hit_path(self):
+        h = self._hierarchy()
+        h.access_data(0x1000)
+        result = h.access_data(0x1000)
+        assert result.l1_hit
+        cycles, fixed = h.latency_split(result)
+        assert cycles == 2 and fixed == 0.0
+
+    def test_l2_hit_path(self):
+        h = self._hierarchy()
+        result = h.access_data(0x1000)  # cold: misses both, fills both
+        assert not result.l1_hit and not result.l2_hit
+        # evict from L1 by conflict, keep in L2: touch enough same-set lines
+        base = 0x1000
+        for i in range(1, 3):
+            h.access_data(base + i * 64 * 1024)  # same L1 set (64KB 2-way)
+        result = h.access_data(base)
+        assert not result.l1_hit
+        assert result.l2_hit
+        cycles, fixed = h.latency_split(result)
+        assert cycles == 2 + 12 and fixed == 0.0
+
+    def test_memory_path(self):
+        h = self._hierarchy()
+        result = h.access_data(0x5000)
+        assert result.went_to_memory
+        cycles, fixed = h.latency_split(result)
+        assert cycles == 14 and fixed == pytest.approx(80.0)
+        assert h.memory_accesses == 1
+
+    def test_inst_and_data_sides_are_separate(self):
+        h = self._hierarchy()
+        h.access_data(0x2000)
+        result = h.access_inst(0x2000)
+        assert not result.l1_hit  # L1I cold even though L1D warm
+        assert result.l2_hit      # unified L2 warm

@@ -1,0 +1,91 @@
+"""Unit tests for per-domain clocks."""
+
+import random
+
+import pytest
+
+from repro.mcd.clocks import DomainClock
+
+
+class TestBasics:
+    def test_period(self):
+        assert DomainClock(0.5).period_ns == pytest.approx(2.0)
+
+    def test_rejects_nonpositive_frequency(self):
+        with pytest.raises(ValueError):
+            DomainClock(0.0)
+        clock = DomainClock(1.0)
+        with pytest.raises(ValueError):
+            clock.set_frequency(-1.0)
+
+    def test_rejects_negative_jitter(self):
+        with pytest.raises(ValueError):
+            DomainClock(1.0, jitter_sigma_ns=-0.1)
+
+    def test_start_offset(self):
+        clock = DomainClock(1.0, start_ns=0.3)
+        assert clock.next_edge_ns == pytest.approx(0.3)
+
+
+class TestAdvance:
+    def test_jitter_free_edges_are_periodic(self):
+        clock = DomainClock(1.0)
+        edges = [clock.advance() for _ in range(5)]
+        assert edges == pytest.approx([0.0, 1.0, 2.0, 3.0, 4.0])
+
+    def test_frequency_change_takes_effect_next_edge(self):
+        clock = DomainClock(1.0)
+        clock.advance()  # edge at 0, next at 1
+        clock.set_frequency(0.5)
+        assert clock.advance() == pytest.approx(1.0)
+        assert clock.next_edge_ns == pytest.approx(3.0)  # period now 2 ns
+
+    def test_jitter_perturbs_but_preserves_order(self):
+        clock = DomainClock(1.0, jitter_sigma_ns=0.01, rng=random.Random(7))
+        edges = [clock.advance() for _ in range(1000)]
+        diffs = [b - a for a, b in zip(edges, edges[1:])]
+        assert all(d > 0 for d in diffs)
+        mean = sum(diffs) / len(diffs)
+        assert mean == pytest.approx(1.0, abs=0.01)
+        assert any(abs(d - 1.0) > 1e-4 for d in diffs)
+
+    def test_jitter_clamped_to_fraction_of_period(self):
+        clock = DomainClock(1.0, jitter_sigma_ns=10.0, rng=random.Random(3))
+        edges = [clock.advance() for _ in range(100)]
+        diffs = [b - a for a, b in zip(edges, edges[1:])]
+        assert all(0.2 <= d <= 1.8 for d in diffs)
+
+
+class TestSkipTo:
+    def test_skip_preserves_phase(self):
+        clock = DomainClock(1.0)
+        clock.advance()  # next edge at 1.0
+        clock.skip_to(5.4)
+        assert clock.next_edge_ns == pytest.approx(6.0)
+
+    def test_skip_to_past_is_noop(self):
+        clock = DomainClock(1.0)
+        clock.advance()
+        clock.skip_to(0.5)
+        assert clock.next_edge_ns == pytest.approx(1.0)
+
+    def test_skip_exact_edge(self):
+        clock = DomainClock(1.0)
+        clock.advance()
+        clock.skip_to(3.0)
+        assert clock.next_edge_ns == pytest.approx(3.0)
+
+
+class TestEdgePrediction:
+    def test_edge_at_or_after(self):
+        clock = DomainClock(0.5)  # period 2
+        clock.advance()  # next edge 2.0
+        assert clock.edge_at_or_after(0.0) == pytest.approx(2.0)
+        assert clock.edge_at_or_after(2.0) == pytest.approx(2.0)
+        assert clock.edge_at_or_after(2.1) == pytest.approx(4.0)
+        assert clock.edge_at_or_after(7.9) == pytest.approx(8.0)
+
+    def test_prediction_does_not_consume(self):
+        clock = DomainClock(1.0)
+        clock.edge_at_or_after(10.0)
+        assert clock.next_edge_ns == pytest.approx(0.0)

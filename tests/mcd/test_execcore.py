@@ -1,0 +1,174 @@
+"""Unit tests for the INT/FP execution domains."""
+
+import pytest
+
+from repro.mcd.clocks import DomainClock
+from repro.mcd.domains import DomainId, MachineConfig
+from repro.mcd.execcore import ExecutionDomain, FunctionalUnitPool, next_ready_hint
+from repro.mcd.queues import IssueQueue
+from repro.mcd.rob import ReorderBuffer
+from repro.workloads.instructions import Instruction, InstructionKind as K
+
+
+def _inst(index, kind=K.INT_ALU, src1=None, src2=None):
+    return Instruction(index=index, kind=kind, pc=0x400000 + 4 * index, src1=src1, src2=src2)
+
+
+def _domain(domain_id=DomainId.INT, freq=1.0):
+    config = MachineConfig(jitter_sigma_ns=0.0)
+    clock = DomainClock(freq)
+    queue = IssueQueue(domain_id.value, config.queue_capacity(domain_id))
+    rob = ReorderBuffer(config.rob_size)
+    return ExecutionDomain(domain_id, clock, queue, rob, config), queue, rob
+
+
+class TestFunctionalUnitPool:
+    def test_acquire_until_exhausted(self):
+        pool = FunctionalUnitPool("alu", 2)
+        assert pool.acquire(0.0, 1.0)
+        assert pool.acquire(0.0, 1.0)
+        assert not pool.acquire(0.0, 1.0)
+
+    def test_frees_after_busy_time(self):
+        pool = FunctionalUnitPool("alu", 1)
+        pool.acquire(0.0, 2.0)
+        assert not pool.acquire(1.9, 1.0)
+        assert pool.acquire(2.0, 1.0)
+
+    def test_rejects_empty_pool(self):
+        with pytest.raises(ValueError):
+            FunctionalUnitPool("none", 0)
+
+
+class TestIssue:
+    def test_issues_ready_visible_entries(self):
+        dom, queue, rob = _domain()
+        for i in range(3):
+            rob.allocate(_inst(i), 0.0)
+            queue.push(_inst(i), visible_ns=0.0, now_ns=0.0)
+        issued = dom.cycle(1.0)
+        assert issued == 3
+        assert queue.is_empty
+        for i in range(3):
+            assert rob.completion_time(i) == pytest.approx(2.0)  # 1-cycle ALU
+
+    def test_issue_width_respected(self):
+        dom, queue, rob = _domain()
+        for i in range(6):
+            rob.allocate(_inst(i), 0.0)
+            queue.push(_inst(i), 0.0, 0.0)
+        assert dom.cycle(1.0) == 4  # INT issue width
+        assert queue.occupancy == 2
+
+    def test_invisible_entries_not_issued(self):
+        dom, queue, rob = _domain()
+        rob.allocate(_inst(0), 0.0)
+        queue.push(_inst(0), visible_ns=10.0, now_ns=0.0)
+        assert dom.cycle(1.0) == 0
+
+    def test_dependence_blocks_issue(self):
+        dom, queue, rob = _domain()
+        producer = _inst(0, K.INT_DIV)
+        consumer = _inst(1, src1=0)
+        rob.allocate(producer, 0.0)
+        rob.allocate(consumer, 0.0)
+        queue.push(producer, 0.0, 0.0)
+        queue.push(consumer, 0.0, 0.0)
+        assert dom.cycle(1.0) == 1  # only the divide issues
+        done = rob.completion_time(0)
+        assert done == pytest.approx(1.0 + 12.0)
+        # consumer still blocked before the divide completes
+        assert dom.cycle(done - 1.0) == 0
+        assert dom.cycle(done) == 1
+
+    def test_out_of_order_issue_past_blocked_elder(self):
+        dom, queue, rob = _domain()
+        blocked = _inst(1, src1=0)  # producer never even dispatched
+        younger = _inst(2)
+        rob.allocate(blocked, 0.0)
+        rob.allocate(younger, 0.0)
+        queue.push(blocked, 0.0, 0.0)
+        queue.push(younger, 0.0, 0.0)
+        assert dom.cycle(1.0) == 1
+        assert rob.completion_time(2) is not None
+        assert rob.completion_time(1) is None
+
+    def test_divider_is_not_pipelined(self):
+        dom, queue, rob = _domain()
+        for i in range(2):
+            rob.allocate(_inst(i, K.INT_DIV), 0.0)
+            queue.push(_inst(i, K.INT_DIV), 0.0, 0.0)
+        assert dom.cycle(1.0) == 1  # single mult/div unit, busy 12 cycles
+        assert dom.cycle(2.0) == 0
+        assert dom.cycle(14.0) == 1
+
+    def test_alus_are_pipelined(self):
+        dom, queue, rob = _domain()
+        for i in range(8):
+            rob.allocate(_inst(i), 0.0)
+            queue.push(_inst(i), 0.0, 0.0)
+        assert dom.cycle(1.0) == 4
+        assert dom.cycle(2.0) == 4  # ALUs accept new work every cycle
+
+    def test_latency_scales_with_period(self):
+        dom, queue, rob = _domain(freq=0.25)  # period 4 ns
+        rob.allocate(_inst(0, K.INT_MUL), 0.0)
+        queue.push(_inst(0, K.INT_MUL), 0.0, 0.0)
+        dom.cycle(4.0)
+        assert rob.completion_time(0) == pytest.approx(4.0 + 3 * 4.0)
+
+    def test_fp_domain_rejects_construction_for_ls(self):
+        config = MachineConfig()
+        with pytest.raises(ValueError):
+            ExecutionDomain(
+                DomainId.LS,
+                DomainClock(1.0),
+                IssueQueue("ls", 16),
+                ReorderBuffer(8),
+                config,
+            )
+
+
+class TestIdleAndHints:
+    def test_idle_when_empty(self):
+        dom, queue, rob = _domain()
+        assert dom.is_idle(0.0)
+
+    def test_not_idle_with_queued_work(self):
+        dom, queue, rob = _domain()
+        rob.allocate(_inst(0), 0.0)
+        queue.push(_inst(0), 5.0, 0.0)
+        assert not dom.is_idle(0.0)
+
+    def test_not_idle_with_busy_fu(self):
+        dom, queue, rob = _domain()
+        rob.allocate(_inst(0, K.INT_DIV), 0.0)
+        queue.push(_inst(0, K.INT_DIV), 0.0, 0.0)
+        dom.cycle(1.0)
+        assert not dom.is_idle(2.0)
+
+    def test_hint_for_invisible_entry(self):
+        dom, queue, rob = _domain()
+        rob.allocate(_inst(0), 0.0)
+        queue.push(_inst(0), visible_ns=9.0, now_ns=0.0)
+        assert dom.stall_hint(1.0) == pytest.approx(9.0)
+
+    def test_hint_for_in_flight_producer(self):
+        dom, queue, rob = _domain()
+        rob.allocate(_inst(0, K.INT_DIV), 0.0)
+        rob.allocate(_inst(1, src1=0), 0.0)
+        queue.push(_inst(0, K.INT_DIV), 0.0, 0.0)
+        queue.push(_inst(1, src1=0), 0.0, 0.0)
+        dom.cycle(1.0)
+        hint = dom.stall_hint(2.0)
+        assert hint == pytest.approx(13.0)  # divide completes at 1 + 12
+
+    def test_hint_unknown_for_unissued_producer(self):
+        dom, queue, rob = _domain()
+        rob.allocate(_inst(5, src1=4), 0.0)  # producer 4 lives elsewhere
+        queue.push(_inst(5, src1=4), 0.0, 0.0)
+        assert dom.stall_hint(1.0) is None
+
+    def test_hint_helper_function_empty_queue(self):
+        dom, queue, rob = _domain()
+        assert next_ready_hint(queue, rob, 0.0) is None

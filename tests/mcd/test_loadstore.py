@@ -1,0 +1,123 @@
+"""Unit tests for the load/store domain."""
+
+import pytest
+
+from repro.mcd.cache import MemoryHierarchy
+from repro.mcd.clocks import DomainClock
+from repro.mcd.domains import MachineConfig
+from repro.mcd.loadstore import LoadStoreDomain
+from repro.mcd.queues import IssueQueue
+from repro.mcd.rob import ReorderBuffer
+from repro.workloads.instructions import Instruction, InstructionKind as K
+
+
+def _mem(index, kind=K.LOAD, addr=0x1000_0000, src1=None):
+    return Instruction(index=index, kind=kind, pc=0x400000 + 4 * index, addr=addr, src1=src1)
+
+
+def _domain(freq=1.0):
+    config = MachineConfig(jitter_sigma_ns=0.0)
+    clock = DomainClock(freq)
+    queue = IssueQueue("ls", config.ls_queue_size)
+    rob = ReorderBuffer(config.rob_size)
+    hierarchy = MemoryHierarchy.from_config(config)
+    return LoadStoreDomain(clock, queue, rob, hierarchy, config), queue, rob, hierarchy
+
+
+class TestLoadLatency:
+    def test_cold_load_pays_memory(self):
+        dom, queue, rob, h = _domain()
+        rob.allocate(_mem(0), 0.0)
+        queue.push(_mem(0), 0.0, 0.0)
+        assert dom.cycle(1.0) == 1
+        # 1 AGU + 2 L1 + 12 L2 cycles + 80 ns memory
+        assert rob.completion_time(0) == pytest.approx(1.0 + 15.0 + 80.0)
+
+    def test_warm_load_is_l1_hit(self):
+        dom, queue, rob, h = _domain()
+        h.access_data(0x1000_0000)  # warm the line
+        rob.allocate(_mem(0), 0.0)
+        queue.push(_mem(0), 0.0, 0.0)
+        dom.cycle(1.0)
+        assert rob.completion_time(0) == pytest.approx(1.0 + 3.0)  # AGU + 2 L1
+
+    def test_cache_cycles_scale_with_ls_frequency(self):
+        dom, queue, rob, h = _domain(freq=0.5)  # 2 ns period
+        h.access_data(0x1000_0000)
+        rob.allocate(_mem(0), 0.0)
+        queue.push(_mem(0), 0.0, 0.0)
+        dom.cycle(2.0)
+        assert rob.completion_time(0) == pytest.approx(2.0 + 3 * 2.0)
+
+    def test_memory_time_does_not_scale_with_frequency(self):
+        """The frequency-independent part of the mu-f model."""
+        results = {}
+        for freq in (1.0, 0.25):
+            dom, queue, rob, h = _domain(freq=freq)
+            rob.allocate(_mem(0), 0.0)
+            queue.push(_mem(0), 0.0, 0.0)
+            dom.cycle(1.0 / freq)
+            results[freq] = rob.completion_time(0) - 1.0 / freq
+        fixed_part = 80.0
+        assert results[1.0] - 15.0 == pytest.approx(fixed_part)
+        assert results[0.25] - 15.0 * 4.0 == pytest.approx(fixed_part)
+
+
+class TestStores:
+    def test_store_completes_after_l1_write(self):
+        dom, queue, rob, h = _domain()
+        rob.allocate(_mem(0, K.STORE), 0.0)
+        queue.push(_mem(0, K.STORE), 0.0, 0.0)
+        dom.cycle(1.0)
+        # AGU + L1 write; the write buffer hides the miss
+        assert rob.completion_time(0) == pytest.approx(1.0 + 3.0)
+
+    def test_store_warms_cache_for_later_load(self):
+        dom, queue, rob, h = _domain()
+        rob.allocate(_mem(0, K.STORE), 0.0)
+        queue.push(_mem(0, K.STORE), 0.0, 0.0)
+        dom.cycle(1.0)
+        rob.allocate(_mem(1, K.LOAD), 0.0)
+        queue.push(_mem(1, K.LOAD), 0.0, 0.0)
+        dom.cycle(2.0)
+        assert rob.completion_time(1) == pytest.approx(2.0 + 3.0)
+
+    def test_counters(self):
+        dom, queue, rob, h = _domain()
+        rob.allocate(_mem(0, K.STORE), 0.0)
+        queue.push(_mem(0, K.STORE), 0.0, 0.0)
+        rob.allocate(_mem(1, K.LOAD, addr=0x2000_0000), 0.0)
+        queue.push(_mem(1, K.LOAD, addr=0x2000_0000), 0.0, 0.0)
+        dom.cycle(1.0)
+        assert dom.stores == 1 and dom.loads == 1
+
+
+class TestPorts:
+    def test_two_ports_per_cycle(self):
+        dom, queue, rob, h = _domain()
+        for i in range(4):
+            rob.allocate(_mem(i, addr=0x1000_0000 + 64 * i), 0.0)
+            queue.push(_mem(i, addr=0x1000_0000 + 64 * i), 0.0, 0.0)
+        assert dom.cycle(1.0) == 2
+        assert dom.cycle(2.0) == 2
+
+    def test_address_dependence_blocks(self):
+        dom, queue, rob, h = _domain()
+        load = _mem(1, src1=0)  # address depends on un-issued inst 0
+        rob.allocate(load, 0.0)
+        queue.push(load, 0.0, 0.0)
+        assert dom.cycle(1.0) == 0
+        rob.mark_done(0, 1.5)
+        assert dom.cycle(2.0) == 1
+
+
+class TestIdleHints:
+    def test_idle_when_empty(self):
+        dom, queue, rob, h = _domain()
+        assert dom.is_idle(0.0)
+
+    def test_stall_hint_visible_future(self):
+        dom, queue, rob, h = _domain()
+        rob.allocate(_mem(0), 0.0)
+        queue.push(_mem(0), visible_ns=42.0, now_ns=0.0)
+        assert dom.stall_hint(1.0) == pytest.approx(42.0)

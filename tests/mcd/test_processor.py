@@ -1,0 +1,191 @@
+"""Integration-level tests of the event-driven GALS processor."""
+
+import pytest
+
+from repro.core.controller import AdaptiveDvfsController
+from repro.mcd.domains import CONTROLLED_DOMAINS, DomainId, MachineConfig
+from repro.mcd.processor import MCDProcessor
+from repro.workloads.generator import generate_trace
+from repro.workloads.instructions import Instruction, InstructionKind as K
+from repro.workloads.phases import BenchmarkSpec, PhaseSpec
+
+
+def _simple_trace(n=200, kind=K.INT_ALU):
+    return [
+        Instruction(
+            index=i,
+            kind=kind,
+            pc=0x400000 + 4 * (i % 64),
+            addr=0x1000_0000 + 8 * i if kind.is_mem else None,
+        )
+        for i in range(n)
+    ]
+
+
+def _mixed_spec(length=4000):
+    return BenchmarkSpec(
+        name="proc-test",
+        suite="mediabench",
+        phases=(
+            PhaseSpec(
+                name="mixed",
+                length=length,
+                mix={K.INT_ALU: 0.4, K.FP_ADD: 0.2, K.LOAD: 0.2, K.STORE: 0.05, K.BRANCH: 0.15},
+            ),
+        ),
+    )
+
+
+class TestBasicRun:
+    def test_all_instructions_retire(self, quiet_machine):
+        trace = _simple_trace(300)
+        result = MCDProcessor(trace, config=quiet_machine).run()
+        assert result.instructions == 300
+
+    def test_time_positive_and_bounded(self, quiet_machine):
+        trace = _simple_trace(300)
+        result = MCDProcessor(trace, config=quiet_machine).run()
+        # 300 int ops, 4-wide: at least 75 ns; sane upper bound
+        assert 75.0 <= result.time_ns <= 5000.0
+
+    def test_energy_positive_in_all_domains(self, quiet_machine):
+        result = MCDProcessor(_simple_trace(300), config=quiet_machine).run()
+        for domain in DomainId:
+            assert result.energy.by_domain[domain] > 0.0
+
+    def test_empty_trace_rejected(self, quiet_machine):
+        with pytest.raises(ValueError):
+            MCDProcessor([], config=quiet_machine)
+
+    def test_rejects_controller_on_front_end(self, quiet_machine):
+        controller = AdaptiveDvfsController(DomainId.INT, machine=quiet_machine)
+        controller.domain = DomainId.FRONT_END
+        with pytest.raises(ValueError):
+            MCDProcessor(
+                _simple_trace(10),
+                config=quiet_machine,
+                controllers={DomainId.FRONT_END: controller},
+            )
+
+    def test_max_time_guard(self, quiet_machine):
+        trace = _simple_trace(5000)
+        with pytest.raises(RuntimeError, match="exceeded"):
+            MCDProcessor(trace, config=quiet_machine).run(max_time_ns=10.0)
+
+
+class TestDeterminism:
+    def test_same_seed_reproduces_exactly(self):
+        trace = generate_trace(_mixed_spec())
+        a = MCDProcessor(trace, seed=42).run()
+        b = MCDProcessor(trace, seed=42).run()
+        assert a.time_ns == b.time_ns
+        assert a.energy.total == b.energy.total
+
+    def test_different_jitter_seed_changes_timing_slightly(self):
+        trace = generate_trace(_mixed_spec())
+        a = MCDProcessor(trace, seed=1).run()
+        b = MCDProcessor(trace, seed=2).run()
+        assert a.time_ns != b.time_ns
+        assert a.time_ns == pytest.approx(b.time_ns, rel=0.05)
+
+
+class TestFrequencyControl:
+    def test_no_controller_stays_at_fmax(self, quiet_machine):
+        trace = generate_trace(_mixed_spec())
+        result = MCDProcessor(trace, config=quiet_machine).run()
+        for domain in CONTROLLED_DOMAINS:
+            assert result.mean_frequency_ghz[domain] == pytest.approx(1.0)
+            assert result.transitions[domain] == 0
+
+    def test_adaptive_controller_scales_idle_fp_down(self, quiet_machine):
+        """An all-integer workload leaves the FP queue empty; the adaptive
+        controller must walk the FP domain's frequency down."""
+        spec = BenchmarkSpec(
+            name="int-only",
+            suite="spec2000int",
+            phases=(
+                PhaseSpec(
+                    name="int",
+                    length=20000,
+                    mix={K.INT_ALU: 0.7, K.LOAD: 0.15, K.BRANCH: 0.15},
+                ),
+            ),
+        )
+        trace = generate_trace(spec)
+        controllers = {
+            d: AdaptiveDvfsController(d, machine=quiet_machine)
+            for d in CONTROLLED_DOMAINS
+        }
+        result = MCDProcessor(trace, config=quiet_machine, controllers=controllers).run()
+        assert result.mean_frequency_ghz[DomainId.FP] < 0.9
+        assert result.transitions[DomainId.FP] > 10
+        # and the history's final FP frequency is well below max
+        assert result.history.frequency_ghz[DomainId.FP][-1] < 0.8
+
+    def test_dvfs_saves_energy_on_idle_domain(self, quiet_machine):
+        spec = BenchmarkSpec(
+            name="int-only2",
+            suite="spec2000int",
+            phases=(
+                PhaseSpec(
+                    name="int",
+                    length=20000,
+                    mix={K.INT_ALU: 0.7, K.LOAD: 0.15, K.BRANCH: 0.15},
+                ),
+            ),
+        )
+        trace = generate_trace(spec)
+        base = MCDProcessor(trace, config=quiet_machine).run()
+        controllers = {
+            DomainId.FP: AdaptiveDvfsController(DomainId.FP, machine=quiet_machine)
+        }
+        scaled = MCDProcessor(trace, config=quiet_machine, controllers=controllers).run()
+        assert scaled.energy.by_domain[DomainId.FP] < base.energy.by_domain[DomainId.FP]
+        # scaling only the idle FP domain must not slow the program much
+        assert scaled.time_ns <= base.time_ns * 1.02
+
+
+class TestHistory:
+    def test_history_recorded_at_stride(self, quiet_machine):
+        trace = _simple_trace(2000)
+        proc = MCDProcessor(trace, config=quiet_machine, history_stride=1)
+        result = proc.run()
+        h = result.history
+        n = len(h.time_ns)
+        assert n > 10
+        assert len(h.retired) == n
+        for domain in CONTROLLED_DOMAINS:
+            assert len(h.occupancy[domain]) == n
+            assert len(h.frequency_ghz[domain]) == n
+        # sampling period is 4 ns
+        assert h.time_ns[1] - h.time_ns[0] == pytest.approx(4.0)
+
+    def test_history_disabled(self, quiet_machine):
+        result = MCDProcessor(
+            _simple_trace(500), config=quiet_machine, record_history=False
+        ).run()
+        assert result.history.time_ns == []
+
+    def test_retired_monotone(self, quiet_machine):
+        result = MCDProcessor(_simple_trace(2000), config=quiet_machine).run()
+        retired = result.history.retired
+        assert all(a <= b for a, b in zip(retired, retired[1:]))
+
+
+class TestQueueInvariants:
+    def test_occupancy_never_exceeds_capacity(self, quiet_machine):
+        trace = generate_trace(_mixed_spec(6000))
+        proc = MCDProcessor(trace, config=quiet_machine, history_stride=1)
+        result = proc.run()
+        for domain in CONTROLLED_DOMAINS:
+            cap = quiet_machine.queue_capacity(domain)
+            assert max(result.history.occupancy[domain], default=0) <= cap
+            assert min(result.history.occupancy[domain], default=0) >= 0
+
+    def test_metrics_property(self, quiet_machine):
+        result = MCDProcessor(_simple_trace(300), config=quiet_machine).run()
+        m = result.metrics
+        assert m.time_ns == result.time_ns
+        # metrics use chip energy (main memory is an external domain)
+        assert m.energy == result.energy.chip_total
+        assert m.edp == pytest.approx(m.time_ns * m.energy)

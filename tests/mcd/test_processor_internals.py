@@ -1,0 +1,198 @@
+"""Edge-case tests of the event loop's sleep/wake and backpressure machinery.
+
+The fast-forwarding optimizations (domain sleep with wake-on-dispatch, timer
+sleeps, front-end backpressure sleep) must never change *what* executes --
+only skip provably idle cycles.  These tests pin the behaviours the
+optimizations rely on.
+"""
+
+import pytest
+
+from repro.mcd.domains import CONTROLLED_DOMAINS, DomainId, MachineConfig
+from repro.mcd.processor import MCDProcessor
+from repro.workloads.generator import generate_trace
+from repro.workloads.instructions import Instruction, InstructionKind as K
+from repro.workloads.phases import BenchmarkSpec, PhaseSpec
+
+
+def _trace(kinds):
+    out = []
+    for i, (kind, deps) in enumerate(kinds):
+        addr = 0x1000_0000 + 8 * i if kind.is_mem else None
+        out.append(
+            Instruction(
+                index=i, kind=kind, pc=0x400000 + 4 * i,
+                src1=deps[0] if deps else None,
+                src2=deps[1] if len(deps) > 1 else None,
+                addr=addr,
+            )
+        )
+    return out
+
+
+def _quiet():
+    return MachineConfig(jitter_sigma_ns=0.0)
+
+
+class TestSleepWake:
+    def test_fp_domain_sleeps_through_int_run(self):
+        """An all-INT trace must leave the FP domain fully gated: no FP
+        cycles execute (its issued counter stays zero) and the run is not
+        slowed by the idle domain."""
+        trace = _trace([(K.INT_ALU, [])] * 200)
+        proc = MCDProcessor(trace, config=_quiet())
+        result = proc.run()
+        assert result.issued_by_domain[DomainId.FP] == 0
+        assert result.instructions == 200
+
+    def test_woken_domain_executes_late_arrivals(self):
+        """FP work arriving long after the FP domain went to sleep must
+        still execute (wake-on-dispatch)."""
+        kinds = [(K.INT_ALU, [])] * 150 + [(K.FP_ADD, [])] * 10
+        trace = _trace(kinds)
+        result = MCDProcessor(trace, config=_quiet()).run()
+        assert result.issued_by_domain[DomainId.FP] == 10
+        assert result.instructions == 160
+
+    def test_dependent_chain_across_domains(self):
+        """INT -> LS -> FP dependence chain: each consumer lives in a
+        different domain and must observe its producer's completion even
+        when its domain slept in between."""
+        trace = [
+            Instruction(index=0, kind=K.INT_ALU, pc=0x400000),
+            Instruction(index=1, kind=K.LOAD, pc=0x400004, addr=0x1000_0000, src1=0),
+            Instruction(index=2, kind=K.FP_ADD, pc=0x400008, src1=1),
+        ]
+        result = MCDProcessor(trace, config=_quiet()).run()
+        assert result.instructions == 3
+        # the FP op waits out the load's full memory latency
+        assert result.time_ns > 80.0
+
+    def test_results_identical_regardless_of_history(self):
+        """Recording history must not perturb simulation outcomes."""
+        spec = BenchmarkSpec(
+            name="hist-test",
+            suite="mediabench",
+            phases=(
+                PhaseSpec(
+                    name="mix",
+                    length=3000,
+                    mix={K.INT_ALU: 0.5, K.FP_ADD: 0.2, K.LOAD: 0.2, K.BRANCH: 0.1},
+                ),
+            ),
+        )
+        trace = generate_trace(spec)
+        with_history = MCDProcessor(trace, seed=7, record_history=True).run()
+        without = MCDProcessor(trace, seed=7, record_history=False).run()
+        assert with_history.time_ns == without.time_ns
+        assert with_history.energy.total == pytest.approx(without.energy.total)
+
+
+class TestBackpressure:
+    def test_rob_full_backpressure_resolves(self):
+        """A tiny ROB forces repeated rob-full sleeps; everything still
+        retires."""
+        config = MachineConfig(jitter_sigma_ns=0.0, rob_size=4)
+        trace = _trace([(K.LOAD, [])] * 60)
+        result = MCDProcessor(trace, config=config).run()
+        assert result.instructions == 60
+
+    def test_queue_full_backpressure_resolves(self):
+        config = MachineConfig(jitter_sigma_ns=0.0, int_queue_size=2)
+        # serial dependence chain keeps the tiny INT queue clogged
+        trace = _trace([(K.INT_MUL, [i - 1] if i else []) for i in range(50)])
+        result = MCDProcessor(trace, config=config).run()
+        assert result.instructions == 50
+
+    def test_store_buffer_pressure_resolves(self):
+        config = MachineConfig(jitter_sigma_ns=0.0, store_buffer_size=1)
+        trace = _trace([(K.STORE, [])] * 40)
+        result = MCDProcessor(trace, config=config).run()
+        assert result.instructions == 40
+
+
+class TestInitialFrequencies:
+    def test_pinned_domain_starts_and_stays_at_pin(self):
+        trace = _trace([(K.INT_ALU, [])] * 400)
+        proc = MCDProcessor(
+            trace,
+            config=_quiet(),
+            initial_frequencies={DomainId.INT: 0.5},
+        )
+        result = proc.run()
+        assert result.mean_frequency_ghz[DomainId.INT] == pytest.approx(0.5)
+        assert result.mean_frequency_ghz[DomainId.FP] == pytest.approx(1.0)
+
+    def test_pin_slows_execution(self):
+        trace = _trace([(K.INT_ALU, [])] * 400)
+        fast = MCDProcessor(trace, config=_quiet()).run()
+        slow = MCDProcessor(
+            trace, config=_quiet(), initial_frequencies={DomainId.INT: 0.25}
+        ).run()
+        assert slow.time_ns > fast.time_ns
+
+    def test_pin_clamped_to_envelope(self):
+        trace = _trace([(K.INT_ALU, [])] * 50)
+        proc = MCDProcessor(
+            trace, config=_quiet(), initial_frequencies={DomainId.INT: 5.0}
+        )
+        result = proc.run()
+        assert result.mean_frequency_ghz[DomainId.INT] == pytest.approx(1.0)
+
+
+class TestTransmetaPause:
+    def test_paused_domain_does_no_work_during_relock(self):
+        """Drive a Transmeta machine with an adaptive controller on an
+        FP-idle trace: every FP transition must be accompanied by a pause
+        (the run still completes and retires everything)."""
+        from repro.core.config import transmeta_adaptive_config
+        from repro.core.controller import AdaptiveDvfsController
+        from repro.mcd.domains import transmeta_machine_config
+
+        machine = transmeta_machine_config(jitter_sigma_ns=0.0)
+        controllers = {
+            DomainId.FP: AdaptiveDvfsController(
+                DomainId.FP, transmeta_adaptive_config(DomainId.FP), machine
+            )
+        }
+        kinds = [(K.INT_ALU, [])] * 4000 + [(K.FP_ADD, [])] * 200
+        trace = _trace(kinds)
+        result = MCDProcessor(trace, config=machine, controllers=controllers).run()
+        assert result.instructions == len(trace)
+        assert result.transitions[DomainId.FP] >= 1
+
+
+class TestResultConsistency:
+    def test_issued_by_domain_sums_to_retired(self):
+        spec = BenchmarkSpec(
+            name="sum-test",
+            suite="mediabench",
+            phases=(
+                PhaseSpec(
+                    name="mix",
+                    length=4000,
+                    mix={K.INT_ALU: 0.45, K.FP_ADD: 0.2, K.LOAD: 0.2,
+                         K.STORE: 0.05, K.BRANCH: 0.1},
+                ),
+            ),
+        )
+        trace = generate_trace(spec)
+        result = MCDProcessor(trace, config=_quiet()).run()
+        assert sum(result.issued_by_domain.values()) == result.instructions
+
+    def test_issued_history_monotone(self):
+        trace = _trace([(K.FP_ADD, [])] * 1500)
+        result = MCDProcessor(trace, config=_quiet(), history_stride=1).run()
+        series = result.history.issued[DomainId.FP]
+        assert all(a <= b for a, b in zip(series, series[1:]))
+        assert series[-1] == 1500
+
+    def test_history_series_lengths_match(self):
+        trace = _trace([(K.INT_ALU, [])] * 1200)
+        result = MCDProcessor(trace, config=_quiet(), history_stride=2).run()
+        h = result.history
+        n = len(h.time_ns)
+        for domain in CONTROLLED_DOMAINS:
+            assert len(h.occupancy[domain]) == n
+            assert len(h.frequency_ghz[domain]) == n
+            assert len(h.issued[domain]) == n

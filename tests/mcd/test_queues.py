@@ -1,0 +1,92 @@
+"""Unit tests for the combined issue/interface queues."""
+
+import pytest
+
+from repro.mcd.queues import IssueQueue, QueueFullError
+from repro.workloads.instructions import Instruction, InstructionKind as K
+
+
+def _inst(index):
+    return Instruction(index=index, kind=K.INT_ALU, pc=0x400000 + 4 * index)
+
+
+class TestCapacity:
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            IssueQueue("q", 0)
+
+    def test_fills_to_capacity(self):
+        q = IssueQueue("q", 3)
+        for i in range(3):
+            q.push(_inst(i), visible_ns=0.0, now_ns=0.0)
+        assert q.is_full
+        assert q.occupancy == 3
+
+    def test_push_when_full_raises(self):
+        q = IssueQueue("q", 1)
+        q.push(_inst(0), 0.0, 0.0)
+        with pytest.raises(QueueFullError):
+            q.push(_inst(1), 0.0, 0.0)
+
+    def test_len_matches_occupancy(self):
+        q = IssueQueue("q", 4)
+        q.push(_inst(0), 0.0, 0.0)
+        assert len(q) == q.occupancy == 1
+
+
+class TestVisibility:
+    def test_entry_invisible_before_sync_arrival(self):
+        q = IssueQueue("q", 4)
+        q.push(_inst(0), visible_ns=5.0, now_ns=1.0)
+        assert q.visible_entries(4.9) == []
+        assert len(q.visible_entries(5.0)) == 1
+
+    def test_occupancy_counts_invisible_entries(self):
+        """The controller samples *written* occupancy, not visibility."""
+        q = IssueQueue("q", 4)
+        q.push(_inst(0), visible_ns=100.0, now_ns=0.0)
+        assert q.occupancy == 1
+
+    def test_visible_entries_in_program_order(self):
+        q = IssueQueue("q", 4)
+        for i in range(3):
+            q.push(_inst(i), visible_ns=float(i), now_ns=0.0)
+        visible = q.visible_entries(10.0)
+        assert [e.instruction.index for e in visible] == [0, 1, 2]
+
+    def test_earliest_visibility(self):
+        q = IssueQueue("q", 4)
+        assert q.earliest_visibility() is None
+        q.push(_inst(0), visible_ns=7.0, now_ns=0.0)
+        q.push(_inst(1), visible_ns=3.0, now_ns=0.0)
+        assert q.earliest_visibility() == pytest.approx(3.0)
+
+
+class TestRemoval:
+    def test_remove_specific_entry(self):
+        q = IssueQueue("q", 4)
+        e0 = q.push(_inst(0), 0.0, 0.0)
+        e1 = q.push(_inst(1), 0.0, 0.0)
+        q.remove(e0)
+        assert q.occupancy == 1
+        assert q.visible_entries(1.0)[0] is e1
+
+    def test_slot_freed_callback_fires_only_when_full(self):
+        events = []
+        q = IssueQueue("q", 2)
+        q.on_slot_freed = events.append
+        e0 = q.push(_inst(0), 0.0, 0.0)
+        q.remove(e0)  # was not full
+        assert events == []
+        e1 = q.push(_inst(1), 0.0, 0.0)
+        e2 = q.push(_inst(2), 0.0, 0.0)
+        q.remove(e1)  # was full
+        assert events == [q]
+        q.remove(e2)
+        assert events == [q]
+
+    def test_clear(self):
+        q = IssueQueue("q", 4)
+        q.push(_inst(0), 0.0, 0.0)
+        q.clear()
+        assert q.is_empty

@@ -1,0 +1,110 @@
+"""Unit tests for the reorder buffer."""
+
+import math
+
+import pytest
+
+from repro.mcd.rob import ReorderBuffer
+from repro.workloads.instructions import Instruction, InstructionKind as K
+
+
+def _inst(index):
+    return Instruction(index=index, kind=K.INT_ALU, pc=0x400000 + 4 * index)
+
+
+class TestAllocate:
+    def test_fills_to_capacity(self):
+        rob = ReorderBuffer(4)
+        for i in range(4):
+            rob.allocate(_inst(i), now_ns=0.0)
+        assert rob.is_full
+
+    def test_allocate_when_full_raises(self):
+        rob = ReorderBuffer(1)
+        rob.allocate(_inst(0), 0.0)
+        with pytest.raises(RuntimeError):
+            rob.allocate(_inst(1), 0.0)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            ReorderBuffer(0)
+
+
+class TestCompletion:
+    def test_mark_done_sets_entry_time(self):
+        rob = ReorderBuffer(8)
+        rob.allocate(_inst(0), 0.0)
+        rob.mark_done(0, 5.0)
+        assert rob.entry(0).is_done(5.0)
+        assert not rob.entry(0).is_done(4.9)
+
+    def test_completion_survives_retirement(self):
+        rob = ReorderBuffer(8)
+        rob.allocate(_inst(0), 0.0)
+        rob.mark_done(0, 1.0)
+        rob.retire(2.0, width=8)
+        assert rob.completion_time(0) == pytest.approx(1.0)
+
+    def test_operand_ready_semantics(self):
+        rob = ReorderBuffer(8)
+        rob.allocate(_inst(0), 0.0)
+        assert rob.operand_ready(None, 0.0)          # immediate
+        assert not rob.operand_ready(0, 10.0)        # not issued yet
+        rob.mark_done(0, 5.0)
+        assert not rob.operand_ready(0, 4.0)         # in flight
+        assert rob.operand_ready(0, 5.0)
+
+    def test_head_done_ns(self):
+        rob = ReorderBuffer(8)
+        assert rob.head_done_ns is None
+        rob.allocate(_inst(0), 0.0)
+        assert math.isinf(rob.head_done_ns)
+        rob.mark_done(0, 3.0)
+        assert rob.head_done_ns == pytest.approx(3.0)
+
+    def test_head_done_callback(self):
+        fired = []
+        rob = ReorderBuffer(8)
+        rob.on_head_done = fired.append
+        rob.allocate(_inst(0), 0.0)
+        rob.allocate(_inst(1), 0.0)
+        rob.mark_done(1, 2.0)  # not head: no callback
+        assert fired == []
+        rob.mark_done(0, 4.0)  # head: callback
+        assert fired == [4.0]
+
+
+class TestRetire:
+    def test_in_order_retire_blocks_on_incomplete_head(self):
+        rob = ReorderBuffer(8)
+        for i in range(3):
+            rob.allocate(_inst(i), 0.0)
+        rob.mark_done(1, 1.0)
+        rob.mark_done(2, 1.0)
+        assert rob.retire(5.0, width=8) == 0  # head (0) not done
+        rob.mark_done(0, 2.0)
+        assert rob.retire(5.0, width=8) == 3
+
+    def test_retire_respects_width(self):
+        rob = ReorderBuffer(8)
+        for i in range(6):
+            rob.allocate(_inst(i), 0.0)
+            rob.mark_done(i, 0.5)
+        assert rob.retire(1.0, width=4) == 4
+        assert rob.retire(1.0, width=4) == 2
+        assert rob.retired == 6
+
+    def test_retire_respects_completion_time(self):
+        rob = ReorderBuffer(8)
+        rob.allocate(_inst(0), 0.0)
+        rob.mark_done(0, 10.0)
+        assert rob.retire(9.0, width=8) == 0
+        assert rob.retire(10.0, width=8) == 1
+
+    def test_occupancy_tracks_allocation_and_retire(self):
+        rob = ReorderBuffer(8)
+        rob.allocate(_inst(0), 0.0)
+        assert rob.occupancy == 1
+        rob.mark_done(0, 0.0)
+        rob.retire(1.0, 8)
+        assert rob.is_empty

@@ -1,0 +1,64 @@
+"""Unit tests for the inter-domain synchronization interface."""
+
+import pytest
+
+from repro.mcd.clocks import DomainClock
+from repro.mcd.synchronization import SynchronizationInterface
+
+
+class TestArrival:
+    def test_data_latched_at_next_safe_edge(self):
+        dst = DomainClock(1.0)  # edges at 0, 1, 2, ...
+        sync = SynchronizationInterface(sync_window_ns=0.3)
+        # ready at 0.5: next edge 1.0 is 0.5 away (> window) -> latched at 1.0
+        assert sync.arrival_time(0.5, dst) == pytest.approx(1.0)
+
+    def test_edge_inside_window_defers_one_cycle(self):
+        dst = DomainClock(1.0)
+        sync = SynchronizationInterface(sync_window_ns=0.3)
+        # ready at 0.9: edge at 1.0 is only 0.1 away -> defer to 2.0
+        assert sync.arrival_time(0.9, dst) == pytest.approx(2.0)
+
+    def test_exactly_at_window_boundary_is_safe(self):
+        dst = DomainClock(1.0)
+        sync = SynchronizationInterface(sync_window_ns=0.3)
+        assert sync.arrival_time(0.7, dst) == pytest.approx(1.0)
+
+    def test_zero_window_never_defers(self):
+        dst = DomainClock(1.0)
+        sync = SynchronizationInterface(sync_window_ns=0.0)
+        for t in (0.1, 0.5, 0.999):
+            assert sync.arrival_time(t, dst) == pytest.approx(1.0)
+        assert sync.deferred == 0
+
+    def test_slower_destination_pays_longer(self):
+        fast, slow = DomainClock(1.0), DomainClock(0.25)
+        sync = SynchronizationInterface(0.3)
+        assert sync.arrival_time(0.5, slow) >= sync.arrival_time(0.5, fast)
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(ValueError):
+            SynchronizationInterface(-0.1)
+
+
+class TestStatistics:
+    def test_counts(self):
+        dst = DomainClock(1.0)
+        sync = SynchronizationInterface(0.3)
+        sync.arrival_time(0.5, dst)   # safe
+        sync.arrival_time(0.9, dst)   # deferred
+        assert sync.transfers == 2
+        assert sync.deferred == 1
+        assert sync.deferral_rate == pytest.approx(0.5)
+
+    def test_deferral_rate_empty(self):
+        assert SynchronizationInterface(0.3).deferral_rate == 0.0
+
+    def test_deferral_rate_matches_window_fraction(self):
+        """For uniformly random ready times, P(defer) ~ window / period."""
+        dst = DomainClock(1.0)
+        sync = SynchronizationInterface(0.3)
+        n = 2000
+        for i in range(n):
+            sync.arrival_time(i * 0.617339, dst)
+        assert sync.deferral_rate == pytest.approx(0.3, abs=0.05)

@@ -1,0 +1,97 @@
+"""Tests for the Transmeta-style DVFS extension (paper Section 3)."""
+
+import pytest
+
+from repro.core.config import transmeta_adaptive_config
+from repro.harness.experiment import build_controllers, run_experiment
+from repro.mcd.domains import DomainId, MachineConfig, transmeta_machine_config
+
+
+class TestConfig:
+    def test_transmeta_machine_defaults(self):
+        machine = transmeta_machine_config()
+        assert machine.dvfs_style == "transmeta"
+        assert machine.stalls_during_transition
+        assert machine.step_ghz == pytest.approx(0.05)
+        assert machine.relock_idle_ns == pytest.approx(2000.0)
+
+    def test_xscale_machine_never_stalls(self):
+        machine = MachineConfig()
+        assert not machine.stalls_during_transition
+        assert machine.relock_idle_ns == 0.0
+
+    def test_overrides(self):
+        machine = transmeta_machine_config(relock_idle_ns=500.0)
+        assert machine.relock_idle_ns == 500.0
+
+    def test_rejects_unknown_style(self):
+        with pytest.raises(ValueError, match="dvfs_style"):
+            MachineConfig(dvfs_style="intel")
+
+    def test_rejects_negative_relock(self):
+        with pytest.raises(ValueError):
+            MachineConfig(relock_idle_ns=-1.0)
+
+    def test_step_switching_time_includes_relock(self):
+        machine = transmeta_machine_config()
+        slew_part = machine.step_ghz * 1e3 * machine.slew_ns_per_mhz
+        assert machine.step_switching_time_ns == pytest.approx(
+            slew_part + machine.relock_idle_ns
+        )
+
+    def test_transmeta_controller_tuning(self):
+        config = transmeta_adaptive_config(DomainId.FP)
+        assert config.t_m0 > 10 * 50.0  # much longer than the XScale default
+        assert config.dw_level >= 2.0
+
+    def test_harness_picks_transmeta_tuning(self):
+        controllers = build_controllers("adaptive", machine=transmeta_machine_config())
+        for ctrl in controllers.values():
+            assert ctrl.config.t_m0 == pytest.approx(1000.0)
+
+    def test_harness_explicit_override_wins(self):
+        controllers = build_controllers(
+            "adaptive",
+            machine=transmeta_machine_config(),
+            adaptive_overrides={"t_m0": 123.0},
+        )
+        for ctrl in controllers.values():
+            assert ctrl.config.t_m0 == 123.0
+
+
+class TestBehaviour:
+    @pytest.fixture(scope="class")
+    def runs(self):
+        window = 30_000
+        xscale = run_experiment(
+            "gsm-decode", scheme="adaptive", machine=MachineConfig(),
+            max_instructions=window, record_history=False,
+        )
+        transmeta = run_experiment(
+            "gsm-decode", scheme="adaptive", machine=transmeta_machine_config(),
+            max_instructions=window, record_history=False,
+        )
+        return xscale, transmeta
+
+    def test_transmeta_acts_far_less_often(self, runs):
+        xscale, transmeta = runs
+        assert sum(transmeta.transitions.values()) * 5 <= sum(
+            xscale.transitions.values()
+        )
+
+    def test_transmeta_still_completes_and_saves_something(self, runs):
+        _, transmeta = runs
+        assert transmeta.instructions > 25_000
+        baseline = run_experiment(
+            "gsm-decode", scheme="full-speed", machine=transmeta_machine_config(),
+            max_instructions=30_000, record_history=False,
+        )
+        assert transmeta.energy.total < baseline.energy.total
+
+    def test_transmeta_perf_cost_bounded(self, runs):
+        _, transmeta = runs
+        baseline = run_experiment(
+            "gsm-decode", scheme="full-speed", machine=transmeta_machine_config(),
+            max_instructions=30_000, record_history=False,
+        )
+        assert transmeta.time_ns < baseline.time_ns * 1.25

@@ -1,0 +1,59 @@
+"""Unit tests for the baseline-relative metrics."""
+
+import pytest
+
+from repro.power.metrics import (
+    RunMetrics,
+    edp_improvement_percent,
+    energy_savings_percent,
+    performance_degradation_percent,
+)
+
+
+def _m(time_ns, energy):
+    return RunMetrics(time_ns=time_ns, energy=energy, instructions=1000)
+
+
+class TestRunMetrics:
+    def test_edp(self):
+        assert _m(10.0, 5.0).edp == pytest.approx(50.0)
+
+    def test_ipns(self):
+        assert _m(100.0, 1.0).ipns == pytest.approx(10.0)
+
+    def test_ipns_zero_time(self):
+        assert _m(0.0, 1.0).ipns == 0.0
+
+
+class TestComparisons:
+    def test_energy_savings(self):
+        base, run = _m(10, 100), _m(10, 91)
+        assert energy_savings_percent(base, run) == pytest.approx(9.0)
+
+    def test_negative_savings_when_worse(self):
+        base, run = _m(10, 100), _m(10, 110)
+        assert energy_savings_percent(base, run) == pytest.approx(-10.0)
+
+    def test_perf_degradation(self):
+        base, run = _m(100, 1), _m(103, 1)
+        assert performance_degradation_percent(base, run) == pytest.approx(3.0)
+
+    def test_edp_improvement(self):
+        base, run = _m(100, 100), _m(103, 91)
+        expected = 100.0 * (100 * 100 - 103 * 91) / (100 * 100)
+        assert edp_improvement_percent(base, run) == pytest.approx(expected)
+
+    def test_rejects_degenerate_baselines(self):
+        with pytest.raises(ValueError):
+            energy_savings_percent(_m(10, 0), _m(10, 1))
+        with pytest.raises(ValueError):
+            performance_degradation_percent(_m(0, 1), _m(1, 1))
+        with pytest.raises(ValueError):
+            edp_improvement_percent(_m(0, 0), _m(1, 1))
+
+    def test_paper_headline_numbers_are_consistent(self):
+        """9% energy savings with 3% degradation improves EDP by ~6.3%."""
+        base, run = _m(100.0, 100.0), _m(103.0, 91.0)
+        assert energy_savings_percent(base, run) == pytest.approx(9.0)
+        assert performance_degradation_percent(base, run) == pytest.approx(3.0)
+        assert edp_improvement_percent(base, run) == pytest.approx(6.27, abs=0.1)

@@ -1,0 +1,97 @@
+"""Unit tests for the energy model."""
+
+import pytest
+
+from repro.mcd.domains import DomainId
+from repro.power.model import (
+    DEFAULT_DOMAIN_PARAMS,
+    DomainPowerParams,
+    EnergyAccount,
+    PowerModel,
+)
+
+
+class TestDomainParams:
+    def test_active_energy_scales_with_v_squared(self):
+        p = DomainPowerParams(c_eff=1.0, width=4)
+        low = p.active_cycle_energy(2, 0.65)
+        high = p.active_cycle_energy(2, 1.30)
+        assert high == pytest.approx(4.0 * low)
+
+    def test_active_energy_grows_with_utilization(self):
+        p = DomainPowerParams(c_eff=1.0, width=4)
+        assert p.active_cycle_energy(4, 1.0) > p.active_cycle_energy(1, 1.0)
+
+    def test_utilization_capped_at_one(self):
+        p = DomainPowerParams(c_eff=1.0, width=2)
+        assert p.active_cycle_energy(5, 1.0) == p.active_cycle_energy(2, 1.0)
+
+    def test_gated_cycle_much_cheaper_than_active(self):
+        p = DomainPowerParams(c_eff=1.0, width=4)
+        assert p.gated_cycle_energy(1.0) < 0.25 * p.active_cycle_energy(1, 1.0)
+
+    def test_gated_power_scales_with_frequency(self):
+        p = DomainPowerParams(c_eff=1.0, width=4)
+        assert p.gated_power(1.0, 1.0) == pytest.approx(2.0 * p.gated_power(1.0, 0.5))
+
+    def test_leakage_independent_of_frequency(self):
+        p = DomainPowerParams(c_eff=1.0, width=4)
+        assert p.leakage_power(1.0) == p.leakage_power(1.0)
+
+
+class TestPowerModel:
+    def test_default_covers_all_domains(self):
+        model = PowerModel()
+        for domain in DomainId:
+            assert model.active_cycle(domain, 1, 1.0) > 0
+
+    def test_rejects_missing_domains(self):
+        with pytest.raises(ValueError, match="missing"):
+            PowerModel({DomainId.INT: DEFAULT_DOMAIN_PARAMS[DomainId.INT]})
+
+    def test_background_sleeping_costs_more_than_awake(self):
+        model = PowerModel()
+        awake = model.background(DomainId.FP, 1.0, 1.0, 4.0, sleeping=False)
+        asleep = model.background(DomainId.FP, 1.0, 1.0, 4.0, sleeping=True)
+        assert asleep > awake  # sleeping accrues the gated-clock rate
+
+    def test_dvfs_reduces_sleeping_cost(self):
+        """Sleeping at low f & V must be much cheaper than at full speed --
+        the mechanism behind DVFS savings on idle domains."""
+        model = PowerModel()
+        full = model.background(DomainId.FP, 1.20, 1.0, 4.0, sleeping=True)
+        scaled = model.background(DomainId.FP, 0.65, 0.25, 4.0, sleeping=True)
+        assert scaled < 0.5 * full
+
+    def test_memory_access_energy_constant(self):
+        model = PowerModel()
+        assert model.memory_access() == model.memory_access() > 0
+
+
+class TestEnergyAccount:
+    def test_accumulates_per_domain(self):
+        acct = EnergyAccount()
+        acct.add(DomainId.INT, 5.0)
+        acct.add(DomainId.INT, 3.0)
+        acct.add(DomainId.FP, 2.0)
+        assert acct.by_domain[DomainId.INT] == pytest.approx(8.0)
+        assert acct.total == pytest.approx(10.0)
+
+    def test_memory_counted_in_total(self):
+        acct = EnergyAccount()
+        acct.add_memory(7.0)
+        assert acct.total == pytest.approx(7.0)
+
+    def test_starts_at_zero(self):
+        assert EnergyAccount().total == 0.0
+
+
+class TestChipTotal:
+    def test_chip_total_excludes_memory(self):
+        from repro.power.model import EnergyAccount
+
+        acct = EnergyAccount()
+        acct.add(DomainId.INT, 10.0)
+        acct.add_memory(5.0)
+        assert acct.chip_total == pytest.approx(10.0)
+        assert acct.total == pytest.approx(15.0)

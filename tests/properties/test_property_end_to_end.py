@@ -1,0 +1,131 @@
+"""Property-based end-to-end tests: random small programs through the
+full simulator.
+
+These are the strongest invariants the reproduction rests on: whatever the
+workload, every instruction retires exactly once, timing is causal, queues
+stay bounded, and energy accounting is internally consistent -- under every
+scheme, including the pathological workloads hypothesis invents.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.harness.experiment import build_controllers
+from repro.mcd.domains import CONTROLLED_DOMAINS, DomainId, MachineConfig
+from repro.mcd.processor import MCDProcessor
+from repro.workloads.generator import generate_trace
+from repro.workloads.instructions import Instruction, InstructionKind as K
+from repro.workloads.phases import BenchmarkSpec, PhaseSpec
+
+_KINDS = list(K)
+
+
+@st.composite
+def small_traces(draw):
+    """Random dependency-correct traces of 30-150 instructions."""
+    n = draw(st.integers(min_value=30, max_value=150))
+    trace = []
+    for i in range(n):
+        kind = draw(st.sampled_from(_KINDS))
+        src1 = None
+        if i > 0 and draw(st.booleans()):
+            src1 = draw(st.integers(min_value=max(0, i - 20), max_value=i - 1))
+        addr = None
+        if kind.is_mem:
+            addr = 0x1000_0000 + draw(st.integers(min_value=0, max_value=1 << 16)) * 8
+        taken = draw(st.booleans()) if kind is K.BRANCH else False
+        trace.append(
+            Instruction(
+                index=i,
+                kind=kind,
+                pc=0x400000 + 4 * draw(st.integers(min_value=0, max_value=255)),
+                src1=src1,
+                addr=addr,
+                taken=taken,
+                target=0x400000 + 4 * draw(st.integers(min_value=0, max_value=255)),
+            )
+        )
+    return trace
+
+
+_SETTINGS = settings(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow, HealthCheck.data_too_large],
+)
+
+
+class TestEndToEndInvariants:
+    @given(trace=small_traces(), seed=st.integers(min_value=0, max_value=2**16))
+    @_SETTINGS
+    def test_everything_retires_under_full_speed(self, trace, seed):
+        result = MCDProcessor(trace, seed=seed, record_history=False).run()
+        assert result.instructions == len(trace)
+        assert result.time_ns > 0
+
+    @given(trace=small_traces())
+    @_SETTINGS
+    def test_everything_retires_under_adaptive(self, trace):
+        controllers = build_controllers("adaptive")
+        result = MCDProcessor(
+            trace, controllers=controllers, record_history=False
+        ).run()
+        assert result.instructions == len(trace)
+
+    @given(trace=small_traces())
+    @_SETTINGS
+    def test_energy_accounting_consistent(self, trace):
+        result = MCDProcessor(trace, record_history=False).run()
+        acct = result.energy
+        assert acct.chip_total == pytest.approx(
+            sum(acct.by_domain.values())
+        )
+        assert acct.total == pytest.approx(acct.chip_total + acct.memory)
+        for domain, energy in acct.by_domain.items():
+            assert energy > 0.0, domain
+
+    @given(trace=small_traces())
+    @_SETTINGS
+    def test_queue_bounds_hold_under_control(self, trace):
+        config = MachineConfig()
+        controllers = build_controllers("adaptive", machine=config)
+        proc = MCDProcessor(
+            trace, config=config, controllers=controllers, history_stride=1
+        )
+        result = proc.run()
+        for domain in CONTROLLED_DOMAINS:
+            occupancies = result.history.occupancy[domain]
+            cap = config.queue_capacity(domain)
+            assert all(0 <= occ <= cap for occ in occupancies)
+            freqs = result.history.frequency_ghz[domain]
+            assert all(
+                config.f_min_ghz - 1e-9 <= f <= config.f_max_ghz + 1e-9
+                for f in freqs
+            )
+
+    @given(
+        lengths=st.lists(
+            st.integers(min_value=50, max_value=400), min_size=1, max_size=4
+        ),
+        seed=st.integers(min_value=1, max_value=2**16),
+    )
+    @_SETTINGS
+    def test_generated_benchmarks_always_complete(self, lengths, seed):
+        """Phase-generated traces of any composition run to completion."""
+        mixes = [
+            {K.INT_ALU: 0.5, K.LOAD: 0.3, K.BRANCH: 0.2},
+            {K.FP_ADD: 0.6, K.LOAD: 0.4},
+            {K.STORE: 0.5, K.INT_MUL: 0.5},
+            {K.FP_DIV: 0.3, K.INT_ALU: 0.7},
+        ]
+        phases = tuple(
+            PhaseSpec(name=f"p{i}", length=n, mix=mixes[i % len(mixes)])
+            for i, n in enumerate(lengths)
+        )
+        spec = BenchmarkSpec(
+            name="prop-e2e", suite="mediabench", phases=phases, seed=seed
+        )
+        trace = generate_trace(spec)
+        result = MCDProcessor(trace, record_history=False).run()
+        assert result.instructions == len(trace)

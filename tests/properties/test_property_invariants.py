@@ -1,0 +1,269 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import math
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.stability import (
+    characteristic_roots,
+    damping_ratio,
+    delay_ratio_bounds,
+    is_stable,
+    percent_overshoot,
+)
+from repro.core.fsm import FsmState, TimeDelayFsm
+from repro.core.scheduler import ActionScheduler
+from repro.core.signals import SignalMonitor
+from repro.dvfs.base import FrequencyCommand
+from repro.dvfs.regulator import VoltageRegulator
+from repro.mcd.cache import Cache
+from repro.mcd.clocks import DomainClock
+from repro.mcd.domains import DomainId, MachineConfig
+from repro.mcd.queues import IssueQueue, QueueFullError
+from repro.workloads.instructions import Instruction, InstructionKind as K
+
+
+# ----------------------------------------------------------------------
+# Remark 1 as a property: any positive gains are stable
+# ----------------------------------------------------------------------
+
+positive = st.floats(min_value=1e-9, max_value=1e6, allow_nan=False)
+
+
+class TestStabilityProperties:
+    @given(k_m=positive, k_l=positive)
+    def test_any_positive_gains_stable(self, k_m, k_l):
+        assert is_stable(k_m, k_l)
+
+    @given(k_m=positive, k_l=positive)
+    def test_roots_solve_characteristic_polynomial(self, k_m, k_l):
+        for s in characteristic_roots(k_m, k_l):
+            residual = s * s + k_l * s + k_m
+            scale = max(k_m, k_l * abs(s), abs(s) ** 2)
+            assert abs(residual) <= 1e-7 * scale + 1e-300
+
+    @given(k_m=positive, k_l=positive)
+    def test_overshoot_bounded(self, k_m, k_l):
+        assert 0.0 <= percent_overshoot(k_m, k_l) <= 100.0
+
+    @given(k_l=st.floats(min_value=1e-6, max_value=100.0))
+    def test_delay_ratio_bounds_ordered(self, k_l):
+        lo, hi = delay_ratio_bounds(k_l)
+        assert 0 < lo < hi
+        assert hi == pytest.approx(4 * lo)  # xi range [0.5, 1] -> 4x span
+
+
+# ----------------------------------------------------------------------
+# FSM totality and reset
+# ----------------------------------------------------------------------
+
+signals = st.floats(min_value=-20.0, max_value=20.0, allow_nan=False)
+f_rels = st.floats(min_value=0.05, max_value=1.0, allow_nan=False)
+
+
+class TestFsmProperties:
+    @given(stream=st.lists(st.tuples(signals, f_rels), max_size=200))
+    def test_fsm_total_and_bounded(self, stream):
+        """Any input stream keeps the FSM in a defined state; triggers are
+        only +-1; the counter resets after every trigger."""
+        fsm = TimeDelayFsm(delay=10.0, deviation_window=1.0)
+        for signal, f_rel in stream:
+            trigger = fsm.step(signal, f_rel)
+            assert trigger in (-1, 0, 1)
+            assert fsm.state in FsmState
+            if trigger != 0:
+                assert fsm.counter == 0.0
+                assert fsm.state is FsmState.WAIT
+
+    @given(stream=st.lists(signals, min_size=1, max_size=100))
+    def test_in_window_sample_always_resets(self, stream):
+        fsm = TimeDelayFsm(delay=5.0, deviation_window=1.0)
+        for signal in stream:
+            fsm.step(signal, 1.0)
+        fsm.step(0.0, 1.0)
+        assert fsm.state is FsmState.WAIT
+        assert fsm.counter == 0.0
+
+    @given(
+        delay=st.floats(min_value=1.0, max_value=100.0),
+        signal=st.floats(min_value=1.5, max_value=20.0),
+    )
+    def test_persistent_signal_always_triggers_eventually(self, delay, signal):
+        fsm = TimeDelayFsm(delay=delay, deviation_window=1.0)
+        for _ in range(int(delay) + 2):
+            if fsm.step(signal, 1.0) == 1:
+                return
+        pytest.fail("persistent out-of-window signal never triggered")
+
+
+# ----------------------------------------------------------------------
+# scheduler reconciliation
+# ----------------------------------------------------------------------
+
+triggers = st.sampled_from([-1, 0, 1])
+
+
+class TestSchedulerProperties:
+    @given(level=triggers, slope=triggers)
+    def test_reconcile_sign_logic(self, level, slope):
+        sched = ActionScheduler(switching_time_ns=100.0)
+        action = sched.reconcile(0.0, level, slope)
+        total = level + slope
+        if level and slope and level != slope:
+            assert action is None  # cancel
+        elif total == 0:
+            assert action is None  # nothing
+        else:
+            assert action is not None
+            assert action.steps == total or action.steps == (level or slope)
+            assert (action.steps > 0) == (total > 0)
+
+    @given(seq=st.lists(st.tuples(triggers, triggers), min_size=1, max_size=50))
+    def test_busy_window_covers_every_action(self, seq):
+        sched = ActionScheduler(switching_time_ns=10.0)
+        t = 0.0
+        for level, slope in seq:
+            action = sched.reconcile(t, level, slope)
+            if action is not None:
+                assert action.completes_ns == t + 10.0 * abs(action.steps)
+                assert sched.busy(t + 1e-9) or action.steps == 0
+            t = max(t + 1.0, sched._busy_until_ns)
+
+
+# ----------------------------------------------------------------------
+# regulator clamping and monotone slew
+# ----------------------------------------------------------------------
+
+
+class TestRegulatorProperties:
+    @given(
+        targets=st.lists(st.floats(min_value=0.0, max_value=2.0), max_size=30),
+        dt=st.floats(min_value=0.1, max_value=1000.0),
+    )
+    def test_frequency_always_in_envelope(self, targets, dt):
+        config = MachineConfig()
+        reg = VoltageRegulator(DomainId.FP, config)
+        for target in targets:
+            reg.apply(FrequencyCommand(target_ghz=target))
+            reg.advance(dt)
+            assert config.f_min_ghz <= reg.current_freq_ghz <= config.f_max_ghz
+            assert config.v_min <= reg.voltage <= config.v_max
+
+    @given(dt=st.floats(min_value=0.01, max_value=100.0))
+    def test_slew_never_exceeds_rate(self, dt):
+        config = MachineConfig()
+        reg = VoltageRegulator(DomainId.FP, config)
+        reg.apply(FrequencyCommand(target_ghz=config.f_min_ghz))
+        before = reg.current_freq_ghz
+        reg.advance(dt)
+        assert abs(reg.current_freq_ghz - before) <= reg.slew_ghz_per_ns * dt + 1e-12
+
+
+# ----------------------------------------------------------------------
+# queue occupancy bounds under random push/pop
+# ----------------------------------------------------------------------
+
+
+class TestQueueProperties:
+    @given(
+        ops=st.lists(st.sampled_from(["push", "pop"]), max_size=200),
+        capacity=st.integers(min_value=1, max_value=32),
+    )
+    def test_occupancy_always_within_bounds(self, ops, capacity):
+        queue = IssueQueue("q", capacity)
+        index = 0
+        for op in ops:
+            if op == "push":
+                if queue.is_full:
+                    with pytest.raises(QueueFullError):
+                        queue.push(
+                            Instruction(index=index, kind=K.INT_ALU, pc=4 * index),
+                            0.0,
+                            0.0,
+                        )
+                else:
+                    queue.push(
+                        Instruction(index=index, kind=K.INT_ALU, pc=4 * index),
+                        0.0,
+                        0.0,
+                    )
+                    index += 1
+            elif not queue.is_empty:
+                queue.remove(queue.visible_entries(1.0)[0])
+            assert 0 <= queue.occupancy <= capacity
+
+
+# ----------------------------------------------------------------------
+# signal monitor algebra
+# ----------------------------------------------------------------------
+
+
+class TestSignalProperties:
+    @given(occupancies=st.lists(st.integers(min_value=0, max_value=64), min_size=2, max_size=100))
+    def test_slope_telescopes(self, occupancies):
+        """Sum of slopes equals last - first occupancy."""
+        monitor = SignalMonitor(q_ref=4)
+        slopes = [monitor.sample(occ).slope for occ in occupancies]
+        assert sum(slopes) == pytest.approx(occupancies[-1] - occupancies[0])
+
+    @given(
+        occupancies=st.lists(st.integers(min_value=0, max_value=64), min_size=1, max_size=50),
+        q_ref=st.integers(min_value=0, max_value=16),
+    )
+    def test_level_definition(self, occupancies, q_ref):
+        monitor = SignalMonitor(q_ref=q_ref)
+        for occ in occupancies:
+            assert monitor.sample(occ).level == occ - q_ref
+
+
+# ----------------------------------------------------------------------
+# cache invariants
+# ----------------------------------------------------------------------
+
+
+class TestCacheProperties:
+    @given(addrs=st.lists(st.integers(min_value=0, max_value=2**20), max_size=300))
+    def test_occupancy_never_exceeds_ways(self, addrs):
+        cache = Cache("c", 4096, 2, 64)
+        for addr in addrs:
+            cache.access(addr)
+        for ways in cache._sets:
+            assert len(ways) <= cache.assoc
+
+    @given(addrs=st.lists(st.integers(min_value=0, max_value=2**16), min_size=1, max_size=200))
+    def test_immediate_reaccess_always_hits(self, addrs):
+        cache = Cache("c", 4096, 2, 64)
+        for addr in addrs:
+            cache.access(addr)
+            assert cache.probe(addr)
+
+    @given(addrs=st.lists(st.integers(min_value=0, max_value=2**20), max_size=200))
+    def test_hit_miss_accounting(self, addrs):
+        cache = Cache("c", 4096, 2, 64)
+        for addr in addrs:
+            cache.access(addr)
+        assert cache.hits + cache.misses == len(addrs)
+
+
+# ----------------------------------------------------------------------
+# clock monotonicity
+# ----------------------------------------------------------------------
+
+
+class TestClockProperties:
+    @given(
+        freqs=st.lists(st.floats(min_value=0.1, max_value=2.0), min_size=1, max_size=50),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_edges_strictly_increase(self, freqs, seed):
+        import random
+
+        clock = DomainClock(1.0, jitter_sigma_ns=0.01, rng=random.Random(seed))
+        last = -math.inf
+        for freq in freqs:
+            clock.set_frequency(freq)
+            edge = clock.advance()
+            assert edge > last
+            last = edge

@@ -1,0 +1,147 @@
+"""Unit tests for the synthetic trace generator."""
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads.generator import TraceGenerator, generate_trace, _CODE_BASE, _DATA_BASE
+from repro.workloads.instructions import InstructionKind as K
+from repro.workloads.phases import BenchmarkSpec, PhaseSpec
+
+
+def _spec(phases):
+    return BenchmarkSpec(name="gen-test", suite="mediabench", phases=tuple(phases))
+
+
+def _phase(**kw):
+    defaults = dict(
+        name="p",
+        length=5000,
+        mix={K.INT_ALU: 0.5, K.LOAD: 0.2, K.STORE: 0.1, K.BRANCH: 0.2},
+    )
+    defaults.update(kw)
+    return PhaseSpec(**defaults)
+
+
+class TestDeterminism:
+    def test_same_seed_same_trace(self):
+        spec = _spec([_phase()])
+        a = generate_trace(spec)
+        b = generate_trace(spec)
+        assert a == b
+
+    def test_different_seed_different_trace(self):
+        spec = _spec([_phase()])
+        a = generate_trace(spec, seed=1)
+        b = generate_trace(spec, seed=2)
+        assert a != b
+
+
+class TestTraceStructure:
+    def test_length(self):
+        trace = generate_trace(_spec([_phase(length=1234)]))
+        assert len(trace) == 1234
+
+    def test_indices_sequential(self):
+        trace = generate_trace(_spec([_phase(length=500)]))
+        assert [i.index for i in trace] == list(range(500))
+
+    def test_truncation(self):
+        trace = generate_trace(_spec([_phase(length=5000)]), max_instructions=100)
+        assert len(trace) == 100
+
+    def test_mix_roughly_respected(self):
+        trace = generate_trace(_spec([_phase(length=20000)]))
+        counts = Counter(i.kind for i in trace)
+        assert counts[K.INT_ALU] / len(trace) == pytest.approx(0.5, abs=0.08)
+        assert counts[K.BRANCH] / len(trace) == pytest.approx(0.2, abs=0.08)
+
+    def test_phase_change_changes_mix(self):
+        fp = _phase(name="fp", length=5000, mix={K.FP_ADD: 0.8, K.LOAD: 0.2})
+        trace = generate_trace(_spec([_phase(length=5000), fp]))
+        first = Counter(i.kind for i in trace[:5000])
+        second = Counter(i.kind for i in trace[5000:])
+        assert first[K.FP_ADD] == 0
+        assert second[K.FP_ADD] > 3000
+
+    def test_memory_ops_have_addresses_in_working_set(self):
+        phase = _phase(working_set=4096)
+        trace = generate_trace(_spec([phase]))
+        for inst in trace:
+            if inst.kind.is_mem:
+                assert _DATA_BASE <= inst.addr < _DATA_BASE + 4096
+
+    def test_pcs_inside_code_footprint(self):
+        phase = _phase(code_footprint=2048)
+        trace = generate_trace(_spec([phase]))
+        for inst in trace:
+            assert _CODE_BASE <= inst.pc < _CODE_BASE + 2048
+
+    def test_dependences_point_backwards(self):
+        trace = generate_trace(_spec([_phase()]))
+        for inst in trace:
+            for src in (inst.src1, inst.src2):
+                if src is not None:
+                    assert 0 <= src < inst.index
+
+
+class TestStaticCodeLayout:
+    def test_kind_is_function_of_pc(self):
+        """The same PC always hosts the same opcode class within a phase."""
+        trace = generate_trace(_spec([_phase(length=20000, code_footprint=1024)]))
+        kind_at = {}
+        for inst in trace:
+            assert kind_at.setdefault(inst.pc, inst.kind) == inst.kind
+
+    def test_branch_targets_static(self):
+        trace = generate_trace(_spec([_phase(length=20000)]))
+        target_at = {}
+        for inst in trace:
+            if inst.kind is K.BRANCH:
+                assert target_at.setdefault(inst.pc, inst.target) == inst.target
+
+    def test_branch_sites_warm_up(self):
+        """Dynamic branches concentrate on few static sites (hot loops)."""
+        trace = generate_trace(_spec([_phase(length=30000, code_footprint=64 * 1024)]))
+        branches = [i for i in trace if i.kind is K.BRANCH]
+        sites = {b.pc for b in branches}
+        assert len(branches) / max(1, len(sites)) > 5  # each site re-executed
+
+
+class TestBranchBehaviour:
+    def test_taken_bias(self):
+        phase = _phase(length=20000, branch_taken_bias=0.9, branch_entropy=0.0)
+        trace = generate_trace(_spec([phase]))
+        branches = [i for i in trace if i.kind is K.BRANCH]
+        taken = sum(b.taken for b in branches)
+        assert taken / len(branches) > 0.7
+
+    def test_zero_entropy_outcomes_stable_per_pc(self):
+        phase = _phase(length=20000, branch_entropy=0.0)
+        trace = generate_trace(_spec([phase]))
+        outcome_at = {}
+        for inst in trace:
+            if inst.kind is K.BRANCH:
+                assert outcome_at.setdefault(inst.pc, inst.taken) == inst.taken
+
+    def test_hot_code_concentration(self):
+        phase = _phase(
+            length=30000,
+            code_footprint=128 * 1024,
+            hot_code_fraction=0.95,
+            hot_code_size=4096,
+        )
+        trace = generate_trace(_spec([phase]))
+        in_hot = sum(1 for i in trace if i.pc < _CODE_BASE + 4096)
+        assert in_hot / len(trace) > 0.5
+
+
+class TestIterator:
+    def test_generator_iterates_lazily(self):
+        gen = TraceGenerator(_spec([_phase(length=100)]))
+        first = next(iter(gen))
+        assert first.index == 0
+
+    def test_generate_matches_iteration(self):
+        spec = _spec([_phase(length=50)])
+        assert TraceGenerator(spec).generate() == list(TraceGenerator(spec))

@@ -1,0 +1,88 @@
+"""Tests for the generator's locality models (hot code / hot data)."""
+
+from collections import Counter
+
+import pytest
+
+from repro.workloads.generator import generate_trace, _CODE_BASE, _DATA_BASE
+from repro.workloads.instructions import InstructionKind as K
+from repro.workloads.phases import BenchmarkSpec, PhaseSpec
+
+
+def _spec(**phase_kw):
+    defaults = dict(
+        name="loc",
+        length=20_000,
+        mix={K.INT_ALU: 0.4, K.LOAD: 0.3, K.STORE: 0.1, K.BRANCH: 0.2},
+    )
+    defaults.update(phase_kw)
+    return BenchmarkSpec(
+        name="loc-test", suite="mediabench", phases=(PhaseSpec(**defaults),)
+    )
+
+
+class TestHotData:
+    def test_hot_fraction_concentrates_accesses(self):
+        spec = _spec(
+            working_set=1024 * 1024,
+            hot_data_fraction=0.8,
+            hot_data_size=4096,
+            stride_fraction=0.0,
+        )
+        trace = generate_trace(spec)
+        addrs = [i.addr for i in trace if i.kind.is_mem]
+        hot = sum(1 for a in addrs if a < _DATA_BASE + 4096)
+        assert hot / len(addrs) > 0.7
+
+    def test_zero_hot_fraction_spreads_accesses(self):
+        spec = _spec(
+            working_set=1024 * 1024,
+            hot_data_fraction=0.0,
+            stride_fraction=0.0,
+        )
+        trace = generate_trace(spec)
+        addrs = [i.addr for i in trace if i.kind.is_mem]
+        hot = sum(1 for a in addrs if a < _DATA_BASE + 4096)
+        assert hot / len(addrs) < 0.05
+
+    def test_stride_component_walks_sequentially(self):
+        spec = _spec(
+            working_set=1024 * 1024,
+            hot_data_fraction=0.0,
+            stride_fraction=1.0,
+        )
+        trace = generate_trace(spec)
+        addrs = [i.addr for i in trace if i.kind.is_mem]
+        diffs = Counter(b - a for a, b in zip(addrs, addrs[1:]))
+        # pure striding: constant 8-byte steps (modulo wraparound)
+        assert diffs[8] / len(addrs) > 0.95
+
+
+class TestHotCode:
+    def test_execution_concentrates_in_hot_region(self):
+        spec = _spec(
+            code_footprint=256 * 1024,
+            hot_code_fraction=1.0,
+            hot_code_size=2048,
+        )
+        trace = generate_trace(spec)
+        in_hot = sum(1 for i in trace if i.pc < _CODE_BASE + 2048)
+        assert in_hot / len(trace) > 0.8
+
+    def test_cold_excursions_with_partial_hotness(self):
+        spec = _spec(
+            code_footprint=256 * 1024,
+            hot_code_fraction=0.5,
+            hot_code_size=2048,
+        )
+        trace = generate_trace(spec)
+        cold = sum(1 for i in trace if i.pc >= _CODE_BASE + 2048)
+        assert cold > 0  # cold code genuinely executes
+
+    def test_hot_region_clamped_to_footprint(self):
+        """hot_code_size larger than the footprint must not place targets
+        outside the footprint."""
+        spec = _spec(code_footprint=1024, hot_code_size=64 * 1024)
+        trace = generate_trace(spec)
+        for inst in trace:
+            assert inst.pc < _CODE_BASE + 1024

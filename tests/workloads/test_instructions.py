@@ -1,0 +1,63 @@
+"""Unit tests for the instruction record and opcode classes."""
+
+import pytest
+
+from repro.workloads.instructions import Instruction, InstructionKind as K
+
+
+class TestInstructionKind:
+    def test_fp_kinds(self):
+        assert K.FP_ADD.is_fp and K.FP_MUL.is_fp and K.FP_DIV.is_fp and K.FP_SQRT.is_fp
+        assert not K.INT_ALU.is_fp
+        assert not K.LOAD.is_fp
+
+    def test_mem_kinds(self):
+        assert K.LOAD.is_mem and K.STORE.is_mem
+        assert not K.FP_ADD.is_mem
+        assert not K.BRANCH.is_mem
+
+    def test_int_kinds(self):
+        assert K.INT_ALU.is_int and K.INT_MUL.is_int and K.INT_DIV.is_int
+        assert K.BRANCH.is_int
+        assert not K.LOAD.is_int and not K.FP_ADD.is_int
+
+    def test_kind_partitions_are_disjoint(self):
+        for kind in K:
+            assert sum([kind.is_fp, kind.is_mem, kind.is_int]) == 1
+
+
+class TestInstruction:
+    def test_basic_construction(self):
+        inst = Instruction(index=5, kind=K.INT_ALU, pc=0x400000, src1=3, src2=None)
+        assert inst.index == 5
+        assert inst.src1 == 3
+
+    def test_memory_requires_address(self):
+        with pytest.raises(ValueError, match="requires addr"):
+            Instruction(index=0, kind=K.LOAD, pc=0x400000)
+
+    def test_store_requires_address(self):
+        with pytest.raises(ValueError, match="requires addr"):
+            Instruction(index=1, kind=K.STORE, pc=0x400000)
+
+    def test_producer_must_precede_consumer(self):
+        with pytest.raises(ValueError, match="src1"):
+            Instruction(index=2, kind=K.INT_ALU, pc=0, src1=2)
+        with pytest.raises(ValueError, match="src1"):
+            Instruction(index=2, kind=K.INT_ALU, pc=0, src1=7)
+        with pytest.raises(ValueError, match="src2"):
+            Instruction(index=2, kind=K.INT_ALU, pc=0, src2=3)
+
+    def test_self_dependence_rejected(self):
+        with pytest.raises(ValueError):
+            Instruction(index=4, kind=K.INT_ALU, pc=0, src1=4)
+
+    def test_branch_carries_outcome_and_target(self):
+        inst = Instruction(index=0, kind=K.BRANCH, pc=0x100, taken=True, target=0x200)
+        assert inst.taken
+        assert inst.target == 0x200
+
+    def test_frozen(self):
+        inst = Instruction(index=0, kind=K.INT_ALU, pc=0)
+        with pytest.raises(AttributeError):
+            inst.pc = 4

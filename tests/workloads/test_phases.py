@@ -1,0 +1,105 @@
+"""Unit tests for phase and benchmark specifications."""
+
+import pytest
+
+from repro.workloads.instructions import InstructionKind as K
+from repro.workloads.phases import BenchmarkSpec, PhaseSpec, phase_boundaries
+
+
+def _phase(**kw):
+    defaults = dict(name="p", length=100, mix={K.INT_ALU: 1.0})
+    defaults.update(kw)
+    return PhaseSpec(**defaults)
+
+
+class TestPhaseSpec:
+    def test_mix_is_normalized(self):
+        phase = _phase(mix={K.INT_ALU: 2.0, K.LOAD: 2.0})
+        assert phase.mix[K.INT_ALU] == pytest.approx(0.5)
+        assert phase.mix[K.LOAD] == pytest.approx(0.5)
+
+    def test_zero_weights_dropped(self):
+        phase = _phase(mix={K.INT_ALU: 1.0, K.FP_ADD: 0.0})
+        assert K.FP_ADD not in phase.mix
+
+    def test_rejects_empty_mix(self):
+        with pytest.raises(ValueError):
+            _phase(mix={K.INT_ALU: 0.0})
+
+    def test_rejects_nonpositive_length(self):
+        with pytest.raises(ValueError):
+            _phase(length=0)
+
+    def test_rejects_bad_dep_distance(self):
+        with pytest.raises(ValueError):
+            _phase(mean_dep_distance=0.5)
+
+    def test_rejects_bad_entropy(self):
+        with pytest.raises(ValueError):
+            _phase(branch_entropy=0.6)
+
+    def test_rejects_bad_hot_fractions(self):
+        with pytest.raises(ValueError):
+            _phase(hot_code_fraction=1.5)
+        with pytest.raises(ValueError):
+            _phase(hot_data_size=0)
+
+    def test_scaled_changes_only_length(self):
+        phase = _phase(length=1000, working_set=64 * 1024)
+        scaled = phase.scaled(0.25)
+        assert scaled.length == 250
+        assert scaled.working_set == phase.working_set
+        assert scaled.mix == phase.mix
+
+    def test_scaled_floors_at_one(self):
+        assert _phase(length=10).scaled(0.001).length == 1
+
+
+class TestBenchmarkSpec:
+    def _spec(self, lengths=(100, 300)):
+        phases = tuple(_phase(name=f"p{i}", length=n) for i, n in enumerate(lengths))
+        return BenchmarkSpec(name="bench", suite="mediabench", phases=phases)
+
+    def test_length_is_sum_of_phases(self):
+        assert self._spec((100, 300)).length == 400
+
+    def test_requires_phases(self):
+        with pytest.raises(ValueError):
+            BenchmarkSpec(name="x", suite="mediabench", phases=())
+
+    def test_rejects_unknown_suite(self):
+        with pytest.raises(ValueError, match="suite"):
+            BenchmarkSpec(name="x", suite="spec95", phases=(_phase(),))
+
+    def test_seed_derived_from_name(self):
+        a = BenchmarkSpec(name="aaa", suite="mediabench", phases=(_phase(),))
+        b = BenchmarkSpec(name="bbb", suite="mediabench", phases=(_phase(),))
+        assert a.seed != b.seed
+        assert a.seed == BenchmarkSpec(name="aaa", suite="mediabench", phases=(_phase(),)).seed
+
+    def test_truncated_preserves_proportions(self):
+        spec = self._spec((1000, 3000))
+        cut = spec.truncated(400)
+        assert cut.length == pytest.approx(400, abs=2)
+        assert cut.phases[0].length == pytest.approx(100, abs=2)
+        assert cut.phases[1].length == pytest.approx(300, abs=2)
+
+    def test_truncated_noop_when_short_enough(self):
+        spec = self._spec((100, 100))
+        assert spec.truncated(1000) is spec
+
+    def test_truncated_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            self._spec().truncated(0)
+
+    def test_scaled_keeps_identity_fields(self):
+        spec = self._spec()
+        scaled = spec.scaled(0.5)
+        assert scaled.name == spec.name
+        assert scaled.seed == spec.seed
+        assert scaled.fast_varying == spec.fast_varying
+
+
+def test_phase_boundaries():
+    phases = [_phase(length=10), _phase(length=20), _phase(length=5)]
+    assert phase_boundaries(phases) == [10, 30, 35]

@@ -1,0 +1,103 @@
+"""Tests for trace statistics."""
+
+import pytest
+
+from repro.mcd.domains import DomainId
+from repro.workloads.generator import generate_trace
+from repro.workloads.instructions import Instruction, InstructionKind as K
+from repro.workloads.phases import BenchmarkSpec, PhaseSpec
+from repro.workloads.stats import analyze_trace, format_stats
+
+
+def _spec(mix, length=20_000, **kw):
+    return BenchmarkSpec(
+        name="stats-test",
+        suite="mediabench",
+        phases=(PhaseSpec(name="p", length=length, mix=mix, **kw),),
+    )
+
+
+class TestAnalyzeTrace:
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            analyze_trace([])
+
+    def test_rejects_bad_line_size(self):
+        trace = [Instruction(index=0, kind=K.INT_ALU, pc=0)]
+        with pytest.raises(ValueError):
+            analyze_trace(trace, line_size=0)
+
+    def test_mix_matches_spec(self):
+        mix = {K.INT_ALU: 0.5, K.LOAD: 0.3, K.BRANCH: 0.2}
+        stats = analyze_trace(generate_trace(_spec(mix)))
+        assert stats.mix[K.INT_ALU] == pytest.approx(0.5, abs=0.07)
+        assert stats.mix[K.LOAD] == pytest.approx(0.3, abs=0.07)
+
+    def test_domain_shares_sum_to_one(self):
+        mix = {K.INT_ALU: 0.4, K.FP_ADD: 0.3, K.LOAD: 0.3}
+        stats = analyze_trace(generate_trace(_spec(mix)))
+        assert sum(stats.domain_shares.values()) == pytest.approx(1.0)
+        assert stats.fp_share == pytest.approx(0.3, abs=0.07)
+        assert stats.mem_share == pytest.approx(0.3, abs=0.07)
+
+    def test_dep_distance_tracks_spec(self):
+        mix = {K.INT_ALU: 1.0}
+        short = analyze_trace(
+            generate_trace(_spec(mix, mean_dep_distance=2.0))
+        ).mean_dep_distance
+        long = analyze_trace(
+            generate_trace(_spec(mix, mean_dep_distance=12.0))
+        ).mean_dep_distance
+        assert long > 2 * short
+
+    def test_dep_density(self):
+        mix = {K.INT_ALU: 1.0}
+        dense = analyze_trace(generate_trace(_spec(mix, dep_density=0.9)))
+        sparse = analyze_trace(generate_trace(_spec(mix, dep_density=0.1)))
+        assert dense.dep_density > 3 * sparse.dep_density
+
+    def test_branch_statistics(self):
+        mix = {K.INT_ALU: 0.7, K.BRANCH: 0.3}
+        # a large uniform footprint gives many branch sites, so the realized
+        # taken fraction tracks the per-site bias instead of a handful of
+        # hot sites' coin flips
+        stats = analyze_trace(
+            generate_trace(
+                _spec(
+                    mix,
+                    branch_taken_bias=0.95,
+                    branch_entropy=0.0,
+                    code_footprint=16 * 1024,
+                    hot_code_size=16 * 1024,
+                )
+            )
+        )
+        # dynamic share can skew from the static mix when taken branches
+        # concentrate execution on branchy slots
+        assert 0.15 * 20_000 <= stats.branch_count <= 0.5 * 20_000
+        assert stats.branch_taken_fraction > 0.6
+        assert 0 < stats.branch_sites <= stats.branch_count
+
+    def test_working_set_bounded_by_spec(self):
+        mix = {K.LOAD: 0.5, K.INT_ALU: 0.5}
+        stats = analyze_trace(
+            generate_trace(_spec(mix, working_set=8 * 1024))
+        )
+        assert stats.data_working_set_bytes <= 8 * 1024 + 64
+
+    def test_code_footprint_bounded_by_spec(self):
+        mix = {K.INT_ALU: 1.0}
+        stats = analyze_trace(
+            generate_trace(_spec(mix, code_footprint=2048))
+        )
+        assert stats.code_footprint_bytes <= 2048 + 64
+
+
+class TestFormat:
+    def test_format_renders_all_sections(self):
+        mix = {K.INT_ALU: 0.6, K.LOAD: 0.2, K.BRANCH: 0.2}
+        stats = analyze_trace(generate_trace(_spec(mix, length=5000)))
+        text = format_stats(stats)
+        for needle in ("instructions", "mix", "dep distance", "branches",
+                       "code footprint", "data working set"):
+            assert needle in text

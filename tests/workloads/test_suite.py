@@ -1,0 +1,113 @@
+"""Tests for the named benchmark suite (the paper's Table 2 population)."""
+
+import pytest
+
+from repro.workloads.instructions import InstructionKind as K
+from repro.workloads.suite import (
+    BENCHMARKS,
+    FAST_VARYING_GROUP,
+    MEDIABENCH,
+    SPEC2000_FP,
+    SPEC2000_INT,
+    get_benchmark,
+)
+
+
+class TestTable2Population:
+    def test_suite_sizes_match_paper(self):
+        """6 MediaBench, 6 SPEC2000int, 5 SPEC2000fp."""
+        assert len(MEDIABENCH) == 6
+        assert len(SPEC2000_INT) == 6
+        assert len(SPEC2000_FP) == 5
+
+    def test_suites_labelled_consistently(self):
+        for spec in MEDIABENCH:
+            assert spec.suite == "mediabench"
+        for spec in SPEC2000_INT:
+            assert spec.suite == "spec2000int"
+        for spec in SPEC2000_FP:
+            assert spec.suite == "spec2000fp"
+
+    def test_names_unique(self):
+        names = [s.name for s in MEDIABENCH + SPEC2000_INT + SPEC2000_FP]
+        assert len(names) == len(set(names))
+
+    def test_lookup_by_name(self):
+        assert get_benchmark("epic-decode").name == "epic-decode"
+
+    def test_lookup_unknown_raises_with_suggestions(self):
+        with pytest.raises(KeyError, match="known:"):
+            get_benchmark("quake3")
+
+    def test_all_benchmarks_have_notes(self):
+        for spec in BENCHMARKS.values():
+            assert spec.notes, f"{spec.name} lacks provenance notes"
+
+    def test_seeds_distinct(self):
+        seeds = [s.seed for s in BENCHMARKS.values()]
+        assert len(seeds) == len(set(seeds))
+
+
+class TestFastVaryingGroup:
+    def test_group_nonempty_and_labelled(self):
+        assert len(FAST_VARYING_GROUP) >= 4
+        for name in FAST_VARYING_GROUP:
+            assert get_benchmark(name).fast_varying
+
+    def test_fast_varying_have_short_phases(self):
+        """Fast-varying benchmarks swing faster than a 10k-cycle interval."""
+        for name in FAST_VARYING_GROUP:
+            spec = get_benchmark(name)
+            assert len(spec.phases) >= 10
+            assert max(p.length for p in spec.phases) <= 5000
+
+    def test_steady_benchmarks_have_long_phases(self):
+        for spec in BENCHMARKS.values():
+            if not spec.fast_varying:
+                assert max(p.length for p in spec.phases) >= 20_000
+
+
+class TestEpicDecode:
+    """epic-decode must encode the paper's Figure-7 FP-queue pattern."""
+
+    def test_two_fp_phases(self):
+        spec = get_benchmark("epic-decode")
+        fp_phases = [
+            p for p in spec.phases if any(k.is_fp for k in p.mix)
+        ]
+        assert len(fp_phases) == 2
+
+    def test_fp_burst_is_heavier_than_modest_phase(self):
+        spec = get_benchmark("epic-decode")
+        fp_share = [
+            sum(w for k, w in p.mix.items() if k.is_fp)
+            for p in spec.phases
+            if any(k.is_fp for k in p.mix)
+        ]
+        modest, burst = fp_share
+        assert burst > 2 * modest
+
+    def test_int_phases_have_no_fp(self):
+        spec = get_benchmark("epic-decode")
+        int_phases = [p for p in spec.phases if not any(k.is_fp for k in p.mix)]
+        assert len(int_phases) == 3
+
+
+class TestWorkloadDiversity:
+    def test_memory_bound_benchmark_exists(self):
+        mcf = get_benchmark("mcf")
+        assert mcf.phases[0].working_set >= 4 * 1024 * 1024
+        load_share = sum(w for k, w in mcf.phases[0].mix.items() if k is K.LOAD)
+        assert load_share > 0.3
+
+    def test_fp_suite_actually_fp(self):
+        for spec in SPEC2000_FP:
+            fp_share = max(
+                sum(w for k, w in p.mix.items() if k.is_fp) for p in spec.phases
+            )
+            assert fp_share > 0.15, spec.name
+
+    def test_int_suite_has_no_fp(self):
+        for spec in SPEC2000_INT:
+            for phase in spec.phases:
+                assert not any(k.is_fp for k in phase.mix), spec.name

@@ -1,0 +1,105 @@
+"""Tests for trace file I/O."""
+
+import json
+
+import pytest
+
+from repro.mcd.processor import MCDProcessor
+from repro.workloads.generator import generate_trace
+from repro.workloads.instructions import Instruction, InstructionKind as K
+from repro.workloads.phases import BenchmarkSpec, PhaseSpec
+from repro.workloads.traceio import load_trace, save_trace
+
+
+def _trace():
+    spec = BenchmarkSpec(
+        name="io-test",
+        suite="mediabench",
+        phases=(
+            PhaseSpec(
+                name="p",
+                length=2000,
+                mix={K.INT_ALU: 0.4, K.FP_ADD: 0.2, K.LOAD: 0.2,
+                     K.STORE: 0.05, K.BRANCH: 0.15},
+            ),
+        ),
+    )
+    return generate_trace(spec)
+
+
+class TestRoundTrip:
+    def test_roundtrip_identity(self, tmp_path):
+        trace = _trace()
+        path = str(tmp_path / "t.jsonl")
+        save_trace(path, trace)
+        assert load_trace(path) == trace
+
+    def test_reloaded_trace_simulates_identically(self, tmp_path):
+        trace = _trace()
+        path = str(tmp_path / "t.jsonl")
+        save_trace(path, trace)
+        reloaded = load_trace(path)
+        a = MCDProcessor(trace, seed=3, record_history=False).run()
+        b = MCDProcessor(reloaded, seed=3, record_history=False).run()
+        assert a.time_ns == b.time_ns
+        assert a.energy.total == pytest.approx(b.energy.total)
+
+    def test_header_present(self, tmp_path):
+        path = tmp_path / "t.jsonl"
+        save_trace(str(path), _trace()[:10])
+        header = json.loads(path.read_text().splitlines()[0])
+        assert header["format"] == "repro-trace"
+
+
+class TestValidation:
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "e.jsonl"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            load_trace(str(path))
+
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "w.jsonl"
+        path.write_text('{"format": "something-else", "version": 1}\n')
+        with pytest.raises(ValueError, match="not a repro-trace"):
+            load_trace(str(path))
+
+    def test_rejects_wrong_version(self, tmp_path):
+        path = tmp_path / "v.jsonl"
+        path.write_text('{"format": "repro-trace", "version": 99}\n{"i":0,"k":"int_alu","pc":0}\n')
+        with pytest.raises(ValueError, match="version"):
+            load_trace(str(path))
+
+    def test_rejects_index_gap(self, tmp_path):
+        path = tmp_path / "g.jsonl"
+        path.write_text(
+            '{"format": "repro-trace", "version": 1}\n'
+            '{"i":0,"k":"int_alu","pc":0}\n'
+            '{"i":2,"k":"int_alu","pc":4}\n'
+        )
+        with pytest.raises(ValueError, match="expected index 1"):
+            load_trace(str(path))
+
+    def test_rejects_unknown_kind(self, tmp_path):
+        path = tmp_path / "k.jsonl"
+        path.write_text(
+            '{"format": "repro-trace", "version": 1}\n'
+            '{"i":0,"k":"warp_drive","pc":0}\n'
+        )
+        with pytest.raises(ValueError, match="malformed"):
+            load_trace(str(path))
+
+    def test_rejects_no_instructions(self, tmp_path):
+        path = tmp_path / "n.jsonl"
+        path.write_text('{"format": "repro-trace", "version": 1}\n')
+        with pytest.raises(ValueError, match="no instructions"):
+            load_trace(str(path))
+
+    def test_branch_fields_preserved(self, tmp_path):
+        trace = [
+            Instruction(index=0, kind=K.BRANCH, pc=0x100, taken=True, target=0x200),
+        ]
+        path = str(tmp_path / "b.jsonl")
+        save_trace(path, trace)
+        loaded = load_trace(path)
+        assert loaded[0].taken and loaded[0].target == 0x200
