@@ -20,7 +20,8 @@ from typing import List
 
 import pytest
 
-from repro.harness.comparison import BenchmarkComparison, compare_schemes
+from repro.engine import EngineConfig, SweepEngine
+from repro.harness.comparison import BenchmarkComparison, sweep
 from repro.workloads.suite import MEDIABENCH, SPEC2000_FP, SPEC2000_INT
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
@@ -57,15 +58,30 @@ def sweep_window(spec) -> "int | None":
 
 @pytest.fixture(scope="session")
 def full_sweep() -> List[BenchmarkComparison]:
-    """The main evaluation sweep: every benchmark under every scheme."""
-    return [
-        compare_schemes(
-            spec,
-            schemes=("adaptive", "attack-decay", "pid"),
-            max_instructions=sweep_window(spec),
+    """The main evaluation sweep: every benchmark under every scheme.
+
+    Runs through the sweep engine: the 17 x 4 grid fans out over a
+    process pool (``REPRO_SWEEP_JOBS`` overrides the worker count; set it
+    to 1 to force serial in-process execution).  The result cache is off
+    by default so CI-style runs always measure fresh simulations; export
+    ``REPRO_SWEEP_CACHE=<dir>`` to reuse results across sessions while
+    iterating locally.
+    """
+    workers = int(
+        os.environ.get("REPRO_SWEEP_JOBS", str(min(os.cpu_count() or 1, 8)))
+    )
+    engine = SweepEngine(
+        EngineConfig(
+            workers=workers,
+            cache_dir=os.environ.get("REPRO_SWEEP_CACHE") or None,
         )
-        for spec in ALL_BENCHMARKS
-    ]
+    )
+    return sweep(
+        ALL_BENCHMARKS,
+        schemes=("adaptive", "attack-decay", "pid"),
+        engine=engine,
+        window=sweep_window,
+    )
 
 
 def run_once(benchmark, fn, *args, **kwargs):

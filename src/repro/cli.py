@@ -5,20 +5,24 @@ Subcommands
 ``list``      list the benchmark suite (with fast-varying labels)
 ``run``       simulate one benchmark under one scheme
 ``compare``   compare schemes on one or more benchmarks
+``sweep``     run a (benchmark x scheme) grid through the parallel sweep
+              engine (worker pool, result cache, telemetry)
 ``analyze``   print the Section-4 stability analysis for a design point
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
 from repro.analysis.linearize import linearize
 from repro.analysis.model import ClosedLoopModel, ControllerModel, ServiceModel
 from repro.analysis.stability import analyze
-from repro.harness.comparison import compare_schemes
+from repro.harness.comparison import aggregate, compare_schemes, sweep
 from repro.harness.experiment import SCHEMES, run_experiment
+from repro.harness.persistence import result_to_dict
 from repro.harness.reporting import format_table
 from repro.mcd.domains import DomainId
 from repro.workloads.suite import BENCHMARKS, get_benchmark
@@ -43,8 +47,12 @@ def _cmd_run(args: argparse.Namespace) -> int:
         args.benchmark,
         scheme=args.scheme,
         max_instructions=args.instructions,
+        seed=args.seed,
         record_history=False,
     )
+    if args.json:
+        print(json.dumps(result_to_dict(result), indent=2))
+        return 0
     print(f"benchmark            : {result.benchmark}")
     print(f"scheme               : {result.scheme}")
     print(f"instructions retired : {result.instructions}")
@@ -59,18 +67,46 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scheme_result_dict(result) -> dict:
+    return {
+        "scheme": result.scheme,
+        "energy_savings_pct": result.energy_savings_pct,
+        "perf_degradation_pct": result.perf_degradation_pct,
+        "edp_improvement_pct": result.edp_improvement_pct,
+        "transitions": result.transitions,
+    }
+
+
 def _cmd_compare(args: argparse.Namespace) -> int:
-    rows = []
-    for name in args.benchmarks:
-        comp = compare_schemes(
+    comparisons = [
+        compare_schemes(
             name,
             schemes=tuple(args.schemes),
             max_instructions=args.instructions,
+            seed=args.seed,
         )
+        for name in args.benchmarks
+    ]
+    if args.json:
+        payload = [
+            {
+                "benchmark": comp.benchmark,
+                "suite": comp.suite,
+                "schemes": [
+                    _scheme_result_dict(comp.result_for(s))
+                    for s in args.schemes
+                ],
+            }
+            for comp in comparisons
+        ]
+        print(json.dumps(payload, indent=2))
+        return 0
+    rows = []
+    for comp in comparisons:
         for scheme in args.schemes:
             result = comp.result_for(scheme)
             rows.append(
-                [name, scheme, result.energy_savings_pct,
+                [comp.benchmark, scheme, result.energy_savings_pct,
                  result.perf_degradation_pct, result.edp_improvement_pct,
                  result.transitions]
             )
@@ -81,6 +117,95 @@ def _cmd_compare(args: argparse.Namespace) -> int:
         title="Scheme comparison vs full-speed baseline",
     ))
     return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.engine import EngineConfig, SweepEngine
+
+    unknown = sorted(set(args.benchmarks) - set(BENCHMARKS))
+    if unknown:
+        print(
+            f"error: unknown benchmark(s): {', '.join(unknown)} "
+            f"(choose from {', '.join(sorted(BENCHMARKS))})",
+            file=sys.stderr,
+        )
+        return 2
+
+    engine = SweepEngine(
+        EngineConfig(
+            workers=args.jobs,
+            cache_dir=args.cache_dir,
+            timeout_s=args.timeout,
+            retries=args.retries,
+            events_path=args.events,
+            progress=args.progress and not args.json,
+        )
+    )
+    comparisons = sweep(
+        args.benchmarks or sorted(BENCHMARKS),
+        schemes=tuple(args.schemes),
+        max_instructions=args.instructions,
+        seed=args.seed,
+        engine=engine,
+        on_failure="skip",
+    )
+    summary = engine.telemetry.summary()
+
+    if args.json:
+        payload = {
+            "benchmarks": [
+                {
+                    "benchmark": comp.benchmark,
+                    "suite": comp.suite,
+                    "schemes": [
+                        _scheme_result_dict(result) for result in comp.schemes
+                    ],
+                }
+                for comp in comparisons
+            ],
+            "aggregate": {
+                scheme: aggregate(comparisons, scheme)
+                for scheme in args.schemes
+            }
+            if comparisons
+            else {},
+            "telemetry": summary,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        rows = [
+            [comp.benchmark, result.scheme, result.energy_savings_pct,
+             result.perf_degradation_pct, result.edp_improvement_pct,
+             result.transitions]
+            for comp in comparisons
+            for result in comp.schemes
+        ]
+        print(format_table(
+            ["benchmark", "scheme", "energy savings %", "perf degradation %",
+             "EDP improvement %", "transitions"],
+            rows,
+            title="Sweep vs full-speed baseline",
+        ))
+        if comparisons:
+            agg_rows = [
+                [scheme, *aggregate(comparisons, scheme).values()]
+                for scheme in args.schemes
+            ]
+            print(format_table(
+                ["scheme", "energy savings %", "perf degradation %",
+                 "EDP improvement %", "transitions"],
+                agg_rows,
+                title=f"Mean over {len(comparisons)} benchmarks",
+            ))
+        print(
+            f"sweep: {summary['jobs_run']} simulated, "
+            f"{summary['cache_hits']} cache hits, "
+            f"{summary['retries']} retries, "
+            f"{summary['failures']} failures "
+            f"in {summary['wall_s']:.2f}s "
+            f"({summary['jobs_per_s']:.2f} jobs/s)"
+        )
+    return 0 if summary["failures"] == 0 else 1
 
 
 def _cmd_analyze(args: argparse.Namespace) -> int:
@@ -109,6 +234,10 @@ def build_parser() -> argparse.ArgumentParser:
     run_p.add_argument("--scheme", choices=SCHEMES, default="adaptive")
     run_p.add_argument("--instructions", type=int, default=60_000,
                        help="truncate the run (phase proportions preserved)")
+    run_p.add_argument("--seed", type=int, default=None,
+                       help="override the benchmark's deterministic RNG seed")
+    run_p.add_argument("--json", action="store_true",
+                       help="emit the full result as machine-readable JSON")
     run_p.set_defaults(func=_cmd_run)
 
     cmp_p = sub.add_parser("compare", help="compare schemes on benchmarks")
@@ -117,7 +246,45 @@ def build_parser() -> argparse.ArgumentParser:
                        choices=[s for s in SCHEMES if s != "full-speed"],
                        default=["adaptive", "attack-decay", "pid"])
     cmp_p.add_argument("--instructions", type=int, default=60_000)
+    cmp_p.add_argument("--seed", type=int, default=None,
+                       help="override every benchmark's RNG seed")
+    cmp_p.add_argument("--json", action="store_true",
+                       help="emit comparisons as machine-readable JSON")
     cmp_p.set_defaults(func=_cmd_compare)
+
+    sweep_p = sub.add_parser(
+        "sweep",
+        help="run a (benchmark x scheme) grid through the sweep engine",
+    )
+    # no ``choices`` here: argparse rejects the empty default of a
+    # choices-constrained ``nargs="*"`` positional; _cmd_sweep validates.
+    sweep_p.add_argument(
+        "benchmarks", nargs="*", metavar="BENCHMARK",
+        help="benchmarks to sweep (default: the whole suite)",
+    )
+    sweep_p.add_argument("--schemes", nargs="+",
+                         choices=[s for s in SCHEMES if s != "full-speed"],
+                         default=["adaptive", "attack-decay", "pid"])
+    sweep_p.add_argument("--instructions", type=int, default=60_000)
+    sweep_p.add_argument("--seed", type=int, default=None,
+                         help="override every benchmark's RNG seed")
+    sweep_p.add_argument("--jobs", type=int, default=1,
+                         help="worker processes (1 = in-process serial)")
+    sweep_p.add_argument("--cache-dir", default=None, dest="cache_dir",
+                         help="content-addressed result cache directory "
+                              "(off when omitted)")
+    sweep_p.add_argument("--events", default=None,
+                         help="write a JSON-lines telemetry event log here")
+    sweep_p.add_argument("--timeout", type=float, default=None,
+                         help="per-job wall-clock timeout in seconds")
+    sweep_p.add_argument("--retries", type=int, default=1,
+                         help="extra attempts after a job failure")
+    sweep_p.add_argument("--no-progress", action="store_false",
+                         dest="progress",
+                         help="suppress per-job progress lines on stderr")
+    sweep_p.add_argument("--json", action="store_true",
+                         help="emit results + telemetry as JSON")
+    sweep_p.set_defaults(func=_cmd_sweep)
 
     ana_p = sub.add_parser("analyze", help="Section-4 stability analysis")
     ana_p.add_argument("--t1", type=float, default=0.2,

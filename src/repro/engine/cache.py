@@ -1,0 +1,97 @@
+"""Content-addressed on-disk cache of sweep results.
+
+The cache key is a SHA-256 over the job's canonical JSON (benchmark
+spec, scheme, machine config, overrides, instruction window, seed --
+see :meth:`repro.engine.jobs.SweepJob.canonical_dict`) plus a cache
+format tag and the persistence format version.  Identical jobs on
+identical code therefore hash to the same file; any change to the spec,
+the machine, or the serialization format changes the key and the stale
+entry is simply never looked up again.
+
+Entries are single-result ``.json.gz`` files written by
+:mod:`repro.harness.persistence`, sharded into 256 two-hex-digit
+subdirectories so no single directory grows unboundedly.  All cache
+operations are best-effort: a corrupt, truncated, or version-mismatched
+entry reads as a miss, and a failed write never aborts the sweep.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+from typing import Optional
+
+from repro.engine.jobs import SweepJob
+from repro.harness import persistence
+from repro.mcd.processor import SimulationResult
+
+#: Bump when simulation semantics change in a way that invalidates old
+#: cached results without changing the persistence format.
+CACHE_VERSION = 1
+
+
+def job_cache_key(job: SweepJob) -> str:
+    """Stable hex digest addressing ``job``'s result on disk."""
+    payload = "\n".join(
+        (
+            f"cache-version:{CACHE_VERSION}",
+            f"format-version:{persistence.FORMAT_VERSION}",
+            job.canonical_json(),
+        )
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class ResultCache:
+    """Directory-backed result store addressed by :func:`job_cache_key`."""
+
+    def __init__(self, root: str) -> None:
+        self.root = str(root)
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    def path_for(self, job: SweepJob) -> str:
+        key = job_cache_key(job)
+        return os.path.join(self.root, key[:2], f"{key}.json.gz")
+
+    def get(self, job: SweepJob) -> Optional[SimulationResult]:
+        """Return the cached result for ``job``, or ``None`` on a miss.
+
+        A history-recording job only hits on an entry that carries a
+        history, so ``record_history=True`` sweeps never get silently
+        downgraded results (the key covers ``record_history``, making
+        this automatic).
+        """
+        path = self.path_for(job)
+        try:
+            results = persistence.load_result_objects(path)
+        except (OSError, ValueError, KeyError, EOFError):
+            # missing, truncated, corrupt, or wrong-version entry: a miss
+            self.misses += 1
+            return None
+        if len(results) != 1:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return results[0]
+
+    def put(self, job: SweepJob, result: SimulationResult) -> Optional[str]:
+        """Store ``result`` under ``job``'s key; returns the path or
+        ``None`` if the write failed (caching is best-effort)."""
+        path = self.path_for(job)
+        try:
+            persistence.save_results(
+                path, [result], include_history=job.record_history
+            )
+        except OSError:
+            return None
+        self.stores += 1
+        return path
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+        }

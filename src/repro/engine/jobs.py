@@ -1,0 +1,112 @@
+"""Job model of the sweep engine.
+
+A :class:`SweepJob` is one fully-specified ``(benchmark x scheme x
+parameter-overrides)`` simulation: everything
+:func:`repro.harness.experiment.run_experiment` needs, captured as plain
+picklable data so the job can cross a process boundary and be hashed
+into a stable cache key.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from dataclasses import dataclass
+from typing import Dict, Mapping, Optional, Union
+
+from repro.mcd.domains import MachineConfig
+from repro.workloads.phases import BenchmarkSpec
+from repro.workloads.suite import get_benchmark
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    """One unit of sweep work.
+
+    ``benchmark`` is resolved to a full :class:`BenchmarkSpec` at
+    construction time so the cache key covers the actual phase structure,
+    not just a name that could silently change meaning between code
+    versions.
+    """
+
+    benchmark: BenchmarkSpec
+    scheme: str = "adaptive"
+    machine: Optional[MachineConfig] = None
+    max_instructions: Optional[int] = None
+    seed: Optional[int] = None
+    record_history: bool = False
+    history_stride: int = 4
+    pid_interval_ns: Optional[float] = None
+    adaptive_overrides: Optional[Dict[str, object]] = None
+
+    @staticmethod
+    def make(
+        benchmark: Union[str, BenchmarkSpec],
+        scheme: str = "adaptive",
+        **kwargs,
+    ) -> "SweepJob":
+        spec = (
+            get_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
+        )
+        return SweepJob(benchmark=spec, scheme=scheme, **kwargs)
+
+    @property
+    def job_id(self) -> str:
+        """Human-readable identity used in telemetry and progress output."""
+        return f"{self.benchmark.name}/{self.scheme}"
+
+    def canonical_dict(self) -> Dict:
+        """Every simulation-affecting input, as JSON-stable plain data.
+
+        This is the payload the content-addressed cache hashes; any field
+        that can change the simulation's outcome must appear here.
+        """
+        machine = self.machine or MachineConfig()
+        return {
+            "benchmark": _plain(dataclasses.asdict(self.benchmark)),
+            "scheme": self.scheme,
+            "machine": _plain(dataclasses.asdict(machine)),
+            "max_instructions": self.max_instructions,
+            "seed": self.seed,
+            "record_history": self.record_history,
+            "history_stride": self.history_stride,
+            "pid_interval_ns": self.pid_interval_ns,
+            "adaptive_overrides": _plain(self.adaptive_overrides or {}),
+        }
+
+    def canonical_json(self) -> str:
+        return json.dumps(self.canonical_dict(), sort_keys=True)
+
+
+def _plain(value):
+    """Recursively convert to canonical JSON-serializable data."""
+    if isinstance(value, Mapping):
+        return {str(k): _plain(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_plain(v) for v in value]
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def run_job(job: SweepJob):
+    """Execute one job in the current process.
+
+    Module-level (not a method) so a process pool can pickle it as the
+    default worker entry point.
+    """
+    from repro.harness.experiment import run_experiment
+
+    return run_experiment(
+        job.benchmark,
+        scheme=job.scheme,
+        machine=job.machine,
+        max_instructions=job.max_instructions,
+        seed=job.seed,
+        record_history=job.record_history,
+        history_stride=job.history_stride,
+        pid_interval_ns=job.pid_interval_ns,
+        adaptive_overrides=dict(job.adaptive_overrides)
+        if job.adaptive_overrides
+        else None,
+    )

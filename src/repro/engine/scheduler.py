@@ -1,0 +1,327 @@
+"""The sweep engine: fan jobs out over a process pool, robustly.
+
+Execution model
+---------------
+* Each :class:`~repro.engine.jobs.SweepJob` is first checked against the
+  optional content-addressed :class:`~repro.engine.cache.ResultCache`;
+  hits never reach a worker.
+* Remaining jobs run on a :class:`concurrent.futures.ProcessPoolExecutor`
+  (``workers > 1``) or in-process (``workers == 1``).  If the pool cannot
+  be created or breaks mid-sweep, the engine falls back to in-process
+  serial execution for whatever is left -- a sweep degrades, it does not
+  abort.
+* A per-job wall-clock timeout is enforced *inside* the executing
+  process via ``SIGALRM`` (tasks run on the worker's main thread), so a
+  runaway job raises :class:`JobTimeoutError` instead of wedging a pool
+  slot forever.
+* A job that raises (or times out) is retried up to ``retries`` times;
+  on exhaustion it is surfaced as a failed :class:`JobOutcome` in the
+  telemetry stream and the result list, and the sweep continues.
+
+Outcomes are returned in input-job order regardless of completion order,
+so pool and serial execution are interchangeable downstream.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import signal
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence
+
+from repro.engine import telemetry as tm
+from repro.engine.cache import ResultCache
+from repro.engine.jobs import SweepJob, run_job
+from repro.mcd.processor import SimulationResult
+
+try:  # BrokenProcessPool moved/aliased across Python versions
+    from concurrent.futures.process import BrokenProcessPool
+except ImportError:  # pragma: no cover
+    BrokenProcessPool = concurrent.futures.BrokenExecutor
+
+
+class JobTimeoutError(Exception):
+    """A job exceeded the engine's per-job timeout."""
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """Engine knobs; defaults favour robustness over raw speed."""
+
+    #: worker processes; 1 means in-process serial execution.
+    workers: int = 1
+    #: result-cache directory; ``None`` disables caching.
+    cache_dir: Optional[str] = None
+    #: per-job wall-clock timeout in seconds; ``None`` disables it.
+    timeout_s: Optional[float] = None
+    #: extra attempts after a job's first failure.
+    retries: int = 1
+    #: JSON-lines event log path; ``None`` disables it.
+    events_path: Optional[str] = None
+    #: print one progress line per completed job.
+    progress: bool = False
+
+
+@dataclass
+class JobOutcome:
+    """What happened to one job."""
+
+    job: SweepJob
+    result: Optional[SimulationResult] = None
+    error: Optional[str] = None
+    attempts: int = 0
+    from_cache: bool = False
+    wall_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.result is not None
+
+
+def _call_with_timeout(
+    runner: Callable[[SweepJob], SimulationResult],
+    job: SweepJob,
+    timeout_s: Optional[float],
+) -> SimulationResult:
+    """Run ``runner(job)``, raising :class:`JobTimeoutError` after
+    ``timeout_s`` when SIGALRM is available on this thread."""
+    use_alarm = (
+        timeout_s is not None
+        and timeout_s > 0
+        and hasattr(signal, "SIGALRM")
+        and threading.current_thread() is threading.main_thread()
+    )
+    if not use_alarm:
+        return runner(job)
+
+    def _on_alarm(signum, frame):
+        raise JobTimeoutError(
+            f"job {job.job_id} exceeded {timeout_s:.3g}s timeout"
+        )
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, float(timeout_s))
+    try:
+        return runner(job)
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)
+
+
+def _pool_entry(
+    runner: Callable[[SweepJob], SimulationResult],
+    job: SweepJob,
+    timeout_s: Optional[float],
+) -> SimulationResult:
+    """Worker-process entry point (module-level, hence picklable)."""
+    return _call_with_timeout(runner, job, timeout_s)
+
+
+class SweepEngine:
+    """Orchestrates one sweep: cache, pool, retries, telemetry."""
+
+    def __init__(
+        self,
+        config: Optional[EngineConfig] = None,
+        runner: Callable[[SweepJob], SimulationResult] = run_job,
+        telemetry: Optional[tm.RunTelemetry] = None,
+    ) -> None:
+        self.config = config or EngineConfig()
+        self.runner = runner
+        self.telemetry = telemetry or tm.RunTelemetry()
+        if self.config.events_path:
+            self.telemetry.add_listener(tm.JsonlEventLog(self.config.events_path))
+        self.cache = (
+            ResultCache(self.config.cache_dir)
+            if self.config.cache_dir
+            else None
+        )
+
+    # -- public API ----------------------------------------------------
+
+    def run(self, jobs: Sequence[SweepJob]) -> List[JobOutcome]:
+        """Execute ``jobs``; outcomes come back in input order."""
+        jobs = list(jobs)
+        if self.config.progress:
+            self.telemetry.add_listener(tm.ProgressReporter(len(jobs)))
+        self.telemetry.emit(
+            tm.SWEEP_STARTED,
+            total_jobs=len(jobs),
+            workers=self.config.workers,
+            cache=self.cache is not None,
+        )
+        outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
+
+        pending: List[int] = []
+        for index, job in enumerate(jobs):
+            cached = self.cache.get(job) if self.cache else None
+            if cached is not None:
+                outcomes[index] = JobOutcome(
+                    job=job, result=cached, from_cache=True
+                )
+                self.telemetry.emit(tm.JOB_CACHE_HIT, job.job_id)
+            else:
+                pending.append(index)
+
+        if pending:
+            if self.config.workers > 1 and len(pending) > 1:
+                self._run_pooled(jobs, pending, outcomes)
+            else:
+                self._run_serial(jobs, pending, outcomes)
+
+        self.telemetry.emit(tm.SWEEP_FINISHED, **self.telemetry.summary())
+        return [outcome for outcome in outcomes if outcome is not None]
+
+    def results(self, jobs: Sequence[SweepJob]) -> List[SimulationResult]:
+        """Like :meth:`run` but demand success: raise if any job failed."""
+        outcomes = self.run(jobs)
+        failures = [o for o in outcomes if not o.ok]
+        if failures:
+            details = "; ".join(
+                f"{o.job.job_id}: {o.error}" for o in failures
+            )
+            raise RuntimeError(f"{len(failures)} sweep job(s) failed: {details}")
+        return [o.result for o in outcomes]
+
+    # -- execution paths ----------------------------------------------
+
+    def _record_success(
+        self, index, job, result, attempts, wall_s, outcomes
+    ) -> None:
+        outcomes[index] = JobOutcome(
+            job=job, result=result, attempts=attempts, wall_s=wall_s
+        )
+        if self.cache is not None:
+            self.cache.put(job, result)
+        self.telemetry.emit(
+            tm.JOB_FINISHED, job.job_id, attempts=attempts, wall_s=wall_s
+        )
+
+    def _record_failure(self, index, job, error, attempts, outcomes) -> None:
+        outcomes[index] = JobOutcome(job=job, error=error, attempts=attempts)
+        self.telemetry.emit(
+            tm.JOB_FAILED, job.job_id, error=error, attempts=attempts
+        )
+
+    def _run_serial(self, jobs, indices, outcomes) -> None:
+        for index in indices:
+            job = jobs[index]
+            attempts = 0
+            while True:
+                attempts += 1
+                self.telemetry.emit(
+                    tm.JOB_STARTED, job.job_id, attempt=attempts, mode="serial"
+                )
+                started = time.monotonic()
+                try:
+                    result = _call_with_timeout(
+                        self.runner, job, self.config.timeout_s
+                    )
+                except Exception as exc:  # noqa: BLE001 -- isolate job faults
+                    error = f"{type(exc).__name__}: {exc}"
+                    if attempts <= self.config.retries:
+                        self.telemetry.emit(
+                            tm.JOB_RETRIED, job.job_id,
+                            error=error, attempt=attempts,
+                        )
+                        continue
+                    self._record_failure(index, job, error, attempts, outcomes)
+                    break
+                self._record_success(
+                    index, job, result, attempts,
+                    time.monotonic() - started, outcomes,
+                )
+                break
+
+    def _run_pooled(self, jobs, indices, outcomes) -> None:
+        workers = min(self.config.workers, len(indices))
+        try:
+            executor = concurrent.futures.ProcessPoolExecutor(
+                max_workers=workers
+            )
+        except (OSError, ImportError, NotImplementedError, ValueError) as exc:
+            self.telemetry.emit(
+                tm.POOL_UNAVAILABLE,
+                error=f"{type(exc).__name__}: {exc}",
+                fallback="serial",
+            )
+            self._run_serial(jobs, indices, outcomes)
+            return
+
+        attempts = {index: 0 for index in indices}
+        started_at = {}
+        futures = {}
+
+        def submit(index):
+            attempts[index] += 1
+            self.telemetry.emit(
+                tm.JOB_STARTED, jobs[index].job_id,
+                attempt=attempts[index], mode="pool",
+            )
+            started_at[index] = time.monotonic()
+            future = executor.submit(
+                _pool_entry, self.runner, jobs[index], self.config.timeout_s
+            )
+            futures[future] = index
+
+        try:
+            with executor:
+                for index in indices:
+                    submit(index)
+                while futures:
+                    done, _ = concurrent.futures.wait(
+                        futures,
+                        return_when=concurrent.futures.FIRST_COMPLETED,
+                    )
+                    for future in done:
+                        index = futures.pop(future)
+                        job = jobs[index]
+                        wall_s = time.monotonic() - started_at[index]
+                        try:
+                            result = future.result()
+                        except BrokenProcessPool:
+                            raise
+                        except Exception as exc:  # noqa: BLE001
+                            error = f"{type(exc).__name__}: {exc}"
+                            if attempts[index] <= self.config.retries:
+                                self.telemetry.emit(
+                                    tm.JOB_RETRIED, job.job_id,
+                                    error=error, attempt=attempts[index],
+                                )
+                                submit(index)
+                            else:
+                                self._record_failure(
+                                    index, job, error,
+                                    attempts[index], outcomes,
+                                )
+                            continue
+                        self._record_success(
+                            index, job, result,
+                            attempts[index], wall_s, outcomes,
+                        )
+        except BrokenProcessPool as exc:
+            # a worker died hard (OOM-kill, segfault); finish what's left
+            # in-process rather than losing the sweep
+            remaining = [i for i in indices if outcomes[i] is None]
+            self.telemetry.emit(
+                tm.POOL_UNAVAILABLE,
+                error=f"{type(exc).__name__}: {exc}",
+                fallback="serial",
+                remaining_jobs=len(remaining),
+            )
+            self._run_serial(jobs, remaining, outcomes)
+
+
+def run_sweep(
+    jobs: Sequence[SweepJob],
+    config: Optional[EngineConfig] = None,
+    **config_overrides,
+) -> List[JobOutcome]:
+    """One-call convenience: build an engine and run ``jobs`` through it."""
+    if config is None:
+        config = EngineConfig(**config_overrides)
+    elif config_overrides:
+        raise TypeError("pass either config or keyword overrides, not both")
+    return SweepEngine(config).run(jobs)

@@ -1,0 +1,170 @@
+"""Structured run telemetry for the sweep engine.
+
+Every engine action emits a :class:`TelemetryEvent` -- job started,
+finished, cache hit, retried, failed, plus sweep start/end markers.
+Events fan out to any number of listeners; two are provided:
+
+* :class:`JsonlEventLog` appends one JSON object per line to a file
+  (the ``--events events.jsonl`` CLI option), making a sweep's execution
+  auditable after the fact;
+* :class:`ProgressReporter` prints a one-line human progress update per
+  completed job.
+
+The :class:`RunTelemetry` aggregator also keeps wall-time and
+throughput counters so the engine can report a summary without any
+listener attached.
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+#: Event kinds, in rough lifecycle order.
+SWEEP_STARTED = "sweep_started"
+JOB_STARTED = "job_started"
+JOB_FINISHED = "job_finished"
+JOB_CACHE_HIT = "job_cache_hit"
+JOB_RETRIED = "job_retried"
+JOB_FAILED = "job_failed"
+POOL_UNAVAILABLE = "pool_unavailable"
+SWEEP_FINISHED = "sweep_finished"
+
+
+@dataclass(frozen=True)
+class TelemetryEvent:
+    """One structured engine event."""
+
+    kind: str
+    timestamp: float
+    job_id: Optional[str] = None
+    data: Dict = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        record = {"event": self.kind, "timestamp": self.timestamp}
+        if self.job_id is not None:
+            record["job"] = self.job_id
+        record.update(self.data)
+        return record
+
+
+class JsonlEventLog:
+    """Listener appending events as JSON lines to ``path``."""
+
+    def __init__(self, path: str) -> None:
+        self.path = str(path)
+        # truncate: one file describes one sweep
+        with open(self.path, "w"):
+            pass
+
+    def __call__(self, event: TelemetryEvent) -> None:
+        with open(self.path, "a") as handle:
+            handle.write(json.dumps(event.to_dict()) + "\n")
+
+
+class ProgressReporter:
+    """Listener printing one line per terminal job event."""
+
+    def __init__(self, total: int, stream=None) -> None:
+        self.total = total
+        self.done = 0
+        self.stream = stream or sys.stderr
+
+    def __call__(self, event: TelemetryEvent) -> None:
+        if event.kind not in (JOB_FINISHED, JOB_CACHE_HIT, JOB_FAILED):
+            return
+        self.done += 1
+        if event.kind == JOB_CACHE_HIT:
+            detail = "cached"
+        elif event.kind == JOB_FAILED:
+            detail = f"FAILED: {event.data.get('error', '?')}"
+        else:
+            detail = f"{event.data.get('wall_s', 0.0):.2f}s"
+        print(
+            f"[{self.done}/{self.total}] {event.job_id}: {detail}",
+            file=self.stream,
+        )
+
+
+class RunTelemetry:
+    """Event hub + counters for one sweep run."""
+
+    def __init__(
+        self,
+        listeners: Optional[List[Callable[[TelemetryEvent], None]]] = None,
+    ) -> None:
+        self.listeners: List[Callable[[TelemetryEvent], None]] = list(
+            listeners or []
+        )
+        self.counters: Dict[str, int] = {
+            JOB_STARTED: 0,
+            JOB_FINISHED: 0,
+            JOB_CACHE_HIT: 0,
+            JOB_RETRIED: 0,
+            JOB_FAILED: 0,
+        }
+        self.events: List[TelemetryEvent] = []
+        self._started_at: Optional[float] = None
+        self._finished_at: Optional[float] = None
+        self.keep_events = True
+
+    def add_listener(
+        self, listener: Callable[[TelemetryEvent], None]
+    ) -> None:
+        self.listeners.append(listener)
+
+    def emit(
+        self, kind: str, job_id: Optional[str] = None, **data
+    ) -> TelemetryEvent:
+        event = TelemetryEvent(
+            kind=kind, timestamp=time.time(), job_id=job_id, data=data
+        )
+        if kind in self.counters:
+            self.counters[kind] += 1
+        if kind == SWEEP_STARTED:
+            self._started_at = time.monotonic()
+        elif kind == SWEEP_FINISHED:
+            self._finished_at = time.monotonic()
+        if self.keep_events:
+            self.events.append(event)
+        for listener in self.listeners:
+            listener(event)
+        return event
+
+    @property
+    def wall_s(self) -> float:
+        """Sweep wall time so far (or total, once finished)."""
+        if self._started_at is None:
+            return 0.0
+        end = (
+            self._finished_at
+            if self._finished_at is not None
+            else time.monotonic()
+        )
+        return end - self._started_at
+
+    @property
+    def completed_jobs(self) -> int:
+        return (
+            self.counters[JOB_FINISHED]
+            + self.counters[JOB_CACHE_HIT]
+            + self.counters[JOB_FAILED]
+        )
+
+    def throughput_jobs_per_s(self) -> float:
+        wall = self.wall_s
+        return self.completed_jobs / wall if wall > 0 else 0.0
+
+    def summary(self) -> Dict:
+        """Counter snapshot for end-of-sweep reporting."""
+        return {
+            "jobs_run": self.counters[JOB_FINISHED],
+            "cache_hits": self.counters[JOB_CACHE_HIT],
+            "retries": self.counters[JOB_RETRIED],
+            "failures": self.counters[JOB_FAILED],
+            "wall_s": self.wall_s,
+            "jobs_per_s": self.throughput_jobs_per_s(),
+        }

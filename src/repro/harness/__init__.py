@@ -9,6 +9,7 @@ from repro.harness.experiment import (
     SCHEMES,
     build_controllers,
     run_experiment,
+    run_experiment_batch,
 )
 from repro.harness.comparison import (
     SchemeResult,
@@ -20,17 +21,22 @@ from repro.harness.comparison import (
 from repro.harness.reporting import format_table, write_csv
 from repro.harness.persistence import (
     result_to_dict,
+    result_from_dict,
     save_results,
     load_results,
+    load_result_objects,
 )
 
 __all__ = [
     "result_to_dict",
+    "result_from_dict",
     "save_results",
     "load_results",
+    "load_result_objects",
     "SCHEMES",
     "build_controllers",
     "run_experiment",
+    "run_experiment_batch",
     "SchemeResult",
     "BenchmarkComparison",
     "compare_schemes",

@@ -47,33 +47,24 @@ class BenchmarkComparison:
         raise KeyError(f"no result for scheme {scheme!r} on {self.benchmark}")
 
 
-def compare_schemes(
-    benchmark: Union[str, BenchmarkSpec],
-    schemes: Sequence[str] = ("adaptive", "attack-decay", "pid"),
-    machine: Optional[MachineConfig] = None,
-    max_instructions: Optional[int] = None,
-    pid_interval_ns: Optional[float] = None,
-    record_history: bool = False,
+def comparison_from_runs(
+    spec: BenchmarkSpec,
+    baseline_run: SimulationResult,
+    scheme_runs: Sequence[SimulationResult],
 ) -> BenchmarkComparison:
-    """Run the baseline plus each scheme on one benchmark and compare."""
-    spec = get_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
-    common = dict(
-        machine=machine,
-        max_instructions=max_instructions,
-        record_history=record_history,
-    )
-    baseline_run = run_experiment(spec, scheme="full-speed", **common)
-    baseline = baseline_run.metrics
+    """Assemble a :class:`BenchmarkComparison` from already-executed runs.
 
+    This is the shared back half of :func:`compare_schemes` and the
+    engine-driven sweep: it does not care whether the runs came from a
+    worker pool, the result cache, or in-process execution.
+    """
+    baseline = baseline_run.metrics
     results: List[SchemeResult] = []
-    for scheme in schemes:
-        run = run_experiment(
-            spec, scheme=scheme, pid_interval_ns=pid_interval_ns, **common
-        )
+    for run in scheme_runs:
         metrics = run.metrics
         results.append(
             SchemeResult(
-                scheme=scheme,
+                scheme=run.scheme,
                 metrics=metrics,
                 energy_savings_pct=energy_savings_percent(baseline, metrics),
                 perf_degradation_pct=performance_degradation_percent(baseline, metrics),
@@ -90,24 +81,123 @@ def compare_schemes(
     )
 
 
+def compare_schemes(
+    benchmark: Union[str, BenchmarkSpec],
+    schemes: Sequence[str] = ("adaptive", "attack-decay", "pid"),
+    machine: Optional[MachineConfig] = None,
+    max_instructions: Optional[int] = None,
+    pid_interval_ns: Optional[float] = None,
+    record_history: bool = False,
+    seed: Optional[int] = None,
+) -> BenchmarkComparison:
+    """Run the baseline plus each scheme on one benchmark and compare."""
+    spec = get_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
+    common = dict(
+        machine=machine,
+        max_instructions=max_instructions,
+        record_history=record_history,
+        seed=seed,
+    )
+    baseline_run = run_experiment(spec, scheme="full-speed", **common)
+    scheme_runs = [
+        run_experiment(
+            spec, scheme=scheme, pid_interval_ns=pid_interval_ns, **common
+        )
+        for scheme in schemes
+    ]
+    return comparison_from_runs(spec, baseline_run, scheme_runs)
+
+
 def sweep(
     benchmarks: Iterable[Union[str, BenchmarkSpec]],
     schemes: Sequence[str] = ("adaptive", "attack-decay", "pid"),
     machine: Optional[MachineConfig] = None,
     max_instructions: Optional[int] = None,
     pid_interval_ns: Optional[float] = None,
+    engine=None,
+    window=None,
+    seed: Optional[int] = None,
+    on_failure: str = "raise",
 ) -> List[BenchmarkComparison]:
-    """Compare schemes across a benchmark list (the per-figure sweeps)."""
-    return [
-        compare_schemes(
-            benchmark,
-            schemes=schemes,
-            machine=machine,
-            max_instructions=max_instructions,
-            pid_interval_ns=pid_interval_ns,
-        )
-        for benchmark in benchmarks
+    """Compare schemes across a benchmark list (the per-figure sweeps).
+
+    With ``engine`` (a :class:`repro.engine.SweepEngine`) the whole
+    ``(benchmark x scheme)`` grid -- baseline included -- is fanned out as
+    one batch of jobs, gaining the engine's worker pool, result cache,
+    retry policy, and telemetry.  Without it, each benchmark is compared
+    serially in-process, as before.
+
+    ``window``, when given, is a callable mapping a spec to its
+    per-benchmark instruction window and overrides ``max_instructions``
+    (the full-evaluation sweep truncates every benchmark except
+    ``epic-decode``).  ``on_failure`` controls the engine path when a job
+    exhausts its retries: ``"raise"`` aborts with details, ``"skip"``
+    drops that benchmark's comparison and keeps the rest (failures stay
+    visible in the engine's telemetry).
+    """
+    specs = [
+        get_benchmark(b) if isinstance(b, str) else b for b in benchmarks
     ]
+
+    def instructions_for(spec: BenchmarkSpec) -> Optional[int]:
+        return window(spec) if window is not None else max_instructions
+
+    if engine is None:
+        return [
+            compare_schemes(
+                spec,
+                schemes=schemes,
+                machine=machine,
+                max_instructions=instructions_for(spec),
+                pid_interval_ns=pid_interval_ns,
+                seed=seed,
+            )
+            for spec in specs
+        ]
+
+    if on_failure not in ("raise", "skip"):
+        raise ValueError(f"on_failure must be 'raise' or 'skip', got {on_failure!r}")
+
+    from repro.engine.jobs import SweepJob
+
+    all_schemes = ("full-speed",) + tuple(schemes)
+    jobs = [
+        SweepJob(
+            benchmark=spec,
+            scheme=scheme,
+            machine=machine,
+            max_instructions=instructions_for(spec),
+            seed=seed,
+            # only PID consumes the interval override; keeping it off the
+            # other schemes' jobs lets their cache entries be shared across
+            # interval-sweep invocations (the Table-3 workload)
+            pid_interval_ns=pid_interval_ns if scheme == "pid" else None,
+        )
+        for spec in specs
+        for scheme in all_schemes
+    ]
+    outcomes = engine.run(jobs)
+
+    comparisons: List[BenchmarkComparison] = []
+    per_spec = len(all_schemes)
+    for spec_index, spec in enumerate(specs):
+        group = outcomes[spec_index * per_spec:(spec_index + 1) * per_spec]
+        failed = [o for o in group if not o.ok]
+        if failed:
+            if on_failure == "raise":
+                details = "; ".join(
+                    f"{o.job.job_id}: {o.error}" for o in failed
+                )
+                raise RuntimeError(
+                    f"sweep failed on {spec.name}: {details}"
+                )
+            continue
+        comparisons.append(
+            comparison_from_runs(
+                spec, group[0].result, [o.result for o in group[1:]]
+            )
+        )
+    return comparisons
 
 
 def aggregate(

@@ -112,6 +112,10 @@ def run_experiment(
     """
     spec = get_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
     machine = machine or MachineConfig()
+    # one effective seed drives both the trace generator and the processor's
+    # jitter RNG: an explicit ``seed`` overrides the spec's default for both
+    # (previously the override never reached the processor).
+    effective_seed = spec.seed if seed is None else seed
     trace = generate_trace(spec, max_instructions=max_instructions, seed=seed)
     controllers = build_controllers(
         scheme,
@@ -123,7 +127,7 @@ def run_experiment(
         trace=trace,
         config=machine,
         controllers=controllers,
-        seed=spec.seed,
+        seed=effective_seed,
         record_history=record_history,
         history_stride=history_stride,
         benchmark=spec.name,
@@ -131,3 +135,21 @@ def run_experiment(
         initial_frequencies=initial_frequencies,
     )
     return processor.run()
+
+
+def run_experiment_batch(jobs, engine=None):
+    """Engine-aware batch entry point: run many jobs, return their results.
+
+    ``jobs`` is a sequence of :class:`repro.engine.jobs.SweepJob`.  With no
+    ``engine`` the batch runs serially in-process; with a
+    :class:`repro.engine.SweepEngine` it goes through the pool/cache/
+    telemetry machinery.  Results come back in job order; any failed job
+    raises (use ``engine.run`` directly for per-job outcomes).
+    """
+    from repro.engine.scheduler import SweepEngine
+
+    if engine is None:
+        engine = SweepEngine()  # serial, uncached, still retried/observable
+    if not isinstance(engine, SweepEngine):
+        raise TypeError(f"engine must be a SweepEngine, got {type(engine)!r}")
+    return engine.results(list(jobs))

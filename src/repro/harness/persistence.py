@@ -1,18 +1,33 @@
-"""Save and reload experiment results as JSON.
+"""Save and reload experiment results as JSON (optionally gzipped).
 
 Sweeps of 17 benchmarks x several schemes take minutes; persisting their
 results lets figures be regenerated, compared across code versions, or
 post-processed without re-simulating.  Histories are optional (they
 dominate file size).
+
+This module is also the serialization layer of the sweep engine's
+content-addressed result cache (:mod:`repro.engine.cache`):
+
+* writes are crash-safe -- the payload goes to a temporary file in the
+  target directory and is :func:`os.replace`'d into place, so a killed
+  sweep never leaves a truncated, unloadable file behind;
+* paths ending in ``.gz`` are transparently gzip-compressed;
+* :func:`result_from_dict` reconstructs a full
+  :class:`~repro.mcd.processor.SimulationResult` from the saved data, so
+  cached runs are interchangeable with freshly simulated ones.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
+import os
+import tempfile
 from typing import Dict, Iterable, List, Optional
 
-from repro.mcd.domains import DomainId
-from repro.mcd.processor import SimulationResult
+from repro.mcd.domains import CONTROLLED_DOMAINS, DomainId
+from repro.mcd.processor import SimulationHistory, SimulationResult
+from repro.power.model import EnergyAccount
 
 FORMAT_VERSION = 1
 
@@ -38,6 +53,9 @@ def result_to_dict(
         "mean_frequency_ghz": {
             d.value: f for d, f in result.mean_frequency_ghz.items()
         },
+        "issued_by_domain": {
+            d.value: n for d, n in result.issued_by_domain.items()
+        },
         "branch_mispredict_rate": result.branch_mispredict_rate,
         "l1d_miss_rate": result.l1d_miss_rate,
         "l2_miss_rate": result.l2_miss_rate,
@@ -59,26 +77,122 @@ def result_to_dict(
     return data
 
 
+def _domain_map(data: Dict, cast=float) -> Dict[DomainId, object]:
+    return {DomainId(name): cast(value) for name, value in data.items()}
+
+
+def result_from_dict(data: Dict) -> SimulationResult:
+    """Rebuild a :class:`SimulationResult` from :func:`result_to_dict` data.
+
+    The inverse is lossless for every scalar field.  When the dictionary
+    carries no ``history`` (the default save mode) the reconstructed
+    result gets an empty :class:`SimulationHistory`.
+    """
+    energy = EnergyAccount()
+    for name, value in data["energy"]["by_domain"].items():
+        energy.by_domain[DomainId(name)] = float(value)
+    energy.memory = float(data["energy"]["memory"])
+
+    history = SimulationHistory()
+    saved_history = data.get("history")
+    if saved_history:
+        history.time_ns = [float(t) for t in saved_history["time_ns"]]
+        history.retired = [int(r) for r in saved_history["retired"]]
+        history.occupancy = {
+            DomainId(d): [int(v) for v in series]
+            for d, series in saved_history["occupancy"].items()
+        }
+        history.frequency_ghz = {
+            DomainId(d): [float(v) for v in series]
+            for d, series in saved_history["frequency_ghz"].items()
+        }
+        history.issued = {
+            DomainId(d): [int(v) for v in series]
+            for d, series in saved_history["issued"].items()
+        }
+
+    issued = data.get("issued_by_domain")
+    return SimulationResult(
+        benchmark=data["benchmark"],
+        scheme=data["scheme"],
+        time_ns=float(data["time_ns"]),
+        instructions=int(data["instructions"]),
+        energy=energy,
+        history=history,
+        transitions=_domain_map(data["transitions"], int),
+        mean_frequency_ghz=_domain_map(data["mean_frequency_ghz"], float),
+        issued_by_domain=(
+            _domain_map(issued, int)
+            if issued is not None
+            else {d: 0 for d in CONTROLLED_DOMAINS}
+        ),
+        branch_mispredict_rate=float(data["branch_mispredict_rate"]),
+        l1d_miss_rate=float(data["l1d_miss_rate"]),
+        l2_miss_rate=float(data["l2_miss_rate"]),
+        sync_deferral_rate=float(data["sync_deferral_rate"]),
+    )
+
+
+def _is_gzip_path(path: str) -> bool:
+    return path.endswith(".gz")
+
+
+def _atomic_write_text(path: str, text: str) -> None:
+    """Write ``text`` to ``path`` via a same-directory temp file + rename.
+
+    ``os.replace`` is atomic on POSIX, so readers either see the previous
+    complete file or the new complete file -- never a truncation.
+    """
+    directory = os.path.dirname(os.path.abspath(path))
+    os.makedirs(directory, exist_ok=True)
+    fd, tmp_path = tempfile.mkstemp(
+        dir=directory, prefix=os.path.basename(path) + ".", suffix=".tmp"
+    )
+    try:
+        if _is_gzip_path(path):
+            with os.fdopen(fd, "wb") as raw:
+                # mtime=0 keeps the compressed bytes a pure function of the
+                # payload, which the content-addressed cache relies on.
+                with gzip.GzipFile(fileobj=raw, mode="wb", mtime=0) as zipped:
+                    zipped.write(text.encode("utf-8"))
+        else:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(text)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
 def save_results(
     path: str,
     results: Iterable[SimulationResult],
     include_history: bool = False,
 ) -> None:
-    """Write a list of results to a JSON file."""
+    """Write a list of results to a JSON file (gzipped if ``path`` ends
+    in ``.gz``).  The write is atomic: a crash mid-save leaves any
+    pre-existing file untouched.
+    """
     payload = {
         "version": FORMAT_VERSION,
         "results": [
             result_to_dict(r, include_history=include_history) for r in results
         ],
     }
-    with open(path, "w") as handle:
-        json.dump(payload, handle)
+    _atomic_write_text(path, json.dumps(payload))
 
 
 def load_results(path: str) -> List[Dict]:
     """Load results saved by :func:`save_results` (as dictionaries)."""
-    with open(path) as handle:
-        payload = json.load(handle)
+    if _is_gzip_path(path):
+        with gzip.open(path, "rt", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    else:
+        with open(path) as handle:
+            payload = json.load(handle)
     version = payload.get("version")
     if version != FORMAT_VERSION:
         raise ValueError(
@@ -86,6 +200,11 @@ def load_results(path: str) -> List[Dict]:
             f"(expected {FORMAT_VERSION})"
         )
     return payload["results"]
+
+
+def load_result_objects(path: str) -> List[SimulationResult]:
+    """Load results and reconstruct them as :class:`SimulationResult`."""
+    return [result_from_dict(data) for data in load_results(path)]
 
 
 def domain_value(data: Dict, field: str, domain: DomainId):

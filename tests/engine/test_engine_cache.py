@@ -1,0 +1,105 @@
+"""Tests for the content-addressed result cache."""
+
+import os
+
+import pytest
+
+from repro.engine.cache import CACHE_VERSION, ResultCache, job_cache_key
+from repro.engine.jobs import SweepJob, run_job
+from repro.mcd.domains import DomainId, MachineConfig
+
+
+@pytest.fixture(scope="module")
+def job():
+    return SweepJob.make("adpcm-encode", scheme="adaptive", max_instructions=1500)
+
+
+@pytest.fixture(scope="module")
+def result(job):
+    return run_job(job)
+
+
+class TestCacheKey:
+    def test_stable_across_instances(self, job):
+        clone = SweepJob.make(
+            "adpcm-encode", scheme="adaptive", max_instructions=1500
+        )
+        assert job_cache_key(job) == job_cache_key(clone)
+
+    def test_is_hex_digest(self, job):
+        key = job_cache_key(job)
+        assert len(key) == 64
+        int(key, 16)
+
+    @pytest.mark.parametrize(
+        "other",
+        [
+            dict(scheme="pid"),
+            dict(max_instructions=2000),
+            dict(seed=99),
+            dict(record_history=True),
+            dict(pid_interval_ns=100.0),
+            dict(adaptive_overrides={"delay_scale": 2.0}),
+            dict(machine=MachineConfig(rob_size=96)),
+        ],
+    )
+    def test_any_simulation_input_changes_key(self, job, other):
+        kwargs = dict(scheme="adaptive", max_instructions=1500)
+        kwargs.update(other)
+        changed = SweepJob.make("adpcm-encode", **kwargs)
+        assert job_cache_key(job) != job_cache_key(changed)
+
+    def test_different_benchmark_changes_key(self, job):
+        other = SweepJob.make("gzip", scheme="adaptive", max_instructions=1500)
+        assert job_cache_key(job) != job_cache_key(other)
+
+
+class TestResultCache:
+    def test_miss_then_hit_roundtrip(self, tmp_path, job, result):
+        cache = ResultCache(str(tmp_path))
+        assert cache.get(job) is None
+        path = cache.put(job, result)
+        assert path is not None and os.path.exists(path)
+        loaded = cache.get(job)
+        assert loaded is not None
+        assert loaded.benchmark == result.benchmark
+        assert loaded.scheme == result.scheme
+        assert loaded.time_ns == pytest.approx(result.time_ns)
+        assert loaded.energy.total == pytest.approx(result.energy.total)
+        assert loaded.energy.chip_total == pytest.approx(result.energy.chip_total)
+        assert loaded.transitions == result.transitions
+        assert cache.stats() == {"hits": 1, "misses": 1, "stores": 1}
+
+    def test_entries_are_sharded_gzip_files(self, tmp_path, job):
+        cache = ResultCache(str(tmp_path))
+        path = cache.path_for(job)
+        key = job_cache_key(job)
+        assert path.endswith(".json.gz")
+        assert os.path.basename(os.path.dirname(path)) == key[:2]
+
+    def test_corrupt_entry_reads_as_miss(self, tmp_path, job, result):
+        cache = ResultCache(str(tmp_path))
+        cache.put(job, result)
+        with open(cache.path_for(job), "wb") as handle:
+            handle.write(b"not gzip at all")
+        assert cache.get(job) is None
+
+    def test_history_preserved_when_job_records_it(self, tmp_path):
+        job = SweepJob.make(
+            "adpcm-encode", scheme="adaptive",
+            max_instructions=1500, record_history=True,
+        )
+        result = run_job(job)
+        cache = ResultCache(str(tmp_path))
+        cache.put(job, result)
+        loaded = cache.get(job)
+        assert loaded.history.time_ns == result.history.time_ns
+        assert (
+            loaded.history.frequency_ghz[DomainId.INT]
+            == result.history.frequency_ghz[DomainId.INT]
+        )
+
+    def test_cache_version_participates_in_key(self, job, monkeypatch):
+        before = job_cache_key(job)
+        monkeypatch.setattr("repro.engine.cache.CACHE_VERSION", CACHE_VERSION + 1)
+        assert job_cache_key(job) != before

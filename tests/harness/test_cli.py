@@ -55,3 +55,95 @@ class TestCommands:
     def test_analyze_custom_delays(self, capsys):
         assert main(["analyze", "--t-m0", "16", "--t-l0", "8"]) == 0
         assert "STABLE" in capsys.readouterr().out
+
+
+class TestJsonAndSeedOptions:
+    def test_run_json(self, capsys):
+        import json
+
+        assert main(
+            ["run", "adpcm-encode", "--instructions", "2000", "--json"]
+        ) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["benchmark"] == "adpcm-encode"
+        assert data["scheme"] == "adaptive"
+        assert data["time_ns"] > 0
+        assert set(data["energy"]["by_domain"]) >= {"int", "fp", "ls"}
+
+    def test_run_seed_is_reproducible(self, capsys):
+        import json
+
+        argv = ["run", "adpcm-encode", "--instructions", "2000",
+                "--seed", "42", "--json"]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert first == second
+
+    def test_compare_json(self, capsys):
+        import json
+
+        assert main(
+            ["compare", "adpcm-encode", "--schemes", "adaptive",
+             "--instructions", "2000", "--seed", "7", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload[0]["benchmark"] == "adpcm-encode"
+        (scheme,) = payload[0]["schemes"]
+        assert scheme["scheme"] == "adaptive"
+        assert "energy_savings_pct" in scheme
+
+
+class TestSweepCommand:
+    def test_sweep_end_to_end_with_cache_and_events(self, capsys, tmp_path):
+        import json
+
+        cache_dir = str(tmp_path / "cache")
+        events = str(tmp_path / "events.jsonl")
+        argv = [
+            "sweep", "adpcm-encode", "gzip",
+            "--schemes", "adaptive", "pid",
+            "--instructions", "2000", "--jobs", "2",
+            "--cache-dir", cache_dir, "--events", events,
+            "--no-progress", "--json",
+        ]
+        assert main(argv) == 0
+        first = json.loads(capsys.readouterr().out)
+        # 2 benchmarks x (baseline + 2 schemes) = 6 jobs, all simulated
+        assert first["telemetry"]["jobs_run"] == 6
+        assert first["telemetry"]["cache_hits"] == 0
+        assert first["telemetry"]["failures"] == 0
+        assert {b["benchmark"] for b in first["benchmarks"]} == {
+            "adpcm-encode", "gzip",
+        }
+        assert set(first["aggregate"]) == {"adaptive", "pid"}
+
+        # second invocation: every job served from the cache
+        assert main(argv) == 0
+        second = json.loads(capsys.readouterr().out)
+        assert second["telemetry"]["jobs_run"] == 0
+        assert second["telemetry"]["cache_hits"] == 6
+        assert second["benchmarks"] == first["benchmarks"]
+
+        events_seen = [
+            json.loads(line)["event"]
+            for line in open(events).read().splitlines()
+        ]
+        assert events_seen[0] == "sweep_started"
+        assert events_seen[-1] == "sweep_finished"
+        assert events_seen.count("job_cache_hit") == 6
+
+    def test_sweep_table_output(self, capsys):
+        assert main(
+            ["sweep", "adpcm-encode", "--schemes", "adaptive",
+             "--instructions", "2000", "--no-progress"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Sweep vs full-speed baseline" in out
+        assert "Mean over 1 benchmarks" in out
+        assert "sweep: 2 simulated" in out
+
+    def test_sweep_rejects_unknown_benchmark(self, capsys):
+        assert main(["sweep", "doom"]) == 2
+        assert "unknown benchmark" in capsys.readouterr().err

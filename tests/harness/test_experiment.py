@@ -93,3 +93,74 @@ class TestRunExperiment:
     def test_full_speed_never_transitions(self, tiny_benchmark):
         result = run_experiment(tiny_benchmark, scheme="full-speed")
         assert sum(result.transitions.values()) == 0
+
+
+class TestSeedForwarding:
+    """Regression: an explicit seed must reach *both* the trace generator
+    and the processor's jitter RNG (it used to stop at the generator)."""
+
+    def test_seed_override_reaches_processor(self, monkeypatch):
+        import repro.harness.experiment as experiment_module
+
+        captured = {}
+        real_processor = experiment_module.MCDProcessor
+
+        class SpyProcessor(real_processor):
+            def __init__(self, *args, **kwargs):
+                captured.update(kwargs)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(experiment_module, "MCDProcessor", SpyProcessor)
+        run_experiment("adpcm-encode", max_instructions=1500, seed=777)
+        assert captured["seed"] == 777
+
+    def test_default_seed_still_comes_from_spec(self, monkeypatch):
+        import repro.harness.experiment as experiment_module
+
+        from repro.workloads.suite import get_benchmark
+
+        captured = {}
+        real_processor = experiment_module.MCDProcessor
+
+        class SpyProcessor(real_processor):
+            def __init__(self, *args, **kwargs):
+                captured.update(kwargs)
+                super().__init__(*args, **kwargs)
+
+        monkeypatch.setattr(experiment_module, "MCDProcessor", SpyProcessor)
+        run_experiment("adpcm-encode", max_instructions=1500)
+        assert captured["seed"] == get_benchmark("adpcm-encode").seed
+
+    def test_same_seed_reproduces_different_seed_diverges(self, tiny_benchmark):
+        a = run_experiment(tiny_benchmark, scheme="adaptive", seed=11)
+        b = run_experiment(tiny_benchmark, scheme="adaptive", seed=11)
+        c = run_experiment(tiny_benchmark, scheme="adaptive", seed=12)
+        assert a.time_ns == b.time_ns
+        assert a.energy.total == b.energy.total
+        assert (a.time_ns, a.energy.total) != (c.time_ns, c.energy.total)
+
+
+class TestRunExperimentBatch:
+    def test_serial_batch_matches_single_runs(self, tiny_benchmark):
+        from repro.engine.jobs import SweepJob
+        from repro.harness.experiment import run_experiment_batch
+
+        jobs = [
+            SweepJob.make(tiny_benchmark, scheme=scheme)
+            for scheme in ("full-speed", "adaptive")
+        ]
+        batched = run_experiment_batch(jobs)
+        singles = [
+            run_experiment(tiny_benchmark, scheme=s, record_history=False)
+            for s in ("full-speed", "adaptive")
+        ]
+        for got, want in zip(batched, singles):
+            assert got.scheme == want.scheme
+            assert got.time_ns == want.time_ns
+            assert got.energy.total == want.energy.total
+
+    def test_rejects_non_engine(self, tiny_benchmark):
+        from repro.harness.experiment import run_experiment_batch
+
+        with pytest.raises(TypeError, match="SweepEngine"):
+            run_experiment_batch([], engine=object())

@@ -1,6 +1,7 @@
 """Tests for result persistence."""
 
 import json
+import os
 
 import pytest
 
@@ -8,7 +9,9 @@ from repro.harness.experiment import run_experiment
 from repro.harness.persistence import (
     FORMAT_VERSION,
     domain_value,
+    load_result_objects,
     load_results,
+    result_from_dict,
     result_to_dict,
     save_results,
 )
@@ -65,3 +68,93 @@ class TestSerialization:
         path = str(tmp_path / "multi.json")
         save_results(path, [result, result])
         assert len(load_results(path)) == 2
+
+
+def _assert_results_equal(loaded, result, with_history):
+    assert loaded.benchmark == result.benchmark
+    assert loaded.scheme == result.scheme
+    assert loaded.time_ns == pytest.approx(result.time_ns)
+    assert loaded.instructions == result.instructions
+    assert loaded.energy.total == pytest.approx(result.energy.total)
+    assert loaded.energy.chip_total == pytest.approx(result.energy.chip_total)
+    assert loaded.energy.by_domain == pytest.approx(result.energy.by_domain)
+    assert loaded.transitions == result.transitions
+    assert loaded.mean_frequency_ghz == pytest.approx(result.mean_frequency_ghz)
+    assert loaded.issued_by_domain == result.issued_by_domain
+    assert loaded.branch_mispredict_rate == pytest.approx(
+        result.branch_mispredict_rate
+    )
+    assert loaded.sync_deferral_rate == pytest.approx(result.sync_deferral_rate)
+    if with_history:
+        assert loaded.history.time_ns == result.history.time_ns
+        assert loaded.history.retired == result.history.retired
+        assert loaded.history.occupancy == result.history.occupancy
+        assert loaded.history.frequency_ghz == result.history.frequency_ghz
+        assert loaded.history.issued == result.history.issued
+    else:
+        assert loaded.history.time_ns == []
+
+
+class TestObjectRoundTrip:
+    """save_results -> load_result_objects is lossless."""
+
+    @pytest.mark.parametrize("with_history", [False, True])
+    def test_roundtrip_unchanged(self, result, tmp_path, with_history):
+        path = str(tmp_path / "roundtrip.json")
+        save_results(path, [result], include_history=with_history)
+        (loaded,) = load_result_objects(path)
+        _assert_results_equal(loaded, result, with_history)
+        # metrics derived from the reconstruction agree too
+        assert loaded.metrics.energy == pytest.approx(result.metrics.energy)
+        assert loaded.ipns == pytest.approx(result.ipns)
+
+    def test_result_from_dict_inverts_result_to_dict(self, result):
+        loaded = result_from_dict(result_to_dict(result, include_history=True))
+        _assert_results_equal(loaded, result, with_history=True)
+
+    def test_wrong_format_version_raises(self, tmp_path):
+        path = tmp_path / "future.json"
+        path.write_text(
+            json.dumps({"version": FORMAT_VERSION + 1, "results": []})
+        )
+        with pytest.raises(ValueError, match="version"):
+            load_result_objects(str(path))
+
+
+class TestGzipAndAtomicity:
+    def test_gz_path_roundtrips(self, result, tmp_path):
+        path = str(tmp_path / "results.json.gz")
+        save_results(path, [result], include_history=True)
+        # really compressed: gzip magic bytes on disk
+        with open(path, "rb") as handle:
+            assert handle.read(2) == b"\x1f\x8b"
+        (loaded,) = load_result_objects(path)
+        _assert_results_equal(loaded, result, with_history=True)
+
+    def test_gzip_output_is_deterministic(self, result, tmp_path):
+        a, b = str(tmp_path / "a.json.gz"), str(tmp_path / "b.json.gz")
+        save_results(a, [result])
+        save_results(b, [result])
+        assert open(a, "rb").read() == open(b, "rb").read()
+
+    def test_failed_write_preserves_existing_file(
+        self, result, tmp_path, monkeypatch
+    ):
+        path = str(tmp_path / "precious.json")
+        save_results(path, [result])
+        before = open(path).read()
+
+        def exploding_replace(src, dst):
+            raise OSError("disk on fire")
+
+        monkeypatch.setattr(os, "replace", exploding_replace)
+        with pytest.raises(OSError, match="disk on fire"):
+            save_results(path, [result, result])
+        assert open(path).read() == before
+        # the aborted temp file was cleaned up
+        assert sorted(p.name for p in tmp_path.iterdir()) == ["precious.json"]
+
+    def test_save_creates_missing_directories(self, result, tmp_path):
+        path = str(tmp_path / "deep" / "nested" / "results.json")
+        save_results(path, [result])
+        assert load_results(path)
