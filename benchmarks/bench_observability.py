@@ -1,0 +1,122 @@
+"""Observability perf tracking: samples/sec, phase split, disabled overhead.
+
+Runs one mid-size adaptive simulation three ways -- observability off,
+metrics-only, and full tracing -- and records simulator throughput
+(sampling periods per wall-second) plus the per-phase wall-time split
+reported by the :class:`~repro.obs.PhaseProfiler`.
+
+Besides the usual human-readable table, this bench writes
+``benchmarks/results/BENCH_obs.json`` so successive PRs can diff the
+perf trajectory mechanically (the ``samples_per_s`` and ``phases``
+keys are the tracked series; ``overhead_ratio`` guards the no-op path).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+from conftest import RESULTS_DIR, emit, run_once
+
+from repro.harness.experiment import run_experiment
+from repro.harness.reporting import format_table
+from repro.obs import SAMPLE_PHASES, ObsConfig
+
+BENCHMARK = "adpcm-encode"
+INSTRUCTIONS = 50_000
+
+
+def _timed_run(obs):
+    started = time.perf_counter()
+    result = run_experiment(
+        BENCHMARK,
+        scheme="adaptive",
+        max_instructions=INSTRUCTIONS,
+        record_history=False,
+        obs=obs,
+    )
+    return result, time.perf_counter() - started
+
+
+def _measure():
+    _, disabled_s = _timed_run(obs=None)
+    metrics_result, metrics_s = _timed_run(
+        obs=ObsConfig(trace=False, profile=True)
+    )
+    traced_result, traced_s = _timed_run(obs=ObsConfig())
+    return {
+        "disabled_s": disabled_s,
+        "metrics_s": metrics_s,
+        "traced_s": traced_s,
+        "metrics_profile": metrics_result.probe_summary["profile"],
+        "traced_profile": traced_result.probe_summary["profile"],
+        "traced_counters": traced_result.probe_summary["counters"],
+    }
+
+
+def test_observability_overhead(benchmark):
+    data = run_once(benchmark, _measure)
+
+    profile = data["traced_profile"]
+    samples = profile["samples"]
+    payload = {
+        "benchmark": BENCHMARK,
+        "instructions": INSTRUCTIONS,
+        "samples": samples,
+        "samples_per_s": {
+            "disabled": samples / data["disabled_s"],
+            "metrics_only": data["metrics_profile"]["samples_per_s"],
+            "full_trace": profile["samples_per_s"],
+        },
+        "overhead_ratio": {
+            "metrics_only": data["metrics_s"] / data["disabled_s"],
+            "full_trace": data["traced_s"] / data["disabled_s"],
+        },
+        "phases": profile["phases"],
+        "events": data["traced_counters"].get("events.sample", 0)
+        + data["traced_counters"].get("events.fsm_transition", 0)
+        + data["traced_counters"].get("events.freq_step", 0),
+    }
+
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    json_path = os.path.join(RESULTS_DIR, "BENCH_obs.json")
+    with open(json_path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+
+    rows = [
+        ["disabled", f"{payload['samples_per_s']['disabled']:,.0f}", "1.00"],
+        [
+            "metrics only",
+            f"{payload['samples_per_s']['metrics_only']:,.0f}",
+            f"{payload['overhead_ratio']['metrics_only']:.2f}",
+        ],
+        [
+            "full trace",
+            f"{payload['samples_per_s']['full_trace']:,.0f}",
+            f"{payload['overhead_ratio']['full_trace']:.2f}",
+        ],
+    ]
+    for phase in SAMPLE_PHASES:
+        stats = profile["phases"][phase]
+        rows.append(
+            [
+                f"  phase {phase}",
+                f"{stats['wall_s'] * 1e3:.1f} ms",
+                f"{stats['share']:.0%} of run",
+            ]
+        )
+    table = format_table(
+        ["configuration", "samples/s (or phase wall)", "vs disabled"],
+        rows,
+        title=(
+            f"Observability overhead ({BENCHMARK}, "
+            f"{INSTRUCTIONS:,} instructions, {samples:,} samples)"
+        ),
+    )
+    emit("observability_overhead", table + f"\n[json written to {json_path}]")
+
+    # sanity on the tracked series, generous enough for shared CI boxes
+    assert samples > 0
+    assert payload["samples_per_s"]["full_trace"] > 0
+    assert payload["overhead_ratio"]["full_trace"] < 10.0

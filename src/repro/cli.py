@@ -7,6 +7,8 @@ Subcommands
 ``compare``   compare schemes on one or more benchmarks
 ``sweep``     run a (benchmark x scheme) grid through the parallel sweep
               engine (worker pool, result cache, telemetry)
+``trace``     run one benchmark with the observability layer on and write
+              JSONL + Chrome-trace (Perfetto-loadable) artifacts
 ``analyze``   print the Section-4 stability analysis for a design point
 """
 
@@ -208,6 +210,65 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     return 0 if summary["failures"] == 0 else 1
 
 
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import os
+
+    from repro.obs import ObsConfig, Observability, validate_trace_files
+
+    obs = Observability(
+        ObsConfig(ring_size=args.ring, sample_stride=args.stride)
+    )
+    result = run_experiment(
+        args.benchmark,
+        scheme=args.scheme,
+        max_instructions=args.instructions,
+        seed=args.seed,
+        record_history=False,
+        obs=obs,
+    )
+    jsonl_path = os.path.join(args.out, "metrics.jsonl")
+    chrome_path = os.path.join(args.out, "trace.chrome.json")
+    obs.write_trace_files(jsonl_path, chrome_path)
+    errors = validate_trace_files(jsonl_path, chrome_path)
+    summary = result.probe_summary
+
+    if args.json:
+        payload = {
+            "benchmark": result.benchmark,
+            "scheme": result.scheme,
+            "instructions": result.instructions,
+            "time_ns": result.time_ns,
+            "files": {"jsonl": jsonl_path, "chrome": chrome_path},
+            "validation_errors": errors,
+            "probe_summary": summary,
+        }
+        print(json.dumps(payload, indent=2))
+    else:
+        print(f"benchmark       : {result.benchmark} ({result.scheme})")
+        print(f"simulated       : {result.instructions} instructions, "
+              f"{result.time_ns / 1000:.2f} us")
+        trace_info = summary.get("trace") or {}
+        print(f"trace events    : {trace_info.get('recorded', 0)} recorded, "
+              f"{trace_info.get('dropped', 0)} dropped "
+              f"(ring {trace_info.get('ring_size', args.ring)})")
+        counters = summary.get("counters", {})
+        for kind in sorted(k for k in counters if k.startswith("events.")):
+            print(f"  {kind[len('events.'):]:17s}: {counters[kind]}")
+        profile = summary.get("profile")
+        if profile:
+            print(f"throughput      : {profile['samples_per_s']:.0f} samples/s "
+                  f"({profile['samples']} samples in {profile['wall_s']:.2f}s)")
+            for phase, data in sorted(profile["phases"].items()):
+                print(f"  {phase:17s}: {data['wall_s'] * 1e3:8.1f} ms "
+                      f"({100 * data['share']:.1f}% of run)")
+        print(f"jsonl           : {jsonl_path}")
+        print(f"chrome trace    : {chrome_path} "
+              f"(load in ui.perfetto.dev or chrome://tracing)")
+        for problem in errors:
+            print(f"SCHEMA ERROR: {problem}", file=sys.stderr)
+    return 1 if errors else 0
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     service = ServiceModel(t1=args.t1, c2=args.c2)
     loop = ClosedLoopModel(
@@ -285,6 +346,30 @@ def build_parser() -> argparse.ArgumentParser:
     sweep_p.add_argument("--json", action="store_true",
                          help="emit results + telemetry as JSON")
     sweep_p.set_defaults(func=_cmd_sweep)
+
+    trace_p = sub.add_parser(
+        "trace",
+        help="run one benchmark with observability on; write JSONL + "
+             "Chrome-trace artifacts",
+    )
+    trace_p.add_argument("benchmark", choices=sorted(BENCHMARKS))
+    trace_p.add_argument("--scheme", choices=SCHEMES, default="adaptive")
+    trace_p.add_argument("--instructions", type=int, default=20_000,
+                         help="truncate the run (phase proportions preserved)")
+    trace_p.add_argument("--seed", type=int, default=None,
+                         help="override the benchmark's deterministic RNG seed")
+    trace_p.add_argument("--out", default="trace-out",
+                         help="output directory for metrics.jsonl and "
+                              "trace.chrome.json")
+    trace_p.add_argument("--ring", type=int, default=65536,
+                         help="trace ring-buffer capacity (oldest events "
+                              "beyond this are dropped)")
+    trace_p.add_argument("--stride", type=int, default=1,
+                         help="publish per-sample metric events every Nth "
+                              "sampling period")
+    trace_p.add_argument("--json", action="store_true",
+                         help="emit the run + probe summary as JSON")
+    trace_p.set_defaults(func=_cmd_trace)
 
     ana_p = sub.add_parser("analyze", help="Section-4 stability analysis")
     ana_p.add_argument("--t1", type=float, default=0.2,

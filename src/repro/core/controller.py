@@ -22,7 +22,7 @@ from __future__ import annotations
 from typing import Optional
 
 from repro.core.config import AdaptiveConfig, default_adaptive_config
-from repro.core.fsm import TimeDelayFsm
+from repro.core.fsm import FsmState, TimeDelayFsm
 from repro.core.scheduler import ActionScheduler
 from repro.core.signals import SignalMonitor
 from repro.dvfs.base import DvfsController, FrequencyCommand
@@ -89,12 +89,29 @@ class AdaptiveDvfsController(DvfsController):
             return None
 
         f_rel = min(1.0, freq_ghz / self.machine.f_max_ghz)
+        probe = self.probe
+        tracing = probe.enabled
+        if tracing:
+            level_was = self.level_fsm.state
+            level_dwell = self.level_fsm.samples_in_state
+            slope_was = self.slope_fsm.state
+            slope_dwell = self.slope_fsm.samples_in_state
         level_trigger = self.level_fsm.step(signals.level, f_rel)
         slope_trigger = (
             self.slope_fsm.step(signals.slope, f_rel)
             if self.config.use_slope_signal
             else 0
         )
+        if tracing:
+            self._trace_fsm(
+                now_ns, "level", level_was, level_dwell,
+                self.level_fsm.state, level_trigger,
+            )
+            if self.config.use_slope_signal:
+                self._trace_fsm(
+                    now_ns, "slope", slope_was, slope_dwell,
+                    self.slope_fsm.state, slope_trigger,
+                )
 
         action = self.scheduler.reconcile(now_ns, level_trigger, slope_trigger)
         if action is None:
@@ -102,5 +119,64 @@ class AdaptiveDvfsController(DvfsController):
                 # Mutual cancellation resets both signals to Wait.
                 self.level_fsm.reset()
                 self.slope_fsm.reset()
+                if tracing:
+                    self._trace_reconcile(
+                        now_ns, level_trigger, slope_trigger, "cancel", 0
+                    )
             return None
+        if tracing:
+            outcome = "combine" if level_trigger and slope_trigger else "single"
+            self._trace_reconcile(
+                now_ns, level_trigger, slope_trigger, outcome, action.steps
+            )
         return self._issue(FrequencyCommand(steps=action.steps))
+
+    # -- observability -------------------------------------------------
+
+    def _trace_fsm(
+        self, now_ns, signal, was, dwell, state, trigger
+    ) -> None:
+        """Publish one FSM state change (or trigger) as a transition event.
+
+        ``was``/``dwell`` are the pre-step state and its dwell counter; on
+        a trigger the FSM has already reset itself, so the length of the
+        counting run that just fired is reconstructed here (the triggering
+        sample itself counts; a side-crossing trigger restarts at 1).
+        """
+        if trigger == 0 and state is was:
+            return
+        if trigger:
+            same_side = (was is FsmState.COUNT_UP and trigger > 0) or (
+                was is FsmState.COUNT_DOWN and trigger < 0
+            )
+            dwell = dwell + 1 if same_side else 1
+        self.probe.event(
+            "fsm_transition",
+            now_ns,
+            domain=self.domain.value,
+            signal=signal,
+            from_state=was.value,
+            to_state=state.value,
+            dwell_samples=dwell,
+            trigger=trigger,
+        )
+        self.probe.count(f"fsm_transitions.{self.domain.value}")
+        if trigger:
+            self.probe.histogram(
+                f"fsm_dwell_samples.{signal}.{self.domain.value}", dwell
+            )
+
+    def _trace_reconcile(
+        self, now_ns, level_trigger, slope_trigger, outcome, steps
+    ) -> None:
+        """Publish one scheduler reconcile decision."""
+        self.probe.event(
+            "reconcile",
+            now_ns,
+            domain=self.domain.value,
+            level_trigger=level_trigger,
+            slope_trigger=slope_trigger,
+            outcome=outcome,
+            steps=steps,
+        )
+        self.probe.count(f"reconcile.{outcome}.{self.domain.value}")

@@ -58,12 +58,17 @@ class TimeDelayFsm:
         self.freq_scaled_down = freq_scaled_down
         self.state = FsmState.WAIT
         self.counter = 0.0
+        #: consecutive samples spent in the current counting state -- the
+        #: dwell counter surfaced by the observability layer's FSM
+        #: transition events (zero while in Wait)
+        self.samples_in_state = 0
 
     # ------------------------------------------------------------------
 
     def reset(self) -> None:
         self.state = FsmState.WAIT
         self.counter = 0.0
+        self.samples_in_state = 0
 
     def step(self, signal: float, f_rel: float) -> int:
         """Process one sample; return +1/-1 on an up/down trigger, else 0.
@@ -85,6 +90,8 @@ class TimeDelayFsm:
             # Entering Count from Wait, or crossing sides: restart counting.
             self.state = target_state
             self.counter = 0.0
+            self.samples_in_state = 0
+        self.samples_in_state += 1
 
         increment = self.scale * (abs(signal) if self.signal_scaled else 1.0)
         if direction < 0 and self.freq_scaled_down:

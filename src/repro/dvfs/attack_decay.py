@@ -105,10 +105,25 @@ class AttackDecayController(DvfsController):
         delta = utilization - prev
         if delta > self.config.threshold:
             target = freq_ghz * (1.0 + self.config.attack)
+            mode = "attack_up"
         elif delta < -self.config.threshold:
             target = freq_ghz * (1.0 - self.config.attack)
+            mode = "attack_down"
         else:
             target = freq_ghz * (1.0 - self.config.decay)
+            mode = "decay"
+        if self.probe.enabled:
+            self.probe.event(
+                "interval_decision",
+                now_ns,
+                domain=self.domain.value,
+                controller="attack_decay",
+                utilization=utilization,
+                delta=delta,
+                mode=mode,
+                target_ghz=target,
+            )
+            self.probe.count(f"attack_decay.{mode}.{self.domain.value}")
         if abs(target - freq_ghz) < 1e-12:
             return None
         return self._issue(FrequencyCommand(target_ghz=target))

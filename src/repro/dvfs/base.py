@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Optional
 
 from repro.mcd.domains import DomainId
+from repro.obs.probe import NULL_PROBE
 
 
 @dataclass(frozen=True)
@@ -44,6 +45,17 @@ class DvfsController(abc.ABC):
     def __init__(self, domain: DomainId) -> None:
         self.domain = domain
         self.commands_issued = 0
+        #: observability sink; NULL_PROBE (no-op) unless a probe bus is
+        #: attached.  Hot paths gate probe work on ``self.probe.enabled``.
+        self.probe = NULL_PROBE
+
+    def attach_probe(self, probe) -> None:
+        """Publish this controller's decisions into ``probe``.
+
+        Wrapper controllers that delegate to an inner controller should
+        override this to forward the attachment.
+        """
+        self.probe = probe
 
     @property
     def name(self) -> str:

@@ -92,6 +92,10 @@ class CoordinatedAdaptiveController(DvfsController):
     def config(self) -> AdaptiveConfig:
         return self.inner.config
 
+    def attach_probe(self, probe) -> None:
+        super().attach_probe(probe)
+        self.inner.attach_probe(probe)
+
     def reset(self) -> None:
         super().reset()
         self.inner.reset()
@@ -106,12 +110,28 @@ class CoordinatedAdaptiveController(DvfsController):
             return None
 
         f_rel = min(1.0, freq_ghz / inner.machine.f_max_ghz)
+        tracing = self.probe.enabled
+        if tracing:
+            level_was = inner.level_fsm.state
+            level_dwell = inner.level_fsm.samples_in_state
+            slope_was = inner.slope_fsm.state
+            slope_dwell = inner.slope_fsm.samples_in_state
         level_trigger = inner.level_fsm.step(signals.level, f_rel)
         slope_trigger = (
             inner.slope_fsm.step(signals.slope, f_rel)
             if inner.config.use_slope_signal
             else 0
         )
+        if tracing:
+            inner._trace_fsm(
+                now_ns, "level", level_was, level_dwell,
+                inner.level_fsm.state, level_trigger,
+            )
+            if inner.config.use_slope_signal:
+                inner._trace_fsm(
+                    now_ns, "slope", slope_was, slope_dwell,
+                    inner.slope_fsm.state, slope_trigger,
+                )
 
         # the centralized rule: veto down-moves while a sibling is backlogged
         if (level_trigger < 0 or slope_trigger < 0) and not (
@@ -119,6 +139,8 @@ class CoordinatedAdaptiveController(DvfsController):
         ):
             level_trigger = max(0, level_trigger)
             slope_trigger = max(0, slope_trigger)
+            if tracing:
+                self.probe.count(f"coordinator_vetoes.{self.domain.value}")
 
         action = inner.scheduler.reconcile(now_ns, level_trigger, slope_trigger)
         if action is None:

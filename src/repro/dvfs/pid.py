@@ -112,6 +112,18 @@ class PidController(DvfsController):
             + self.config.ki * error
             + self.config.kd * (error - 2.0 * e1 + e2)
         )
+        if self.probe.enabled:
+            self.probe.event(
+                "interval_decision",
+                now_ns,
+                domain=self.domain.value,
+                controller="pid",
+                q_avg=q_avg,
+                error=error,
+                delta_ghz=delta,
+                target_ghz=freq_ghz + delta,
+            )
+            self.probe.count(f"pid_intervals.{self.domain.value}")
         if abs(delta) < 1e-9:
             return None
         return self._issue(FrequencyCommand(target_ghz=freq_ghz + delta))

@@ -27,7 +27,9 @@ from repro.mcd.processor import SimulationResult
 
 #: Bump when simulation semantics change in a way that invalidates old
 #: cached results without changing the persistence format.
-CACHE_VERSION = 1
+#: 2: results now carry step_events (and probe_summary when observed);
+#:    version-1 entries predate both and must not be served.
+CACHE_VERSION = 2
 
 
 def job_cache_key(job: SweepJob) -> str:

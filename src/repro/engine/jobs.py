@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Dict, Mapping, Optional, Union
 
 from repro.mcd.domains import MachineConfig
+from repro.obs.facade import ObsConfig
 from repro.workloads.phases import BenchmarkSpec
 from repro.workloads.suite import get_benchmark
 
@@ -38,6 +39,8 @@ class SweepJob:
     history_stride: int = 4
     pid_interval_ns: Optional[float] = None
     adaptive_overrides: Optional[Dict[str, object]] = None
+    #: per-run observability config (picklable; a live Observability is not)
+    obs: Optional[ObsConfig] = None
 
     @staticmethod
     def make(
@@ -72,6 +75,9 @@ class SweepJob:
             "history_stride": self.history_stride,
             "pid_interval_ns": self.pid_interval_ns,
             "adaptive_overrides": _plain(self.adaptive_overrides or {}),
+            # obs never changes simulation outcomes, but it changes what the
+            # stored result carries (probe_summary), so it is part of the key
+            "obs": _plain(dataclasses.asdict(self.obs)) if self.obs else None,
         }
 
     def canonical_json(self) -> str:
@@ -109,4 +115,5 @@ def run_job(job: SweepJob):
         adaptive_overrides=dict(job.adaptive_overrides)
         if job.adaptive_overrides
         else None,
+        obs=job.obs,
     )

@@ -161,7 +161,12 @@ class SweepEngine:
                 outcomes[index] = JobOutcome(
                     job=job, result=cached, from_cache=True
                 )
-                self.telemetry.emit(tm.JOB_CACHE_HIT, job.job_id)
+                condensed = tm.condense_probe_summary(
+                    getattr(cached, "probe_summary", None)
+                )
+                self.telemetry.record_probe_summary(condensed)
+                extra = {"obs": condensed} if condensed else {}
+                self.telemetry.emit(tm.JOB_CACHE_HIT, job.job_id, **extra)
             else:
                 pending.append(index)
 
@@ -195,8 +200,13 @@ class SweepEngine:
         )
         if self.cache is not None:
             self.cache.put(job, result)
+        condensed = tm.condense_probe_summary(
+            getattr(result, "probe_summary", None)
+        )
+        self.telemetry.record_probe_summary(condensed)
+        extra = {"obs": condensed} if condensed else {}
         self.telemetry.emit(
-            tm.JOB_FINISHED, job.job_id, attempts=attempts, wall_s=wall_s
+            tm.JOB_FINISHED, job.job_id, attempts=attempts, wall_s=wall_s, **extra
         )
 
     def _record_failure(self, index, job, error, attempts, outcomes) -> None:

@@ -34,6 +34,33 @@ POOL_UNAVAILABLE = "pool_unavailable"
 SWEEP_FINISHED = "sweep_finished"
 
 
+def condense_probe_summary(summary: Optional[Dict]) -> Optional[Dict]:
+    """Shrink a per-run ``repro.obs`` summary to sweep-event size.
+
+    A full probe summary carries every counter/gauge/histogram; a sweep
+    with hundreds of jobs only needs the headline numbers per job, so
+    events carry this condensed form: total event count, FSM transitions,
+    frequency steps, and the profiler's throughput.
+    """
+    if not summary:
+        return None
+    counters = summary.get("counters", {})
+
+    def _total(prefix: str) -> int:
+        return sum(v for k, v in counters.items() if k.startswith(prefix))
+
+    condensed = {
+        "events": _total("events."),
+        "fsm_transitions": _total("fsm_transitions."),
+        "freq_steps": _total("freq_steps."),
+        "samples": counters.get("samples", 0),
+    }
+    profile = summary.get("profile")
+    if profile:
+        condensed["samples_per_s"] = profile.get("samples_per_s", 0.0)
+    return condensed
+
+
 @dataclass(frozen=True)
 class TelemetryEvent:
     """One structured engine event."""
@@ -110,6 +137,9 @@ class RunTelemetry:
         self._started_at: Optional[float] = None
         self._finished_at: Optional[float] = None
         self.keep_events = True
+        #: summed condensed per-job probe summaries (empty when obs is off)
+        self.obs_totals: Dict[str, float] = {}
+        self._obs_jobs = 0
 
     def add_listener(
         self, listener: Callable[[TelemetryEvent], None]
@@ -158,9 +188,18 @@ class RunTelemetry:
         wall = self.wall_s
         return self.completed_jobs / wall if wall > 0 else 0.0
 
+    def record_probe_summary(self, condensed: Optional[Dict]) -> None:
+        """Fold one job's condensed probe summary into the sweep totals."""
+        if not condensed:
+            return
+        self._obs_jobs += 1
+        for key, value in condensed.items():
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                self.obs_totals[key] = self.obs_totals.get(key, 0) + value
+
     def summary(self) -> Dict:
         """Counter snapshot for end-of-sweep reporting."""
-        return {
+        summary = {
             "jobs_run": self.counters[JOB_FINISHED],
             "cache_hits": self.counters[JOB_CACHE_HIT],
             "retries": self.counters[JOB_RETRIED],
@@ -168,3 +207,11 @@ class RunTelemetry:
             "wall_s": self.wall_s,
             "jobs_per_s": self.throughput_jobs_per_s(),
         }
+        if self._obs_jobs:
+            obs = dict(self.obs_totals)
+            obs["observed_jobs"] = self._obs_jobs
+            # a sum of per-job rates is meaningless; report the mean
+            if "samples_per_s" in obs:
+                obs["samples_per_s"] = obs["samples_per_s"] / self._obs_jobs
+            summary["obs"] = obs
+        return summary

@@ -89,14 +89,22 @@ def compare_schemes(
     pid_interval_ns: Optional[float] = None,
     record_history: bool = False,
     seed: Optional[int] = None,
+    obs=None,
 ) -> BenchmarkComparison:
-    """Run the baseline plus each scheme on one benchmark and compare."""
+    """Run the baseline plus each scheme on one benchmark and compare.
+
+    ``obs`` is forwarded to every :func:`run_experiment`; note a live
+    ``Observability`` instance would then accumulate all runs into one
+    trace, so per-run configs (``True`` / ``ObsConfig``) are the useful
+    forms here.
+    """
     spec = get_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
     common = dict(
         machine=machine,
         max_instructions=max_instructions,
         record_history=record_history,
         seed=seed,
+        obs=obs,
     )
     baseline_run = run_experiment(spec, scheme="full-speed", **common)
     scheme_runs = [
@@ -118,6 +126,7 @@ def sweep(
     window=None,
     seed: Optional[int] = None,
     on_failure: str = "raise",
+    obs=None,
 ) -> List[BenchmarkComparison]:
     """Compare schemes across a benchmark list (the per-figure sweeps).
 
@@ -134,6 +143,11 @@ def sweep(
     exhausts its retries: ``"raise"`` aborts with details, ``"skip"``
     drops that benchmark's comparison and keeps the rest (failures stay
     visible in the engine's telemetry).
+
+    ``obs`` enables per-run observability.  On the engine path it must be
+    picklable (``True`` or an :class:`repro.obs.ObsConfig`); each job's
+    result then carries its ``probe_summary``, which the engine's
+    telemetry aggregates into the sweep summary.
     """
     specs = [
         get_benchmark(b) if isinstance(b, str) else b for b in benchmarks
@@ -151,6 +165,7 @@ def sweep(
                 max_instructions=instructions_for(spec),
                 pid_interval_ns=pid_interval_ns,
                 seed=seed,
+                obs=obs,
             )
             for spec in specs
         ]
@@ -159,6 +174,17 @@ def sweep(
         raise ValueError(f"on_failure must be 'raise' or 'skip', got {on_failure!r}")
 
     from repro.engine.jobs import SweepJob
+    from repro.obs.facade import ObsConfig, Observability
+
+    if obs is True:
+        obs = ObsConfig()
+    elif isinstance(obs, Observability):
+        raise ValueError(
+            "the engine path needs a picklable obs form: pass True or an "
+            "ObsConfig, not a live Observability"
+        )
+    elif obs is not None and not isinstance(obs, ObsConfig):
+        raise TypeError(f"obs must be None, True, or an ObsConfig, got {type(obs)!r}")
 
     all_schemes = ("full-speed",) + tuple(schemes)
     jobs = [
@@ -172,6 +198,7 @@ def sweep(
             # other schemes' jobs lets their cache entries be shared across
             # interval-sweep invocations (the Table-3 workload)
             pid_interval_ns=pid_interval_ns if scheme == "pid" else None,
+            obs=obs,
         )
         for spec in specs
         for scheme in all_schemes

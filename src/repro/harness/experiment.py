@@ -102,6 +102,7 @@ def run_experiment(
     pid_interval_ns: Optional[float] = None,
     adaptive_overrides: Optional[Dict[str, object]] = None,
     initial_frequencies: Optional[Dict[DomainId, float]] = None,
+    obs=None,
 ) -> SimulationResult:
     """Run one benchmark under one DVFS scheme and return the result.
 
@@ -109,6 +110,10 @@ def run_experiment(
     :class:`BenchmarkSpec`.  ``max_instructions`` truncates the run while
     preserving phase proportions.  ``initial_frequencies`` pins domains to
     starting frequencies (used by offline mu-f characterization).
+    ``obs`` enables the observability layer (``True``, an
+    :class:`repro.obs.ObsConfig`, or a live :class:`repro.obs.Observability`);
+    the result then carries ``probe_summary``.  Step decisions are recorded
+    on ``result.step_events`` regardless of ``obs`` and ``record_history``.
     """
     spec = get_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
     machine = machine or MachineConfig()
@@ -133,6 +138,7 @@ def run_experiment(
         benchmark=spec.name,
         scheme=scheme,
         initial_frequencies=initial_frequencies,
+        obs=obs,
     )
     return processor.run()
 

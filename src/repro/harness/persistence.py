@@ -26,7 +26,11 @@ import tempfile
 from typing import Dict, Iterable, List, Optional
 
 from repro.mcd.domains import CONTROLLED_DOMAINS, DomainId
-from repro.mcd.processor import SimulationHistory, SimulationResult
+from repro.mcd.processor import (
+    FrequencyStepEvent,
+    SimulationHistory,
+    SimulationResult,
+)
 from repro.power.model import EnergyAccount
 
 FORMAT_VERSION = 1
@@ -60,7 +64,20 @@ def result_to_dict(
         "l1d_miss_rate": result.l1d_miss_rate,
         "l2_miss_rate": result.l2_miss_rate,
         "sync_deferral_rate": result.sync_deferral_rate,
+        "step_events": [
+            {
+                "time_ns": e.time_ns,
+                "domain": e.domain.value,
+                "steps": e.steps,
+                "target_ghz": e.target_ghz,
+                "freq_ghz": e.freq_ghz,
+                "applied": e.applied,
+            }
+            for e in result.step_events
+        ],
     }
+    if result.probe_summary is not None:
+        data["probe_summary"] = result.probe_summary
     if include_history:
         history = result.history
         data["history"] = {
@@ -130,6 +147,19 @@ def result_from_dict(data: Dict) -> SimulationResult:
         l1d_miss_rate=float(data["l1d_miss_rate"]),
         l2_miss_rate=float(data["l2_miss_rate"]),
         sync_deferral_rate=float(data["sync_deferral_rate"]),
+        # both fields post-date FORMAT_VERSION 1 files; absent means empty
+        step_events=[
+            FrequencyStepEvent(
+                time_ns=float(e["time_ns"]),
+                domain=DomainId(e["domain"]),
+                steps=int(e["steps"]),
+                target_ghz=float(e["target_ghz"]),
+                freq_ghz=float(e["freq_ghz"]),
+                applied=bool(e["applied"]),
+            )
+            for e in data.get("step_events", [])
+        ],
+        probe_summary=data.get("probe_summary"),
     )
 
 

@@ -20,6 +20,7 @@ from __future__ import annotations
 import heapq
 import random
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence
 
 from repro.dvfs.base import DvfsController
@@ -34,6 +35,7 @@ from repro.mcd.loadstore import LoadStoreDomain
 from repro.mcd.queues import IssueQueue
 from repro.mcd.rob import ReorderBuffer
 from repro.mcd.synchronization import SynchronizationInterface
+from repro.obs.facade import Observability
 from repro.power.metrics import RunMetrics
 from repro.power.model import EnergyAccount, PowerModel
 from repro.workloads.instructions import Instruction
@@ -83,6 +85,25 @@ class SimulationHistory:
     )
 
 
+@dataclass(frozen=True)
+class FrequencyStepEvent:
+    """One controller command as applied to a regulator.
+
+    Recorded unconditionally (independent of ``record_history`` and of the
+    observability layer) so a harness can always reconstruct the step
+    decisions of a run.  ``steps`` is 0 for absolute-target commands;
+    ``applied`` is False when the command did not move the target (e.g. a
+    step request already clamped at the frequency bound).
+    """
+
+    time_ns: float
+    domain: DomainId
+    steps: int
+    target_ghz: float
+    freq_ghz: float
+    applied: bool
+
+
 @dataclass
 class SimulationResult:
     """Everything a harness needs from one run."""
@@ -100,6 +121,10 @@ class SimulationResult:
     l1d_miss_rate: float
     l2_miss_rate: float
     sync_deferral_rate: float
+    #: every controller command (always recorded; see FrequencyStepEvent)
+    step_events: List[FrequencyStepEvent] = field(default_factory=list)
+    #: repro.obs summary dict when the run was observed, else None
+    probe_summary: Optional[Dict] = None
 
     @property
     def metrics(self) -> RunMetrics:
@@ -131,6 +156,7 @@ class MCDProcessor:
         benchmark: str = "trace",
         scheme: str = "full-speed",
         initial_frequencies: Optional[Dict[DomainId, float]] = None,
+        obs=None,
     ) -> None:
         if not trace:
             raise ValueError("trace must contain at least one instruction")
@@ -145,6 +171,18 @@ class MCDProcessor:
         self.scheme = scheme
         self.record_history = record_history
         self.history_stride = max(1, history_stride)
+
+        # Observability: None keeps every hot path on the no-op branch
+        # (plain ``is not None`` checks, no calls into repro.obs).
+        self.obs: Optional[Observability] = Observability.coerce(obs)
+        self._probe = self.obs.bus if self.obs is not None else None
+        self._profiler = self.obs.profiler if self.obs is not None else None
+        self._obs_stride = self.obs.config.sample_stride if self.obs is not None else 1
+        if self._probe is not None:
+            for controller in self.controllers.values():
+                controller.attach_probe(self._probe)
+        #: every command applied to a regulator, kept regardless of obs
+        self.step_events: List[FrequencyStepEvent] = []
 
         cfg = self.config
         rng = random.Random(seed)
@@ -337,6 +375,9 @@ class MCDProcessor:
             self._push(clock.next_edge_ns, _EDGE_TAG[domain])
         self._push(cfg.sample_period_ns, _EV_SAMPLE)
 
+        prof = self._profiler
+        if prof is not None:
+            prof.run_started()
         finish_ns = 0.0
         sample_index = 0
         while not self.frontend.finished:
@@ -359,6 +400,8 @@ class MCDProcessor:
                     self._wake(domain, time_ns)
             else:
                 self._domain_cycle(time_ns, tag)
+        if prof is not None:
+            prof.run_finished(samples=self._freq_samples)
         return self._result(finish_ns)
 
     def _front_end_cycle(self, time_ns: float) -> float:
@@ -424,34 +467,48 @@ class MCDProcessor:
         self._push(clock.next_edge_ns, tag)
 
     def _sample(self, time_ns: float, sample_index: int) -> None:
+        """One 4 ns sampling period, in four phases: latch, observe, slew,
+        record.  The phases iterate the domains independently -- per-domain
+        state never crosses domains within a period -- so the split is
+        numerically identical to a single fused loop, and lets the profiler
+        attribute wall time per phase.
+        """
         cfg = self.config
         dt = cfg.sample_period_ns
         record = self.record_history and sample_index % self.history_stride == 0
+        prof = self._profiler
+        if prof is not None:
+            t0 = perf_counter()
+
+        # -- latch: snapshot the queue occupancies for this period ---------
+        occupancies = {d: self.queues[d].occupancy for d in CONTROLLED_DOMAINS}
         if record:
             self.history.time_ns.append(time_ns)
             self.history.retired.append(self.rob.retired)
         self._freq_samples += 1
+        if prof is not None:
+            t1 = perf_counter()
+            prof.add("latch", t1 - t0)
 
+        # -- observe: controllers see the latched occupancy and the
+        #    pre-slew physical frequency, and may command a change ---------
+        for domain in CONTROLLED_DOMAINS:
+            controller = self.controllers.get(domain)
+            if controller is None:
+                continue
+            regulator = self.regulators[domain]
+            command = controller.observe(
+                time_ns, occupancies[domain], regulator.current_freq_ghz
+            )
+            if command is not None:
+                self._apply_command(time_ns, domain, regulator, command)
+        if prof is not None:
+            t2 = perf_counter()
+            prof.add("observe", t2 - t1)
+
+        # -- slew: regulators ramp, clocks retune, background energy -------
         for domain in CONTROLLED_DOMAINS:
             regulator = self.regulators[domain]
-            occupancy = self.queues[domain].occupancy
-            controller = self.controllers.get(domain)
-            if controller is not None:
-                command = controller.observe(
-                    time_ns, occupancy, regulator.current_freq_ghz
-                )
-                if command is not None:
-                    before = regulator.target_freq_ghz
-                    regulator.apply(command)
-                    if (
-                        cfg.stalls_during_transition
-                        and abs(regulator.target_freq_ghz - before) > 1e-12
-                    ):
-                        # Transmeta-style: the domain halts for the PLL
-                        # relock (the V/f ramp itself executes through).
-                        pause = time_ns + cfg.relock_idle_ns
-                        tag = _EDGE_TAG[domain]
-                        self._pause_until[tag] = max(self._pause_until[tag], pause)
             regulator.advance(dt)
             self.clocks[domain].set_frequency(regulator.current_freq_ghz)
             self._freq_sum[domain] += regulator.current_freq_ghz
@@ -467,10 +524,6 @@ class MCDProcessor:
                     sleeping=self._sleeping[domain],
                 ),
             )
-            if record:
-                self.history.occupancy[domain].append(occupancy)
-                self.history.frequency_ghz[domain].append(regulator.current_freq_ghz)
-                self.history.issued[domain].append(self.domains[domain].issued)
         # Front-end leakage.
         self.energy.add(
             DomainId.FRONT_END,
@@ -480,6 +533,88 @@ class MCDProcessor:
         )
         # Voltages may have moved: refresh the cached per-cycle energies.
         self._refresh_energy_coefficients()
+        if prof is not None:
+            t3 = perf_counter()
+            prof.add("slew", t3 - t2)
+
+        # -- record: history series and per-sample metric events -----------
+        if record:
+            for domain in CONTROLLED_DOMAINS:
+                self.history.occupancy[domain].append(occupancies[domain])
+                self.history.frequency_ghz[domain].append(
+                    self.regulators[domain].current_freq_ghz
+                )
+                self.history.issued[domain].append(self.domains[domain].issued)
+        if self._probe is not None and sample_index % self._obs_stride == 0:
+            self._emit_samples(time_ns, occupancies)
+        if prof is not None:
+            prof.add("record", perf_counter() - t3)
+
+    def _apply_command(
+        self,
+        time_ns: float,
+        domain: DomainId,
+        regulator: VoltageRegulator,
+        command,
+    ) -> None:
+        """Forward one controller command to its regulator and record it."""
+        cfg = self.config
+        before = regulator.target_freq_ghz
+        freq_now = regulator.current_freq_ghz
+        regulator.apply(command)
+        target = regulator.target_freq_ghz
+        applied = abs(target - before) > 1e-12
+        if cfg.stalls_during_transition and applied:
+            # Transmeta-style: the domain halts for the PLL
+            # relock (the V/f ramp itself executes through).
+            pause = time_ns + cfg.relock_idle_ns
+            tag = _EDGE_TAG[domain]
+            self._pause_until[tag] = max(self._pause_until[tag], pause)
+        self.step_events.append(
+            FrequencyStepEvent(
+                time_ns=time_ns,
+                domain=domain,
+                steps=command.steps,
+                target_ghz=target,
+                freq_ghz=freq_now,
+                applied=applied,
+            )
+        )
+        probe = self._probe
+        if probe is not None:
+            probe.event(
+                "freq_step",
+                time_ns,
+                domain=domain.value,
+                steps=command.steps,
+                target_ghz=target,
+                freq_ghz=freq_now,
+                applied=applied,
+                slew_ns=abs(target - freq_now) / regulator.slew_ghz_per_ns,
+            )
+            probe.count(f"freq_steps.{domain.value}")
+
+    def _emit_samples(self, time_ns: float, occupancies: Dict[DomainId, int]) -> None:
+        """Publish one period's per-domain metrics into the probe bus."""
+        probe = self._probe
+        by_domain = self.energy.by_domain
+        for domain in CONTROLLED_DOMAINS:
+            occ = occupancies[domain]
+            regulator = self.regulators[domain]
+            name = domain.value
+            probe.gauge(f"occupancy.{name}", occ)
+            probe.histogram(f"occupancy.{name}", occ)
+            probe.gauge(f"frequency_ghz.{name}", regulator.current_freq_ghz)
+            probe.event(
+                "sample",
+                time_ns,
+                domain=name,
+                occupancy=occ,
+                freq_ghz=regulator.current_freq_ghz,
+                voltage=regulator.voltage,
+                energy=by_domain[domain] + self._energy_by_tag[_EDGE_TAG[domain]],
+            )
+        probe.count("samples")
 
     # ------------------------------------------------------------------
 
@@ -491,6 +626,19 @@ class MCDProcessor:
             self.hierarchy.memory_accesses * self.power.memory_access()
         )
         n = max(1, self._freq_samples)
+        probe_summary = None
+        if self.obs is not None:
+            prof = self._profiler
+            if prof is not None and self._probe is not None:
+                for phase, wall_s in prof.phase_s.items():
+                    self._probe.event(
+                        "profile",
+                        finish_ns,
+                        phase=phase,
+                        wall_s=wall_s,
+                        calls=prof.phase_calls[phase],
+                    )
+            probe_summary = self.obs.summary()
         return SimulationResult(
             benchmark=self.benchmark,
             scheme=self.scheme,
@@ -511,4 +659,6 @@ class MCDProcessor:
             l1d_miss_rate=self.hierarchy.l1d.miss_rate,
             l2_miss_rate=self.hierarchy.l2.miss_rate,
             sync_deferral_rate=self.sync.deferral_rate,
+            step_events=self.step_events,
+            probe_summary=probe_summary,
         )

@@ -1,0 +1,106 @@
+"""One-object wiring of the observability subsystem.
+
+:class:`Observability` bundles the three obs components -- probe bus,
+trace ring, phase profiler -- behind a single handle that
+``run_experiment``/``MCDProcessor`` accept as ``obs=``:
+
+* ``obs=None`` (the default) -- everything off, the no-op fast path;
+* ``obs=True`` -- everything on with defaults;
+* ``obs=ObsConfig(...)`` -- tuned components (the picklable form, also
+  what :class:`repro.engine.jobs.SweepJob` carries across workers);
+* ``obs=Observability(...)`` -- a live instance the caller keeps, to
+  write trace artifacts after the run (what ``repro-dvfs trace`` does).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple, Union
+
+from repro.obs.probe import ProbeBus
+from repro.obs.profiler import PhaseProfiler
+from repro.obs.trace import TraceRecorder
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Tuning of one observability instance (plain, picklable data).
+
+    ``sample_stride`` throttles the per-sample metric events (every Nth
+    sampling period publishes ``sample`` events); counters/gauges/
+    histograms and the decision events (FSM transitions, frequency
+    steps) are never strided -- they are rare and individually precious.
+    """
+
+    trace: bool = True
+    profile: bool = True
+    ring_size: int = 65536
+    sample_stride: int = 1
+
+    def __post_init__(self) -> None:
+        if self.ring_size <= 0:
+            raise ValueError("ring_size must be positive")
+        if self.sample_stride <= 0:
+            raise ValueError("sample_stride must be positive")
+
+
+class Observability:
+    """Probe bus + trace ring + profiler for one simulation."""
+
+    def __init__(self, config: Optional[ObsConfig] = None) -> None:
+        self.config = config or ObsConfig()
+        self.bus = ProbeBus()
+        self.recorder: Optional[TraceRecorder] = None
+        if self.config.trace:
+            self.recorder = TraceRecorder(ring_size=self.config.ring_size)
+            self.bus.add_sink(self.recorder.record)
+        self.profiler: Optional[PhaseProfiler] = (
+            PhaseProfiler() if self.config.profile else None
+        )
+
+    @staticmethod
+    def coerce(
+        obs: Union[None, bool, ObsConfig, "Observability"]
+    ) -> Optional["Observability"]:
+        """Normalize the ``obs=`` argument forms; ``None``/``False`` -> off."""
+        if obs is None or obs is False:
+            return None
+        if isinstance(obs, Observability):
+            return obs
+        if obs is True:
+            return Observability()
+        if isinstance(obs, ObsConfig):
+            return Observability(obs)
+        raise TypeError(
+            "obs must be None, True, an ObsConfig, or an Observability, "
+            f"got {type(obs).__name__}"
+        )
+
+    # -- reporting ----------------------------------------------------
+
+    def summary(self) -> Dict:
+        """Plain JSON-compatible summary of everything observed."""
+        summary = self.bus.summary()
+        summary["profile"] = (
+            self.profiler.summary() if self.profiler is not None else None
+        )
+        summary["trace"] = (
+            self.recorder.summary() if self.recorder is not None else None
+        )
+        return summary
+
+    def write_trace_files(
+        self, jsonl_path: str, chrome_path: str
+    ) -> Tuple[str, str]:
+        """Write the JSONL metric stream and the Chrome trace; returns paths."""
+        if self.recorder is None:
+            raise ValueError(
+                "tracing is disabled in this ObsConfig; nothing to write"
+            )
+        for path in (jsonl_path, chrome_path):
+            directory = os.path.dirname(os.path.abspath(path))
+            os.makedirs(directory, exist_ok=True)
+        self.recorder.write_jsonl(jsonl_path)
+        self.recorder.write_chrome(chrome_path)
+        return jsonl_path, chrome_path

@@ -1,0 +1,134 @@
+"""Exact FSM-transition and reconcile event sequences (satellite check).
+
+Each scenario drives one :class:`AdaptiveDvfsController` with a crafted
+occupancy trajectory and asserts the *complete* ordered stream of
+``fsm_transition`` and ``reconcile`` events published into the probe bus.
+
+Event semantics under test:
+
+* a state *change* without a trigger carries the pre-step dwell counter
+  (samples spent in the state being left);
+* a *trigger* event carries the reconstructed length of the counting run
+  that fired (the triggering sample included; an instant trigger from
+  Wait counts as 1);
+* reconcile outcomes are ``single`` / ``combine`` / ``cancel`` exactly as
+  the paper's Schedule state resolves simultaneous triggers.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import AdaptiveConfig
+from repro.core.controller import AdaptiveDvfsController
+from repro.mcd.domains import DomainId
+from repro.obs import ProbeBus
+
+
+def _drive(config: AdaptiveConfig, occupancies):
+    """Run one controller over a trajectory; return its event stream."""
+    controller = AdaptiveDvfsController(DomainId.INT, config)
+    bus = ProbeBus()
+    events = []
+    bus.add_sink(events.append)
+    controller.attach_probe(bus)
+    commands = []
+    for index, occupancy in enumerate(occupancies):
+        now_ns = 4.0 * (index + 1)
+        commands.append(controller.observe(now_ns, occupancy, 1.0))
+    return events, commands, bus
+
+
+def _fsm(events):
+    return [
+        (e["t_ns"], e["signal"], e["from_state"], e["to_state"],
+         e["dwell_samples"], e["trigger"])
+        for e in events if e["kind"] == "fsm_transition"
+    ]
+
+
+def _reconciles(events):
+    return [
+        (e["t_ns"], e["outcome"], e["steps"],
+         e["level_trigger"], e["slope_trigger"])
+        for e in events if e["kind"] == "reconcile"
+    ]
+
+
+class TestLevelOnlySequence:
+    CONFIG = AdaptiveConfig(
+        q_ref=4, dw_level=1.0, t_m0=4.0,
+        use_slope_signal=False, freq_scaled_down_delay=False,
+    )
+
+    def test_exact_transition_and_reconcile_stream(self):
+        # occ 4 -> in window; occ 7 twice -> level 3, counter 3 then 6 >= 4.
+        events, commands, bus = _drive(self.CONFIG, [4, 7, 7, 4])
+        assert _fsm(events) == [
+            # entering Count-Up from Wait: no trigger, pre-step dwell
+            (8.0, "level", "wait", "count_up", 0, 0),
+            # the counting run fires on its 2nd sample (3 + 3 >= t_m0=4)
+            (12.0, "level", "count_up", "wait", 2, 1),
+        ]
+        assert _reconciles(events) == [
+            (12.0, "single", 1, 1, 0),
+        ]
+        assert [c.steps if c else None for c in commands] == [
+            None, None, 1, None,
+        ]
+        assert bus.counters["fsm_transitions.int"] == 2
+        assert bus.counters["reconcile.single.int"] == 1
+        assert bus.histograms["fsm_dwell_samples.level.int"].max == 2
+
+    def test_act_state_holds_the_fsms(self):
+        # The 4th sample lands inside the switching time of the 3rd
+        # sample's action: observe() must hold without stepping (and
+        # therefore without publishing) anything.
+        events, _, _ = _drive(self.CONFIG, [4, 7, 7, 9])
+        assert all(e["t_ns"] <= 12.0 for e in events)
+
+
+class TestCombineSequence:
+    CONFIG = AdaptiveConfig(
+        q_ref=4, dw_level=1.0, dw_slope=0.0, t_m0=3.0, t_l0=3.0,
+        freq_scaled_down_delay=False,
+    )
+
+    def test_simultaneous_same_direction_triggers_combine(self):
+        # occ 4 -> both signals quiet; occ 8 -> level +4 and slope +4 both
+        # fire instantly (4 >= 3), same direction: one double-step action.
+        events, commands, bus = _drive(self.CONFIG, [4, 8])
+        assert _fsm(events) == [
+            (8.0, "level", "wait", "wait", 1, 1),
+            (8.0, "slope", "wait", "wait", 1, 1),
+        ]
+        assert _reconciles(events) == [
+            (8.0, "combine", 2, 1, 1),
+        ]
+        assert commands[-1].steps == 2
+        assert bus.counters["reconcile.combine.int"] == 1
+
+
+class TestCancelSequence:
+    CONFIG = AdaptiveConfig(
+        q_ref=4, dw_level=1.0, dw_slope=0.0, t_m0=10.0, t_l0=3.0,
+        freq_scaled_down_delay=False,
+    )
+
+    def test_opposite_triggers_cancel_and_reset(self):
+        # occ 12: level 8 starts counting (8 < 10), slope still 0.
+        # occ 8: level counter 12 >= 10 fires Up; slope -4 fires Down
+        # instantly (4 >= 3).  Opposite directions: mutual cancellation.
+        events, commands, bus = _drive(self.CONFIG, [12, 8])
+        assert _fsm(events) == [
+            (4.0, "level", "wait", "count_up", 0, 0),
+            (8.0, "level", "count_up", "wait", 2, 1),
+            (8.0, "slope", "wait", "wait", 1, -1),
+        ]
+        assert _reconciles(events) == [
+            (8.0, "cancel", 0, 1, -1),
+        ]
+        assert commands == [None, None]
+        assert bus.counters["reconcile.cancel.int"] == 1
+        # cancellation resets both FSMs to Wait
+        fsm_events = _fsm(events)
+        assert fsm_events[-1][3] == "wait"
+        assert fsm_events[-2][3] == "wait"

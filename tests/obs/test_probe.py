@@ -1,0 +1,91 @@
+"""Unit tests of the probe/metrics bus."""
+
+from __future__ import annotations
+
+from repro.obs import NULL_PROBE, Histogram, NullProbe, ProbeBus
+
+
+class TestHistogram:
+    def test_empty(self):
+        hist = Histogram()
+        assert hist.count == 0
+        assert hist.mean == 0.0
+        assert hist.summary() == {
+            "count": 0, "sum": 0.0, "min": None, "max": None, "mean": 0.0,
+        }
+
+    def test_streaming_stats(self):
+        hist = Histogram()
+        for value in (4, 2, 9, 2):
+            hist.record(value)
+        assert hist.count == 4
+        assert hist.total == 17.0
+        assert hist.min == 2.0
+        assert hist.max == 9.0
+        assert hist.mean == 17.0 / 4
+
+
+class TestProbeBus:
+    def test_counters_accumulate(self):
+        bus = ProbeBus()
+        bus.count("steps")
+        bus.count("steps", 3)
+        assert bus.counters["steps"] == 4
+
+    def test_gauge_last_value_wins(self):
+        bus = ProbeBus()
+        bus.gauge("occupancy", 7)
+        bus.gauge("occupancy", 2)
+        assert bus.gauges["occupancy"] == 2
+
+    def test_histogram_auto_creates(self):
+        bus = ProbeBus()
+        bus.histogram("dwell", 5)
+        bus.histogram("dwell", 15)
+        assert bus.histograms["dwell"].count == 2
+        assert bus.histograms["dwell"].mean == 10.0
+
+    def test_event_fans_out_and_counts(self):
+        bus = ProbeBus()
+        seen = []
+        bus.add_sink(seen.append)
+        bus.add_sink(seen.append)  # two sinks both receive every event
+        event = bus.event("freq_step", 12.0, domain="int", steps=1)
+        assert event == {
+            "kind": "freq_step", "t_ns": 12.0, "domain": "int", "steps": 1,
+        }
+        assert seen == [event, event]
+        assert bus.counters["events.freq_step"] == 1
+
+    def test_summary_is_sorted_and_plain(self):
+        import json
+
+        bus = ProbeBus()
+        bus.count("b")
+        bus.count("a")
+        bus.gauge("g", 1.5)
+        bus.histogram("h", 3)
+        summary = bus.summary()
+        assert list(summary["counters"]) == ["a", "b"]
+        json.dumps(summary)  # JSON-serializable throughout
+
+    def test_enabled_flag(self):
+        assert ProbeBus().enabled is True
+        assert NULL_PROBE.enabled is False
+
+
+class TestNullProbe:
+    def test_all_methods_are_noops(self):
+        probe = NullProbe()
+        probe.count("x")
+        probe.gauge("x", 1)
+        probe.histogram("x", 1)
+        probe.event("kind", 0.0, field=1)
+        assert probe.summary() == {}
+
+    def test_shared_singleton(self):
+        from repro.dvfs.base import FullSpeedController
+        from repro.mcd.domains import DomainId
+
+        controller = FullSpeedController(DomainId.INT)
+        assert controller.probe is NULL_PROBE

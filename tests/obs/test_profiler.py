@@ -1,0 +1,48 @@
+"""Phase profiler accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs import SAMPLE_PHASES, PhaseProfiler
+
+
+def test_phase_order_matches_the_simulator():
+    assert SAMPLE_PHASES == ("latch", "observe", "slew", "record")
+
+
+def test_add_accumulates_per_phase():
+    prof = PhaseProfiler()
+    prof.add("latch", 0.25)
+    prof.add("latch", 0.25)
+    prof.add("observe", 1.0)
+    assert prof.phase_s["latch"] == pytest.approx(0.5)
+    assert prof.phase_calls == {"latch": 2, "observe": 1}
+
+
+def test_run_lifecycle_and_throughput():
+    prof = PhaseProfiler()
+    prof.run_started()
+    prof.run_finished(samples=100)
+    assert prof.samples == 100
+    assert prof.wall_s > 0.0
+    assert prof.samples_per_s == pytest.approx(100 / prof.wall_s)
+
+
+def test_samples_per_s_zero_without_wall_time():
+    assert PhaseProfiler().samples_per_s == 0.0
+
+
+def test_summary_covers_all_phases_and_shares_sum_to_one():
+    prof = PhaseProfiler()
+    prof.wall_s = 2.0
+    prof.add("latch", 0.5)
+    prof.add("observe", 1.5)
+    summary = prof.summary()
+    assert set(summary["phases"]) >= set(SAMPLE_PHASES)
+    assert summary["phases"]["latch"]["share"] == pytest.approx(0.25)
+    assert summary["phases"]["slew"] == {
+        "wall_s": 0.0, "calls": 0, "share": 0.0,
+    }
+    total_share = sum(p["share"] for p in summary["phases"].values())
+    assert total_share == pytest.approx(1.0)
