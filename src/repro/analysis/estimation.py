@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass
-from typing import Deque, Optional, Sequence, Tuple, Union
+from typing import Deque, Optional, Sequence, Tuple
 
 import numpy as np
 

@@ -23,7 +23,7 @@ Three coupled pieces (paper eqs 1-9):
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Tuple
+from typing import Tuple
 
 
 @dataclass(frozen=True)

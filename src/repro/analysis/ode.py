@@ -15,9 +15,8 @@ cheap and non-stiff, and a fixed step keeps results deterministic.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Callable, List, Tuple
+from typing import Callable, Tuple
 
 import numpy as np
 

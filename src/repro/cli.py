@@ -9,6 +9,8 @@ Subcommands
               engine (worker pool, result cache, telemetry)
 ``trace``     run one benchmark with the observability layer on and write
               JSONL + Chrome-trace (Perfetto-loadable) artifacts
+``check``     run the statcheck static analyzer over the source tree
+              (exit 0 clean / 1 findings / 2 analyzer error)
 ``analyze``   print the Section-4 stability analysis for a design point
 """
 
@@ -27,7 +29,7 @@ from repro.harness.experiment import SCHEMES, run_experiment
 from repro.harness.persistence import result_to_dict
 from repro.harness.reporting import format_table
 from repro.mcd.domains import DomainId
-from repro.workloads.suite import BENCHMARKS, get_benchmark
+from repro.workloads.suite import BENCHMARKS
 
 
 def _cmd_list(args: argparse.Namespace) -> int:
@@ -269,6 +271,12 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 1 if errors else 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.statcheck import cli as statcheck_cli
+
+    return statcheck_cli.run_checked(args)
+
+
 def _cmd_analyze(args: argparse.Namespace) -> int:
     service = ServiceModel(t1=args.t1, c2=args.c2)
     loop = ClosedLoopModel(
@@ -370,6 +378,16 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--json", action="store_true",
                          help="emit the run + probe summary as JSON")
     trace_p.set_defaults(func=_cmd_trace)
+
+    check_p = sub.add_parser(
+        "check",
+        help="statcheck static analysis (determinism / cache-key / "
+             "pool-safety / probe-schema invariants)",
+    )
+    from repro.statcheck import cli as statcheck_cli
+
+    statcheck_cli.add_arguments(check_p)
+    check_p.set_defaults(func=_cmd_check)
 
     ana_p = sub.add_parser("analyze", help="Section-4 stability analysis")
     ana_p.add_argument("--t1", type=float, default=0.2,

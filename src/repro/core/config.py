@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Optional
+from typing import Any, Dict
 
 from repro.mcd.domains import DomainId
 
@@ -87,16 +87,16 @@ _DEFAULT_QREF = {
 }
 
 
-def default_adaptive_config(domain: DomainId, **overrides: object) -> AdaptiveConfig:
+def default_adaptive_config(domain: DomainId, **overrides: Any) -> AdaptiveConfig:
     """The paper's per-domain controller configuration."""
     if domain not in _DEFAULT_QREF:
         raise ValueError(f"{domain} is not a controlled domain")
-    params = {"q_ref": _DEFAULT_QREF[domain]}
-    params.update(overrides)  # type: ignore[arg-type]
-    return AdaptiveConfig(**params)  # type: ignore[arg-type]
+    params: Dict[str, Any] = {"q_ref": _DEFAULT_QREF[domain]}
+    params.update(overrides)
+    return AdaptiveConfig(**params)
 
 
-def transmeta_adaptive_config(domain: DomainId, **overrides: object) -> AdaptiveConfig:
+def transmeta_adaptive_config(domain: DomainId, **overrides: Any) -> AdaptiveConfig:
     """Controller tuning for Transmeta-style DVFS (paper Section 3).
 
     With slow transitions and a per-transition halt, "the triggering
@@ -105,11 +105,11 @@ def transmeta_adaptive_config(domain: DomainId, **overrides: object) -> Adaptive
     delays and wider deviation windows than the XScale-style defaults, so
     only large, sustained workload changes trigger the (coarse) steps.
     """
-    params = {
+    params: Dict[str, Any] = {
         "t_m0": 1000.0,
         "t_l0": 160.0,
         "dw_level": 2.0,
         "dw_slope": 2.0,
     }
-    params.update(overrides)  # type: ignore[arg-type]
+    params.update(overrides)
     return default_adaptive_config(domain, **params)

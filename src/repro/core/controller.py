@@ -134,7 +134,13 @@ class AdaptiveDvfsController(DvfsController):
     # -- observability -------------------------------------------------
 
     def _trace_fsm(
-        self, now_ns, signal, was, dwell, state, trigger
+        self,
+        now_ns: float,
+        signal: str,
+        was: FsmState,
+        dwell: int,
+        state: FsmState,
+        trigger: int,
     ) -> None:
         """Publish one FSM state change (or trigger) as a transition event.
 
@@ -167,7 +173,12 @@ class AdaptiveDvfsController(DvfsController):
             )
 
     def _trace_reconcile(
-        self, now_ns, level_trigger, slope_trigger, outcome, steps
+        self,
+        now_ns: float,
+        level_trigger: int,
+        slope_trigger: int,
+        outcome: str,
+        steps: int,
     ) -> None:
         """Publish one scheduler reconcile decision."""
         self.probe.event(

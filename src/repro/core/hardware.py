@@ -16,8 +16,8 @@ diagram as executable structure.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
 
 from repro.mcd.domains import MachineConfig
 
@@ -52,7 +52,9 @@ def _bits_for(value: int) -> int:
 
 
 def adaptive_decision_logic_cost(
-    machine: MachineConfig = None, queue_size: int = 20, delay_max: int = 256
+    machine: Optional[MachineConfig] = None,
+    queue_size: int = 20,
+    delay_max: int = 256,
 ) -> HardwareCost:
     """Gate count of the adaptive scheme's per-domain logic (Figure 5).
 

@@ -10,6 +10,8 @@ out in its Act state.
 
 from __future__ import annotations
 
+from typing import Optional
+
 from repro.dvfs.base import FrequencyCommand
 from repro.mcd.domains import DomainId, MachineConfig
 
@@ -21,7 +23,7 @@ class VoltageRegulator:
         self,
         domain: DomainId,
         config: MachineConfig,
-        initial_freq_ghz: float = None,
+        initial_freq_ghz: Optional[float] = None,
     ) -> None:
         self.domain = domain
         self.config = config

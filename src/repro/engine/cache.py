@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import os
-from typing import Optional
+from typing import Dict, Optional
 
 from repro.engine.jobs import SweepJob
 from repro.harness import persistence
@@ -91,7 +91,7 @@ class ResultCache:
         self.stores += 1
         return path
 
-    def stats(self) -> dict:
+    def stats(self) -> Dict[str, int]:
         return {
             "hits": self.hits,
             "misses": self.misses,

@@ -12,12 +12,15 @@ from __future__ import annotations
 import dataclasses
 import json
 from dataclasses import dataclass
-from typing import Dict, Mapping, Optional, Union
+from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Union
 
 from repro.mcd.domains import MachineConfig
 from repro.obs.facade import ObsConfig
 from repro.workloads.phases import BenchmarkSpec
 from repro.workloads.suite import get_benchmark
+
+if TYPE_CHECKING:
+    from repro.mcd.processor import SimulationResult
 
 
 @dataclass(frozen=True)
@@ -46,7 +49,7 @@ class SweepJob:
     def make(
         benchmark: Union[str, BenchmarkSpec],
         scheme: str = "adaptive",
-        **kwargs,
+        **kwargs: Any,
     ) -> "SweepJob":
         spec = (
             get_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
@@ -58,7 +61,7 @@ class SweepJob:
         """Human-readable identity used in telemetry and progress output."""
         return f"{self.benchmark.name}/{self.scheme}"
 
-    def canonical_dict(self) -> Dict:
+    def canonical_dict(self) -> Dict[str, Any]:
         """Every simulation-affecting input, as JSON-stable plain data.
 
         This is the payload the content-addressed cache hashes; any field
@@ -84,7 +87,7 @@ class SweepJob:
         return json.dumps(self.canonical_dict(), sort_keys=True)
 
 
-def _plain(value):
+def _plain(value: Any) -> Any:
     """Recursively convert to canonical JSON-serializable data."""
     if isinstance(value, Mapping):
         return {str(k): _plain(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
@@ -95,7 +98,7 @@ def _plain(value):
     return repr(value)
 
 
-def run_job(job: SweepJob):
+def run_job(job: SweepJob) -> "SimulationResult":
     """Execute one job in the current process.
 
     Module-level (not a method) so a process pool can pickle it as the

@@ -29,7 +29,7 @@ import signal
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.engine import telemetry as tm
 from repro.engine.cache import ResultCache
@@ -39,7 +39,7 @@ from repro.mcd.processor import SimulationResult
 try:  # BrokenProcessPool moved/aliased across Python versions
     from concurrent.futures.process import BrokenProcessPool
 except ImportError:  # pragma: no cover
-    BrokenProcessPool = concurrent.futures.BrokenExecutor
+    BrokenProcessPool = concurrent.futures.BrokenExecutor  # type: ignore[misc,assignment]
 
 
 class JobTimeoutError(Exception):
@@ -96,7 +96,7 @@ def _call_with_timeout(
     if not use_alarm:
         return runner(job)
 
-    def _on_alarm(signum, frame):
+    def _on_alarm(signum: int, frame: object) -> None:
         raise JobTimeoutError(
             f"job {job.job_id} exceeded {timeout_s:.3g}s timeout"
         )
@@ -188,12 +188,18 @@ class SweepEngine:
                 f"{o.job.job_id}: {o.error}" for o in failures
             )
             raise RuntimeError(f"{len(failures)} sweep job(s) failed: {details}")
-        return [o.result for o in outcomes]
+        return [o.result for o in outcomes if o.result is not None]
 
     # -- execution paths ----------------------------------------------
 
     def _record_success(
-        self, index, job, result, attempts, wall_s, outcomes
+        self,
+        index: int,
+        job: SweepJob,
+        result: SimulationResult,
+        attempts: int,
+        wall_s: float,
+        outcomes: List[Optional[JobOutcome]],
     ) -> None:
         outcomes[index] = JobOutcome(
             job=job, result=result, attempts=attempts, wall_s=wall_s
@@ -209,13 +215,25 @@ class SweepEngine:
             tm.JOB_FINISHED, job.job_id, attempts=attempts, wall_s=wall_s, **extra
         )
 
-    def _record_failure(self, index, job, error, attempts, outcomes) -> None:
+    def _record_failure(
+        self,
+        index: int,
+        job: SweepJob,
+        error: str,
+        attempts: int,
+        outcomes: List[Optional[JobOutcome]],
+    ) -> None:
         outcomes[index] = JobOutcome(job=job, error=error, attempts=attempts)
         self.telemetry.emit(
             tm.JOB_FAILED, job.job_id, error=error, attempts=attempts
         )
 
-    def _run_serial(self, jobs, indices, outcomes) -> None:
+    def _run_serial(
+        self,
+        jobs: Sequence[SweepJob],
+        indices: Sequence[int],
+        outcomes: List[Optional[JobOutcome]],
+    ) -> None:
         for index in indices:
             job = jobs[index]
             attempts = 0
@@ -245,7 +263,12 @@ class SweepEngine:
                 )
                 break
 
-    def _run_pooled(self, jobs, indices, outcomes) -> None:
+    def _run_pooled(
+        self,
+        jobs: Sequence[SweepJob],
+        indices: Sequence[int],
+        outcomes: List[Optional[JobOutcome]],
+    ) -> None:
         workers = min(self.config.workers, len(indices))
         try:
             executor = concurrent.futures.ProcessPoolExecutor(
@@ -260,11 +283,11 @@ class SweepEngine:
             self._run_serial(jobs, indices, outcomes)
             return
 
-        attempts = {index: 0 for index in indices}
-        started_at = {}
-        futures = {}
+        attempts: Dict[int, int] = {index: 0 for index in indices}
+        started_at: Dict[int, float] = {}
+        futures: Dict[concurrent.futures.Future[SimulationResult], int] = {}
 
-        def submit(index):
+        def submit(index: int) -> None:
             attempts[index] += 1
             self.telemetry.emit(
                 tm.JOB_STARTED, jobs[index].job_id,
@@ -327,7 +350,7 @@ class SweepEngine:
 def run_sweep(
     jobs: Sequence[SweepJob],
     config: Optional[EngineConfig] = None,
-    **config_overrides,
+    **config_overrides: Any,
 ) -> List[JobOutcome]:
     """One-call convenience: build an engine and run ``jobs`` through it."""
     if config is None:

@@ -21,7 +21,7 @@ import json
 import sys
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, TextIO
 
 #: Event kinds, in rough lifecycle order.
 SWEEP_STARTED = "sweep_started"
@@ -34,7 +34,9 @@ POOL_UNAVAILABLE = "pool_unavailable"
 SWEEP_FINISHED = "sweep_finished"
 
 
-def condense_probe_summary(summary: Optional[Dict]) -> Optional[Dict]:
+def condense_probe_summary(
+    summary: Optional[Dict[str, Any]]
+) -> Optional[Dict[str, Any]]:
     """Shrink a per-run ``repro.obs`` summary to sweep-event size.
 
     A full probe summary carries every counter/gauge/histogram; a sweep
@@ -49,7 +51,7 @@ def condense_probe_summary(summary: Optional[Dict]) -> Optional[Dict]:
     def _total(prefix: str) -> int:
         return sum(v for k, v in counters.items() if k.startswith(prefix))
 
-    condensed = {
+    condensed: Dict[str, Any] = {
         "events": _total("events."),
         "fsm_transitions": _total("fsm_transitions."),
         "freq_steps": _total("freq_steps."),
@@ -68,10 +70,12 @@ class TelemetryEvent:
     kind: str
     timestamp: float
     job_id: Optional[str] = None
-    data: Dict = field(default_factory=dict)
+    data: Dict[str, Any] = field(default_factory=dict)
 
-    def to_dict(self) -> Dict:
-        record = {"event": self.kind, "timestamp": self.timestamp}
+    def to_dict(self) -> Dict[str, Any]:
+        record: Dict[str, Any] = {
+            "event": self.kind, "timestamp": self.timestamp,
+        }
         if self.job_id is not None:
             record["job"] = self.job_id
         record.update(self.data)
@@ -95,7 +99,7 @@ class JsonlEventLog:
 class ProgressReporter:
     """Listener printing one line per terminal job event."""
 
-    def __init__(self, total: int, stream=None) -> None:
+    def __init__(self, total: int, stream: Optional[TextIO] = None) -> None:
         self.total = total
         self.done = 0
         self.stream = stream or sys.stderr
@@ -147,7 +151,7 @@ class RunTelemetry:
         self.listeners.append(listener)
 
     def emit(
-        self, kind: str, job_id: Optional[str] = None, **data
+        self, kind: str, job_id: Optional[str] = None, **data: Any
     ) -> TelemetryEvent:
         event = TelemetryEvent(
             kind=kind, timestamp=time.time(), job_id=job_id, data=data
@@ -188,7 +192,7 @@ class RunTelemetry:
         wall = self.wall_s
         return self.completed_jobs / wall if wall > 0 else 0.0
 
-    def record_probe_summary(self, condensed: Optional[Dict]) -> None:
+    def record_probe_summary(self, condensed: Optional[Dict[str, Any]]) -> None:
         """Fold one job's condensed probe summary into the sweep totals."""
         if not condensed:
             return
@@ -197,9 +201,9 @@ class RunTelemetry:
             if isinstance(value, (int, float)) and not isinstance(value, bool):
                 self.obs_totals[key] = self.obs_totals.get(key, 0) + value
 
-    def summary(self) -> Dict:
+    def summary(self) -> Dict[str, Any]:
         """Counter snapshot for end-of-sweep reporting."""
-        summary = {
+        summary: Dict[str, Any] = {
             "jobs_run": self.counters[JOB_FINISHED],
             "cache_hits": self.counters[JOB_CACHE_HIT],
             "retries": self.counters[JOB_RETRIED],

@@ -5,7 +5,6 @@ from __future__ import annotations
 from typing import Dict, Optional, Union
 
 from repro.core.config import (
-    AdaptiveConfig,
     default_adaptive_config,
     transmeta_adaptive_config,
 )

@@ -23,7 +23,7 @@ import gzip
 import json
 import os
 import tempfile
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 from repro.mcd.domains import CONTROLLED_DOMAINS, DomainId
 from repro.mcd.processor import (

@@ -11,7 +11,7 @@ service-rate model (Section 4.3).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import List
 
 
 class Cache:

@@ -11,7 +11,7 @@ dividers and sqrt are not.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from repro.mcd.clocks import DomainClock
 from repro.mcd.domains import FU_LATENCY_CYCLES, DomainId, MachineConfig

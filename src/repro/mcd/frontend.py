@@ -12,7 +12,7 @@ plus a fixed redirect penalty).
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from repro.mcd.branch import CombinedPredictor
 from repro.mcd.cache import MemoryHierarchy

@@ -11,8 +11,8 @@ every written entry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Iterator, List, Optional
+from dataclasses import dataclass
+from typing import Iterator, List, Optional
 
 from repro.workloads.instructions import Instruction
 

@@ -18,7 +18,7 @@ domain.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict
 
 from repro.mcd.domains import DomainId

@@ -24,7 +24,7 @@ Two classifiers are provided:
 
 from __future__ import annotations
 
-from typing import Dict, Sequence
+from typing import Sequence
 
 import numpy as np
 

@@ -1,0 +1,61 @@
+"""`statcheck`: AST-based invariant analysis for this repository.
+
+The paper's headline numbers are only reproducible if every simulation
+run is bit-deterministic and every sweep-cache hit is genuinely
+equivalent to a recompute.  Those invariants -- seeded randomness, no
+wall-clock reads in simulated code, complete cache keys, picklable pool
+payloads, schema'd probe events -- are exactly the kind of thing a
+conventional linter cannot express, so this package ships a small
+static-analysis framework with codebase-specific rules:
+
+========  ========  ==========================================================
+rule      severity  invariant
+========  ========  ==========================================================
+DET001    error     no unseeded ``random`` / ``np.random`` module-level calls
+                    in simulation/controller code
+DET002    error     no wall-clock reads (``time.time``, ``perf_counter``,
+                    ``datetime.now``, ...) in simulation/controller code
+DET003    error     no iteration over unordered sets in code that feeds
+                    hashes or cache keys
+CTL001    error     no float ``==`` / ``!=`` in controller/FSM decision code
+CACHE001  error     every ``SweepJob`` field appears in the
+                    ``canonical_dict()`` cache-key derivation
+POOL001   error     no lambdas or local functions submitted to process pools
+OBS001    error     every emitted probe event kind has a registered schema in
+                    ``repro.obs.schema`` -- and no schema is orphaned
+PY001     error     no mutable default arguments
+PY002     error     no bare/overbroad ``except`` that silently swallows errors
+========  ========  ==========================================================
+
+Findings can be suppressed inline::
+
+    risky_call()  # statcheck: disable=DET002 -- justification here
+
+or for a whole file with ``# statcheck: disable-file=RULE`` on any line.
+Run it as ``repro-dvfs check [paths]`` or ``python -m repro.statcheck``;
+exit status is 0 (clean), 1 (findings), or 2 (usage error or analyzer
+crash), so CI can tell a red build from a broken analyzer.
+"""
+
+from repro.statcheck.engine import (
+    AnalysisReport,
+    Analyzer,
+    Project,
+    Rule,
+    SourceFile,
+)
+from repro.statcheck.findings import Finding, Severity
+from repro.statcheck.registry import all_rules, get_rule, register
+
+__all__ = [
+    "AnalysisReport",
+    "Analyzer",
+    "Finding",
+    "Project",
+    "Rule",
+    "Severity",
+    "SourceFile",
+    "all_rules",
+    "get_rule",
+    "register",
+]

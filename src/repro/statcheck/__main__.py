@@ -1,0 +1,8 @@
+"""``python -m repro.statcheck`` entry point."""
+
+import sys
+
+from repro.statcheck.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

@@ -1,0 +1,86 @@
+"""Shared AST helpers used by the statcheck rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional, Tuple
+
+#: AST nodes that open a new function scope.
+FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+SCOPE_NODES = FUNCTION_NODES + (ast.Lambda,)
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """Render a ``Name``/``Attribute`` chain as ``"a.b.c"``; None otherwise."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def import_map(tree: ast.Module) -> Dict[str, str]:
+    """Map local names to the fully-qualified thing they are bound to.
+
+    ``import numpy as np`` yields ``np -> numpy``; ``from time import
+    perf_counter as pc`` yields ``pc -> time.perf_counter``.  Relative and
+    star imports are ignored (nothing in this codebase uses them, and the
+    rules fail open: an unresolvable name is simply not matched).
+    """
+    mapping: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                mapping[alias.asname or alias.name.split(".")[0]] = (
+                    alias.name if alias.asname else alias.name.split(".")[0]
+                )
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or node.module is None:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                mapping[alias.asname or alias.name] = f"{node.module}.{alias.name}"
+    return mapping
+
+
+def resolve_call(func: ast.AST, imports: Dict[str, str]) -> Optional[str]:
+    """Fully-qualified dotted name of a call target, through the imports.
+
+    ``np.random.rand`` with ``np -> numpy`` resolves to
+    ``numpy.random.rand``; a bare builtin like ``set`` resolves to
+    ``"set"``.  Returns ``None`` for dynamic targets (subscripts, calls).
+    """
+    dotted = dotted_name(func)
+    if dotted is None:
+        return None
+    head, _, rest = dotted.partition(".")
+    resolved_head = imports.get(head, head)
+    return f"{resolved_head}.{rest}" if rest else resolved_head
+
+
+def walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+    """Walk a function (or module) body without descending into nested
+    function scopes -- for rules whose invariants are per-scope."""
+    todo = list(ast.iter_child_nodes(scope))
+    while todo:
+        node = todo.pop()
+        yield node
+        if not isinstance(node, SCOPE_NODES):
+            todo.extend(ast.iter_child_nodes(node))
+
+
+def iter_scopes(tree: ast.Module) -> Iterator[ast.AST]:
+    """Yield the module and every (async) function definition in it."""
+    yield tree
+    for node in ast.walk(tree):
+        if isinstance(node, FUNCTION_NODES):
+            yield node
+
+
+def location(node: ast.AST) -> Tuple[int, int]:
+    """(line, col) of a node, tolerating synthetic nodes without one."""
+    return (getattr(node, "lineno", 1), getattr(node, "col_offset", 0))

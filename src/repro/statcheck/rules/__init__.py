@@ -1,0 +1,10 @@
+"""Built-in statcheck rules; importing this package registers them all."""
+
+from repro.statcheck.rules import (  # noqa: F401  (import-for-registration)
+    cache_key,
+    control,
+    determinism,
+    hygiene,
+    obs_events,
+    pool,
+)

@@ -1,0 +1,107 @@
+"""CACHE001: the sweep cache key must cover every job field.
+
+The content-addressed result cache hashes
+``SweepJob.canonical_dict()``; a job field that does not flow into that
+dict means two *different* simulations share a cache entry -- the warm
+sweep silently returns results for a spec that was never run.  This is a
+cross-module invariant no generic linter can state, and the exact
+failure mode PR 2 hit when ``obs`` joined the job spec (CACHE_VERSION
+1 -> 2).
+
+The rule finds the dataclass named ``SweepJob`` (wherever it lives),
+collects its field names, and requires each to be read as ``self.<field>``
+somewhere inside ``canonical_dict``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, List, Optional, Set, Tuple
+
+from repro.statcheck.engine import Project, Rule, SourceFile
+from repro.statcheck.findings import Finding
+from repro.statcheck.registry import register
+
+JOB_CLASS = "SweepJob"
+KEY_METHOD = "canonical_dict"
+
+
+def _job_classes(
+    project: Project,
+) -> "Iterator[Tuple[SourceFile, ast.ClassDef]]":
+    for file in project.files:
+        if file.tree is None:
+            continue
+        for node in ast.walk(file.tree):
+            if isinstance(node, ast.ClassDef) and node.name == JOB_CLASS:
+                yield file, node
+
+
+def _dataclass_fields(cls: ast.ClassDef) -> "List[Tuple[str, ast.AnnAssign]]":
+    fields = []
+    for stmt in cls.body:
+        if not isinstance(stmt, ast.AnnAssign):
+            continue
+        if not isinstance(stmt.target, ast.Name):
+            continue
+        name = stmt.target.id
+        if name.startswith("_"):
+            continue
+        annotation = ast.dump(stmt.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields.append((name, stmt))
+    return fields
+
+
+def _key_method(cls: ast.ClassDef) -> Optional[ast.FunctionDef]:
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef) and stmt.name == KEY_METHOD:
+            return stmt
+    return None
+
+
+def _self_reads(func: ast.FunctionDef) -> Set[str]:
+    reads = set()
+    for node in ast.walk(func):
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            reads.add(node.attr)
+    return reads
+
+
+@register
+class CacheKeyCompletenessRule(Rule):
+    """Every ``SweepJob`` field must reach the cache-key derivation."""
+
+    id = "CACHE001"
+    description = (
+        "every SweepJob dataclass field must be read inside "
+        "canonical_dict(), or cached results are served for specs that "
+        "were never simulated"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        for file, cls in _job_classes(project):
+            method = _key_method(cls)
+            if method is None:
+                yield self.finding(
+                    file,
+                    cls,
+                    f"{JOB_CLASS} defines no {KEY_METHOD}() cache-key "
+                    "derivation; its results cannot be safely cached",
+                )
+                continue
+            reads = _self_reads(method)
+            for name, node in _dataclass_fields(cls):
+                if name not in reads:
+                    yield self.finding(
+                        file,
+                        node,
+                        f"{JOB_CLASS} field {name!r} never flows into "
+                        f"{KEY_METHOD}(); two jobs differing only in "
+                        f"{name!r} would share one cache entry",
+                    )

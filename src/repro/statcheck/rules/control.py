@@ -1,0 +1,95 @@
+"""Control-law rules.
+
+The integral-gain literature (and this paper's own FSM delay counters)
+warn against branching on exact float equality in a control loop: the
+compared quantities are accumulated in floating point, so ``==`` turns a
+robust threshold into a razor edge that fires or starves depending on
+rounding.  Controller and FSM decision code must compare against a
+tolerance instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statcheck.astutil import import_map, resolve_call
+from repro.statcheck.engine import Rule, SourceFile
+from repro.statcheck.findings import Finding
+from repro.statcheck.registry import register
+
+#: Calls whose result is obviously a float.
+_FLOAT_CALLS = frozenset(
+    {
+        "abs",
+        "float",
+        "math.exp",
+        "math.fabs",
+        "math.log",
+        "math.sqrt",
+        "max",
+        "min",
+        "round",
+        "sum",
+    }
+)
+
+
+def _is_floatish(node: ast.AST, imports: "dict[str, str]") -> bool:
+    """Conservatively: is this expression certainly floating point?
+
+    Only expressions that are *syntactically* float -- a float literal, a
+    ``float(...)`` conversion, a true division, or arithmetic involving
+    one of those -- count, so integer state-machine comparisons
+    (``trigger != slope_trigger``) never false-positive.
+    """
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.UnaryOp):
+        return _is_floatish(node.operand, imports)
+    if isinstance(node, ast.BinOp):
+        if isinstance(node.op, ast.Div):
+            return True
+        return _is_floatish(node.left, imports) or _is_floatish(
+            node.right, imports
+        )
+    if isinstance(node, ast.Call):
+        resolved = resolve_call(node.func, imports)
+        if resolved == "float":
+            return True
+        if resolved in _FLOAT_CALLS:
+            return any(_is_floatish(arg, imports) for arg in node.args)
+    return False
+
+
+@register
+class FloatEqualityRule(Rule):
+    """CTL001: no exact float equality in controller/FSM decisions."""
+
+    id = "CTL001"
+    description = (
+        "no float == / != comparisons in controller or FSM decision code; "
+        "compare against a tolerance (math.isclose or abs(a-b) < eps)"
+    )
+    scope = ("repro.core", "repro.dvfs")
+
+    def check_file(self, file: SourceFile) -> Iterator[Finding]:
+        assert file.tree is not None
+        imports = import_map(file.tree)
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for index, op in enumerate(node.ops):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                left, right = operands[index], operands[index + 1]
+                if _is_floatish(left, imports) or _is_floatish(right, imports):
+                    yield self.finding(
+                        file,
+                        node,
+                        "exact float equality in control decision code is "
+                        "sensitive to rounding; compare against a tolerance "
+                        "(math.isclose or abs(a-b) < eps)",
+                    )
+                    break

@@ -1,0 +1,145 @@
+"""General Python hygiene rules (PY001, PY002).
+
+These two are the classic footguns that have bitten control-loop
+reproductions specifically: a mutable default argument shared across
+controller instances couples runs that must be independent, and an
+overbroad ``except`` in the scheduler retry path turns a real defect
+into a silent retry storm.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statcheck.astutil import FUNCTION_NODES, import_map, resolve_call
+from repro.statcheck.engine import Rule, SourceFile
+from repro.statcheck.findings import Finding
+from repro.statcheck.registry import register
+
+#: Constructors of mutable containers, flagged when used as a default.
+_MUTABLE_CALLS = frozenset(
+    {
+        "bytearray",
+        "collections.OrderedDict",
+        "collections.defaultdict",
+        "collections.deque",
+        "dict",
+        "list",
+        "set",
+    }
+)
+
+_MUTABLE_LITERALS = (
+    ast.Dict,
+    ast.DictComp,
+    ast.List,
+    ast.ListComp,
+    ast.Set,
+    ast.SetComp,
+)
+
+#: Exception types too broad to swallow silently.
+_OVERBROAD = frozenset({"BaseException", "Exception"})
+
+
+@register
+class MutableDefaultRule(Rule):
+    """PY001: default argument values must be immutable."""
+
+    id = "PY001"
+    description = (
+        "no mutable default arguments; the default is evaluated once and "
+        "shared by every call -- use None and create inside the function"
+    )
+
+    def check_file(self, file: SourceFile) -> Iterator[Finding]:
+        assert file.tree is not None
+        imports = import_map(file.tree)
+        for node in ast.walk(file.tree):
+            if not isinstance(node, FUNCTION_NODES + (ast.Lambda,)):
+                continue
+            args = node.args
+            defaults = list(args.defaults) + [
+                default for default in args.kw_defaults if default is not None
+            ]
+            for default in defaults:
+                if self._is_mutable(default, imports):
+                    yield self.finding(
+                        file,
+                        default,
+                        "mutable default argument is shared across calls; "
+                        "default to None and build the container inside "
+                        "the function",
+                    )
+
+    @staticmethod
+    def _is_mutable(node: ast.AST, imports: "dict[str, str]") -> bool:
+        if isinstance(node, _MUTABLE_LITERALS):
+            return True
+        if isinstance(node, ast.Call):
+            return resolve_call(node.func, imports) in _MUTABLE_CALLS
+        return False
+
+
+@register
+class SwallowedExceptionRule(Rule):
+    """PY002: no bare/overbroad except that silently swallows errors."""
+
+    id = "PY002"
+    description = (
+        "no bare except, and no except Exception/BaseException whose "
+        "handler neither re-raises nor uses the caught exception"
+    )
+
+    def check_file(self, file: SourceFile) -> Iterator[Finding]:
+        assert file.tree is not None
+        for node in ast.walk(file.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    file,
+                    node,
+                    "bare except catches SystemExit and KeyboardInterrupt; "
+                    "name the exceptions this handler is meant for",
+                )
+                continue
+            if not self._is_overbroad(node.type):
+                continue
+            if self._handler_reraises(node):
+                continue
+            if node.name is not None and self._uses_name(node, node.name):
+                # the error is inspected/reported, not swallowed
+                continue
+            yield self.finding(
+                file,
+                node,
+                f"overbroad 'except {ast.unparse(node.type)}' swallows "
+                "errors silently; catch specific exceptions, re-raise, or "
+                "report the caught error",
+            )
+
+    @staticmethod
+    def _is_overbroad(type_node: ast.AST) -> bool:
+        nodes = (
+            type_node.elts if isinstance(type_node, ast.Tuple) else [type_node]
+        )
+        return any(
+            isinstance(node, ast.Name) and node.id in _OVERBROAD
+            for node in nodes
+        )
+
+    @staticmethod
+    def _handler_reraises(handler: ast.ExceptHandler) -> bool:
+        return any(
+            isinstance(node, ast.Raise) for node in ast.walk(handler)
+        )
+
+    @staticmethod
+    def _uses_name(handler: ast.ExceptHandler, name: str) -> bool:
+        for stmt in handler.body:
+            for node in ast.walk(stmt):
+                if isinstance(node, ast.Name) and node.id == name:
+                    return True
+        return False

@@ -1,0 +1,148 @@
+"""OBS001: the probe event stream and its schema registry must agree.
+
+``repro.obs.schema.EVENT_SCHEMAS`` is the contract for every JSONL /
+Chrome-trace artifact; an event kind emitted without a schema entry
+fails trace validation at runtime (in whatever run first emits it), and
+a schema without an emitter is dead weight that silently rots.  This
+rule checks both directions at PR time:
+
+* every literal ``probe.event("kind", ...)`` kind in the scanned tree
+  must be a key of ``EVENT_SCHEMAS``;
+* every ``EVENT_SCHEMAS`` key must be emitted by at least one call site
+  (orphan schemas are flagged at their definition line);
+* event kinds must be string literals -- a computed kind cannot be
+  checked statically and would dodge the contract.
+
+The rule activates only when a module defining ``EVENT_SCHEMAS`` is in
+the scanned file set, so scanning a subtree without the registry does
+not false-positive.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.statcheck.astutil import dotted_name
+from repro.statcheck.engine import Project, Rule, SourceFile
+from repro.statcheck.findings import Finding
+from repro.statcheck.registry import register
+
+SCHEMA_REGISTRY = "EVENT_SCHEMAS"
+
+#: Receiver names that identify the probe bus.
+_PROBE_NAMES = frozenset({"probe", "_probe", "bus", "_bus"})
+
+
+def _probe_event_calls(
+    file: SourceFile,
+) -> "Iterator[Tuple[ast.Call, Optional[str]]]":
+    """Yield ``(call, kind)`` for probe event emissions; kind None when
+    the first argument is not a string literal."""
+    assert file.tree is not None
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.Call):
+            continue
+        func = node.func
+        if not isinstance(func, ast.Attribute) or func.attr != "event":
+            continue
+        receiver = dotted_name(func.value)
+        if receiver is None:
+            continue
+        if receiver.rsplit(".", 1)[-1] not in _PROBE_NAMES:
+            continue
+        if not node.args:
+            yield node, None
+            continue
+        first = node.args[0]
+        if isinstance(first, ast.Constant) and isinstance(first.value, str):
+            yield node, first.value
+        else:
+            yield node, None
+
+
+def _schema_registries(
+    project: Project,
+) -> "Iterator[Tuple[SourceFile, Dict[str, ast.AST]]]":
+    """Find module-level ``EVENT_SCHEMAS = {...}`` dict literals."""
+    for file in project.files:
+        if file.tree is None:
+            continue
+        for stmt in file.tree.body:
+            value: Optional[ast.AST] = None
+            if isinstance(stmt, ast.Assign):
+                if any(
+                    isinstance(target, ast.Name)
+                    and target.id == SCHEMA_REGISTRY
+                    for target in stmt.targets
+                ):
+                    value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                if (
+                    isinstance(stmt.target, ast.Name)
+                    and stmt.target.id == SCHEMA_REGISTRY
+                ):
+                    value = stmt.value
+            if not isinstance(value, ast.Dict):
+                continue
+            keys: Dict[str, ast.AST] = {}
+            for key in value.keys:
+                if isinstance(key, ast.Constant) and isinstance(
+                    key.value, str
+                ):
+                    keys[key.value] = key
+            yield file, keys
+
+
+@register
+class ProbeSchemaRule(Rule):
+    """Emitted probe events and registered schemas must match 1:1."""
+
+    id = "OBS001"
+    description = (
+        "every probe.event(...) kind must have a schema in EVENT_SCHEMAS "
+        "and every schema must have an emitter (no orphans)"
+    )
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        registries = list(_schema_registries(project))
+        if not registries:
+            return
+        registered: Dict[str, Tuple[SourceFile, ast.AST]] = {}
+        for file, keys in registries:
+            for kind, node in keys.items():
+                registered.setdefault(kind, (file, node))
+
+        emitted: "Dict[str, List[Tuple[SourceFile, ast.Call]]]" = {}
+        for file in project.files:
+            if file.tree is None:
+                continue
+            for call, kind in _probe_event_calls(file):
+                if kind is None:
+                    yield self.finding(
+                        file,
+                        call,
+                        "probe event kind is not a string literal; only "
+                        "literal kinds can be checked against EVENT_SCHEMAS",
+                    )
+                else:
+                    emitted.setdefault(kind, []).append((file, call))
+
+        for kind, sites in sorted(emitted.items()):
+            if kind in registered:
+                continue
+            for file, call in sites:
+                yield self.finding(
+                    file,
+                    call,
+                    f"probe event kind {kind!r} has no schema registered "
+                    f"in {SCHEMA_REGISTRY}; trace validation will reject it",
+                )
+        for kind, (file, node) in sorted(registered.items()):
+            if kind not in emitted:
+                yield self.finding(
+                    file,
+                    node,
+                    f"orphan event schema {kind!r}: no probe.event call in "
+                    "the scanned tree emits it",
+                )

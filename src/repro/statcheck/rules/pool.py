@@ -1,0 +1,103 @@
+"""POOL001: everything submitted to a process pool must be picklable.
+
+``ProcessPoolExecutor`` pickles the callable by qualified name; lambdas
+and functions defined inside another function cannot cross the process
+boundary and fail at submit time -- but only on the pooled path, so a
+sweep tested serially (``--jobs 1``) ships green and dies in CI's pool
+smoke.  Catch it at PR time instead.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Set
+
+from repro.statcheck.astutil import FUNCTION_NODES, dotted_name, iter_scopes, walk_scope
+from repro.statcheck.engine import Rule, SourceFile
+from repro.statcheck.findings import Finding
+from repro.statcheck.registry import register
+
+#: Executor/pool methods whose first argument is the remote callable.
+_SUBMIT_METHODS = frozenset(
+    {
+        "apply",
+        "apply_async",
+        "imap",
+        "imap_unordered",
+        "map",
+        "map_async",
+        "starmap",
+        "starmap_async",
+        "submit",
+    }
+)
+
+#: Receiver-name fragments that identify a worker pool.  Matching on the
+#: receiver (``executor.submit``, ``self._pool.map``) rather than the
+#: type keeps the rule purely syntactic; ``list.map``-style false
+#: positives are impossible because ``map`` is never a method of a
+#: non-pool object in this codebase.
+_POOL_HINTS = ("pool", "executor")
+
+
+def _is_pool_receiver(func: ast.Attribute) -> bool:
+    receiver = dotted_name(func.value)
+    if receiver is None:
+        return False
+    last = receiver.rsplit(".", 1)[-1].lower()
+    return any(hint in last for hint in _POOL_HINTS)
+
+
+@register
+class PoolPayloadRule(Rule):
+    """No lambdas or local functions handed to pool submit methods."""
+
+    id = "POOL001"
+    description = (
+        "no lambdas, closures, or local functions submitted to a process "
+        "pool; only module-level callables pickle across workers"
+    )
+
+    def check_file(self, file: SourceFile) -> Iterator[Finding]:
+        assert file.tree is not None
+        for scope in iter_scopes(file.tree):
+            local_funcs: Set[str] = {
+                node.name
+                for node in walk_scope(scope)
+                if isinstance(node, FUNCTION_NODES)
+            }
+            if isinstance(scope, ast.Module):
+                # module-level defs ARE picklable; only flag lambdas there
+                local_funcs = set()
+            for node in walk_scope(scope):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr not in _SUBMIT_METHODS:
+                    continue
+                if not _is_pool_receiver(func):
+                    continue
+                if not node.args:
+                    continue
+                payload = node.args[0]
+                if isinstance(payload, ast.Lambda):
+                    yield self.finding(
+                        file,
+                        payload,
+                        f"lambda submitted to {func.attr}() cannot be "
+                        "pickled into a worker process; use a module-level "
+                        "function",
+                    )
+                elif (
+                    isinstance(payload, ast.Name)
+                    and payload.id in local_funcs
+                ):
+                    yield self.finding(
+                        file,
+                        payload,
+                        f"local function {payload.id!r} submitted to "
+                        f"{func.attr}() cannot be pickled into a worker "
+                        "process; move it to module level",
+                    )

@@ -10,7 +10,7 @@ their lengths (in instructions) therefore determine whether a benchmark is
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Sequence, Tuple
 
 from repro.workloads.instructions import InstructionKind

@@ -9,7 +9,7 @@ the quantities that drive queue dynamics and hence DVFS behaviour.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Sequence
 
 from repro.workloads.instructions import Instruction, InstructionKind

@@ -15,7 +15,7 @@ files self-identifying.
 from __future__ import annotations
 
 import json
-from typing import Iterable, List, Sequence
+from typing import List, Sequence
 
 from repro.workloads.instructions import Instruction, InstructionKind
 

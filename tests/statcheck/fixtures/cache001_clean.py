@@ -1,0 +1,21 @@
+"""CACHE001 negative fixture: every field reaches the cache key."""
+
+from dataclasses import dataclass
+from typing import ClassVar
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    #: class-level constants and private members are not spec fields
+    FORMAT: ClassVar[int] = 1
+
+    benchmark: str
+    scheme: str = "adaptive"
+    seed: int = 0
+
+    def canonical_dict(self):
+        return {
+            "benchmark": self.benchmark,
+            "scheme": self.scheme,
+            "seed": self.seed,
+        }

@@ -1,0 +1,18 @@
+"""CACHE001 positive fixture: a job field missing from the cache key."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class SweepJob:
+    benchmark: str
+    scheme: str = "adaptive"
+    seed: int = 0
+    history_stride: int = 4  # line 11: never read by canonical_dict
+
+    def canonical_dict(self):
+        return {
+            "benchmark": self.benchmark,
+            "scheme": self.scheme,
+            "seed": self.seed,
+        }

@@ -1,0 +1,12 @@
+"""CTL001 negative fixture: tolerances and integer comparisons."""
+
+
+def should_hold(freq_ghz, target_ghz):
+    return abs(freq_ghz - target_ghz) < 1e-12
+
+
+def reconcile(level_trigger, slope_trigger):
+    # integer trigger comparison is exact by construction: no finding
+    if level_trigger != slope_trigger:
+        return None
+    return level_trigger == 1

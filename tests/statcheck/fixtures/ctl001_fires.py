@@ -1,0 +1,15 @@
+"""CTL001 positive fixture: exact float equality in decision code."""
+
+
+def should_hold(freq_ghz, target_ghz):
+    return freq_ghz == target_ghz * 1.0  # line 5: float == float
+
+
+def at_rail(freq_ghz):
+    if freq_ghz == 0.25:  # line 9: compare against float literal
+        return True
+    return float(freq_ghz) != 1.0  # line 11: float() conversion compare
+
+
+def slew_done(delta_ghz, dt_ns):
+    return delta_ghz / dt_ns == 0.0  # line 15: division result compare

@@ -1,0 +1,17 @@
+"""DET001 negative fixture: every RNG is an owned, seeded instance."""
+
+import random
+
+import numpy as np
+
+
+class JitteredClock:
+    def __init__(self, seed):
+        self._rng = random.Random(seed)
+        self._np_rng = np.random.default_rng(seed)
+
+    def jitter_edge(self, period_ns):
+        return period_ns + self._rng.gauss(0.0, 0.005)
+
+    def pick_victim(self, ways):
+        return int(self._np_rng.integers(ways))

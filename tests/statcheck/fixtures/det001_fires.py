@@ -1,0 +1,22 @@
+"""DET001 positive fixture: global-RNG draws in simulation code."""
+
+import random
+
+import numpy as np
+from random import gauss
+
+
+def jitter_edge(period_ns):
+    return period_ns + random.gauss(0.0, 0.005)  # line 10: random.gauss
+
+
+def pick_victim(ways):
+    return np.random.randint(ways)  # line 14: np.random.randint
+
+
+def reseed_everything(seed):
+    random.seed(seed)  # line 18: reseeding the global is still shared state
+
+
+def sampled_noise():
+    return gauss(0.0, 1.0)  # line 22: from-imported global draw

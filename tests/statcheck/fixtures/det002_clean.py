@@ -1,0 +1,9 @@
+"""DET002 negative fixture: all timing derives from simulated time."""
+
+
+def interval_elapsed(now_ns, started_ns):
+    return now_ns - started_ns
+
+
+def next_sample_edge(now_ns, period_ns):
+    return now_ns + period_ns

@@ -1,0 +1,17 @@
+"""DET002 positive fixture: host-clock reads in controller code."""
+
+import time
+from datetime import datetime
+from time import perf_counter
+
+
+def interval_elapsed(started):
+    return time.time() - started  # line 9: wall clock
+
+
+def stamp_decision():
+    return datetime.now()  # line 13: wall clock
+
+
+def phase_cost():
+    return perf_counter()  # line 17: from-imported monotonic read

@@ -1,0 +1,15 @@
+"""DET003 negative fixture: hashed iterables are explicitly ordered."""
+
+import hashlib
+
+
+def cache_key(tags):
+    digest = hashlib.sha256()
+    for tag in sorted(set(tags)):  # sorted() pins the order
+        digest.update(tag.encode())
+    return digest.hexdigest()
+
+
+def walk_unhashed(tags):
+    # set iteration is fine in a function that never hashes
+    return [tag.upper() for tag in set(tags)]

@@ -1,0 +1,15 @@
+"""DET003 positive fixture: set iteration feeding a hash."""
+
+import hashlib
+
+
+def cache_key(tags):
+    digest = hashlib.sha256()
+    for tag in set(tags):  # line 8: unordered iteration into the hash
+        digest.update(tag.encode())
+    return digest.hexdigest()
+
+
+def spec_hash(fields):
+    parts = [name for name in {f.lower() for f in fields}]  # line 14
+    return hash(tuple(parts))

@@ -1,0 +1,19 @@
+"""OBS001 negative fixture: every kind registered, every schema emitted."""
+
+EVENT_SCHEMAS = {
+    "sample": {"domain": str},
+    "freq_step": {"domain": str, "steps": int},
+}
+
+
+class Controller:
+    def __init__(self, probe):
+        self.probe = probe
+
+    def tick(self, now_ns):
+        self.probe.event("sample", now_ns, domain="int")
+
+    def step(self, now_ns):
+        self.probe.event("freq_step", now_ns, domain="int", steps=1)
+        # events on non-probe receivers belong to other buses entirely
+        self.telemetry.event("job_started", now_ns)

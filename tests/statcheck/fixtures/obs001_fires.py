@@ -1,0 +1,16 @@
+"""OBS001 positive fixture: emit/schema mismatches in both directions."""
+
+EVENT_SCHEMAS = {
+    "sample": {"domain": str},
+    "ghost_event": {"domain": str},  # line 5: orphan -- never emitted
+}
+
+
+class Controller:
+    def __init__(self, probe):
+        self.probe = probe
+
+    def tick(self, now_ns, kind):
+        self.probe.event("sample", now_ns, domain="int")
+        self.probe.event("mystery", now_ns, domain="int")  # line 15: no schema
+        self.probe.event(kind, now_ns, domain="int")  # line 16: non-literal

@@ -1,0 +1,17 @@
+"""POOL001 negative fixture: module-level callables only."""
+
+import concurrent.futures
+
+
+def run_one(job):
+    return job.run()
+
+
+def run_all(jobs):
+    with concurrent.futures.ProcessPoolExecutor() as executor:
+        return [executor.submit(run_one, job) for job in jobs]
+
+
+def run_inline(jobs):
+    # map() on a non-pool receiver is not a pool submission
+    return list(map(lambda job: job.run(), jobs))

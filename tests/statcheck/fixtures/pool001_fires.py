@@ -1,0 +1,15 @@
+"""POOL001 positive fixture: unpicklable payloads handed to a pool."""
+
+import concurrent.futures
+
+
+def run_all(jobs):
+    executor = concurrent.futures.ProcessPoolExecutor()
+
+    def run_one(job):  # a closure: not picklable
+        return job.run()
+
+    with executor:
+        futures = [executor.submit(run_one, job) for job in jobs]  # line 13
+        mapped = executor.map(lambda job: job.run(), jobs)  # line 14
+    return futures, list(mapped)

@@ -1,0 +1,15 @@
+"""PY001 negative fixture: None defaults, immutable defaults."""
+
+
+def record_sample(value, history=None):
+    history = [] if history is None else history
+    history.append(value)
+    return history
+
+
+def merge_overrides(overrides=None):
+    return dict(overrides or {})
+
+
+def windowed(span=(0, 4), label="queue"):
+    return span, label

@@ -1,0 +1,20 @@
+"""PY001 positive fixture: mutable defaults of every stripe."""
+
+import collections
+
+
+def record_sample(value, history=[]):  # line 6: shared list
+    history.append(value)
+    return history
+
+
+def merge_overrides(overrides={}):  # line 11: shared dict
+    return dict(overrides)
+
+
+def tally(counts=collections.defaultdict(int)):  # line 15: shared mapping
+    return counts
+
+
+def keyword_only(*, seen=set()):  # line 19: shared set (kw-only default)
+    return seen

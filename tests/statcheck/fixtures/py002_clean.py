@@ -1,0 +1,26 @@
+"""PY002 negative fixture: narrow catches, re-raises, reported errors."""
+
+import os
+
+
+def cleanup(tmp_path):
+    try:
+        os.unlink(tmp_path)
+    except OSError:  # narrow: acceptable to swallow
+        pass
+
+
+def guarded_write(write, tmp_path):
+    try:
+        write()
+    except BaseException:  # broad but re-raises: cleanup pattern
+        cleanup(tmp_path)
+        raise
+
+
+def isolate_fault(job, telemetry):
+    try:
+        return job.run()
+    except Exception as exc:  # broad but reported: retry-path pattern
+        telemetry.emit("job_failed", error=str(exc))
+        return None

@@ -1,0 +1,24 @@
+"""PY002 positive fixture: swallowed and bare excepts."""
+
+
+def retry_forever(job):
+    while True:
+        try:
+            return job.run()
+        except Exception:  # line 8: swallows every failure silently
+            continue
+
+
+def best_effort(path):
+    try:
+        with open(path) as handle:
+            return handle.read()
+    except:  # line 16: bare except
+        return None
+
+
+def ignore_everything(job):
+    try:
+        job.run()
+    except Exception as exc:  # line 23: bound but never used
+        pass

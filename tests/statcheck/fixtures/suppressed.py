@@ -1,0 +1,14 @@
+"""Suppression fixture: every finding here carries a pragma."""
+
+import time
+
+
+def profiled(job):
+    started = time.time()  # statcheck: disable=DET002 -- profiling only
+    result = job.run()
+    return result, time.time() - started  # statcheck: disable=all
+
+
+def accumulate(value, seen=[]):  # statcheck: disable=PY001 -- module-lifetime memo by design
+    seen.append(value)
+    return seen

@@ -1,0 +1,121 @@
+"""CLI tests: exit-code contract, formats, and repro-dvfs integration."""
+
+import json
+import os
+
+import pytest
+
+import repro.cli as repro_cli
+from repro.statcheck import cli as statcheck_cli
+from repro.statcheck.cli import EXIT_CLEAN, EXIT_ERROR, EXIT_FINDINGS, main
+
+
+@pytest.fixture
+def clean_tree(tmp_path):
+    (tmp_path / "ok.py").write_text("VALUE = 1\n", encoding="utf-8")
+    return str(tmp_path)
+
+
+@pytest.fixture
+def dirty_tree(tmp_path):
+    (tmp_path / "bad.py").write_text(
+        "def f(memo={}):\n    return memo\n", encoding="utf-8"
+    )
+    return str(tmp_path)
+
+
+class TestExitCodes:
+    def test_clean_tree_exits_zero(self, clean_tree, capsys):
+        assert main([clean_tree]) == EXIT_CLEAN
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_findings_exit_one(self, dirty_tree, capsys):
+        assert main([dirty_tree]) == EXIT_FINDINGS
+        assert "PY001" in capsys.readouterr().out
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["/no/such/path-xyz"]) == EXIT_ERROR
+        assert "statcheck" in capsys.readouterr().err
+
+    def test_unknown_rule_is_usage_error(self, clean_tree, capsys):
+        assert main([clean_tree, "--select", "NOPE999"]) == EXIT_ERROR
+        assert "NOPE999" in capsys.readouterr().err
+
+    def test_broken_pipe_is_quiet(self, clean_tree, capfd, monkeypatch):
+        """`check ... | head` must not dump a traceback when head exits."""
+
+        def raise_epipe(*args, **kwargs):
+            raise BrokenPipeError(32, "Broken pipe")
+
+        monkeypatch.setattr(statcheck_cli.Analyzer, "analyze_paths", raise_epipe)
+        assert main([clean_tree]) == EXIT_ERROR
+        err = capfd.readouterr().err
+        assert "Traceback" not in err
+        assert "internal error" not in err
+
+    def test_analyzer_crash_exits_two(self, clean_tree, capsys, monkeypatch):
+        def boom(*args, **kwargs):
+            raise RuntimeError("synthetic crash")
+
+        monkeypatch.setattr(statcheck_cli.Analyzer, "analyze", boom)
+        assert main([clean_tree]) == EXIT_ERROR
+        err = capsys.readouterr().err
+        assert "internal error" in err
+        assert "synthetic crash" in err
+
+
+class TestFormatsAndListing:
+    def test_json_format(self, dirty_tree, capsys):
+        assert main([dirty_tree, "--format", "json"]) == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["findings"][0]["rule"] == "PY001"
+
+    def test_sarif_format(self, clean_tree, capsys):
+        assert main([clean_tree, "--format", "sarif"]) == EXIT_CLEAN
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["version"] == "2.1.0"
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == EXIT_CLEAN
+        out = capsys.readouterr().out
+        for rule_id in (
+            "DET001", "DET002", "DET003", "CTL001", "CACHE001",
+            "POOL001", "OBS001", "PY001", "PY002",
+        ):
+            assert rule_id in out
+
+    def test_select_and_ignore(self, dirty_tree, capsys):
+        assert main([dirty_tree, "--ignore", "PY001"]) == EXIT_CLEAN
+        assert main([dirty_tree, "--select", "PY002"]) == EXIT_CLEAN
+
+
+class TestReproDvfsSubcommand:
+    def test_check_subcommand_clean(self, clean_tree, capsys):
+        assert repro_cli.main(["check", clean_tree]) == EXIT_CLEAN
+        assert "0 findings" in capsys.readouterr().out
+
+    def test_check_subcommand_findings(self, dirty_tree):
+        assert repro_cli.main(["check", dirty_tree]) == EXIT_FINDINGS
+
+    def test_check_subcommand_json(self, dirty_tree, capsys):
+        code = repro_cli.main(["check", dirty_tree, "--format", "json"])
+        assert code == EXIT_FINDINGS
+        assert json.loads(capsys.readouterr().out)["findings"]
+
+
+class TestModuleEntryPoint:
+    def test_python_m_invocation(self, clean_tree):
+        import subprocess
+        import sys
+
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(repro_cli.__file__), os.pardir)
+        env["PYTHONPATH"] = os.path.abspath(src)
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro.statcheck", clean_tree],
+            capture_output=True,
+            text=True,
+            env=env,
+        )
+        assert proc.returncode == EXIT_CLEAN
+        assert "0 findings" in proc.stdout

@@ -1,0 +1,95 @@
+"""Per-rule positive/negative tests over the fixture snippets.
+
+Every rule must both fire on its positive fixture (at the expected
+lines) and stay silent on its negative fixture -- the acceptance bar for
+shipping a rule at all.
+"""
+
+import pytest
+
+from conftest import IN_SCOPE, OUT_OF_SCOPE, findings_for
+
+#: (rule, firing fixture, expected lines, clean fixture)
+RULE_CASES = [
+    ("DET001", "det001_fires.py", [10, 14, 18, 22], "det001_clean.py"),
+    ("DET002", "det002_fires.py", [9, 13, 17], "det002_clean.py"),
+    ("DET003", "det003_fires.py", [8, 14], "det003_clean.py"),
+    ("CTL001", "ctl001_fires.py", [5, 9, 11, 15], "ctl001_clean.py"),
+    ("CACHE001", "cache001_fires.py", [11], "cache001_clean.py"),
+    ("POOL001", "pool001_fires.py", [13, 14], "pool001_clean.py"),
+    ("OBS001", "obs001_fires.py", [5, 15, 16], "obs001_clean.py"),
+    ("PY001", "py001_fires.py", [6, 11, 15, 19], "py001_fires.py"),
+    ("PY002", "py002_fires.py", [8, 16, 23], "py002_clean.py"),
+]
+
+
+@pytest.mark.parametrize(
+    "rule_id,fixture,lines",
+    [(rule, fires, lines) for rule, fires, lines, _ in RULE_CASES],
+)
+def test_rule_fires_at_expected_lines(rule_id, fixture, lines):
+    findings = findings_for(fixture, rule_id)
+    assert sorted(f.line for f in findings) == lines
+    for finding in findings:
+        assert finding.rule == rule_id
+        assert finding.message
+
+
+@pytest.mark.parametrize(
+    "rule_id,fixture",
+    [
+        (rule, clean)
+        for rule, _, _, clean in RULE_CASES
+        if clean.endswith("_clean.py")
+    ],
+)
+def test_rule_is_silent_on_clean_fixture(rule_id, fixture):
+    assert findings_for(fixture, rule_id) == []
+
+
+def test_py001_has_no_clean_false_positives():
+    assert findings_for("py001_clean.py", "PY001") == []
+
+
+@pytest.mark.parametrize("rule_id,fixture", [
+    ("DET001", "det001_fires.py"),
+    ("DET002", "det002_fires.py"),
+    ("CTL001", "ctl001_fires.py"),
+])
+def test_scoped_rules_ignore_out_of_scope_modules(rule_id, fixture):
+    """The same firing source produces nothing outside the rule's scope."""
+    assert findings_for(fixture, rule_id, module=OUT_OF_SCOPE) == []
+
+
+def test_unscoped_rules_apply_everywhere():
+    assert findings_for("py001_fires.py", "PY001", module=OUT_OF_SCOPE)
+
+
+def test_obs001_bidirectional_messages():
+    findings = findings_for("obs001_fires.py", "OBS001")
+    messages = " | ".join(f.message for f in findings)
+    assert "orphan" in messages  # schema with no emitter
+    assert "no schema registered" in messages  # emitter with no schema
+    assert "string literal" in messages  # dynamic kind rejected
+
+
+def test_obs001_inactive_without_a_schema_registry():
+    """Scanning a subtree without EVENT_SCHEMAS must not false-positive."""
+    findings = findings_for("py001_fires.py", "OBS001")
+    assert findings == []
+
+
+def test_cache001_missing_method_is_a_finding():
+    from repro.statcheck import Analyzer, SourceFile
+
+    source = (
+        "from dataclasses import dataclass\n"
+        "@dataclass\n"
+        "class SweepJob:\n"
+        "    seed: int = 0\n"
+    )
+    report = Analyzer(select=["CACHE001"]).analyze(
+        [SourceFile.from_source(source, path="job.py", module=IN_SCOPE)]
+    )
+    assert len(report.findings) == 1
+    assert "canonical_dict" in report.findings[0].message
