@@ -47,18 +47,29 @@ def _cmd_list(args: argparse.Namespace) -> int:
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
+    from repro.simcore import resolve_core
+
+    try:
+        core = resolve_core(args.simcore)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     result = run_experiment(
         args.benchmark,
         scheme=args.scheme,
         max_instructions=args.instructions,
         seed=args.seed,
         record_history=False,
+        simcore=core,
     )
     if args.json:
-        print(json.dumps(result_to_dict(result), indent=2))
+        payload = result_to_dict(result)
+        payload["simcore"] = core
+        print(json.dumps(payload, indent=2))
         return 0
     print(f"benchmark            : {result.benchmark}")
     print(f"scheme               : {result.scheme}")
+    print(f"simulation core      : {core}")
     print(f"instructions retired : {result.instructions}")
     print(f"execution time       : {result.time_ns / 1000:.2f} us")
     print(f"energy               : {result.energy.total:.0f} units")
@@ -125,7 +136,13 @@ def _cmd_compare(args: argparse.Namespace) -> int:
 
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.engine import EngineConfig, SweepEngine
+    from repro.simcore import resolve_core
 
+    try:
+        core = resolve_core(args.simcore)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     unknown = sorted(set(args.benchmarks) - set(BENCHMARKS))
     if unknown:
         print(
@@ -152,11 +169,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         seed=args.seed,
         engine=engine,
         on_failure="skip",
+        simcore=core,
     )
     summary = engine.telemetry.summary()
 
     if args.json:
         payload = {
+            "simcore": core,
             "benchmarks": [
                 {
                     "benchmark": comp.benchmark,
@@ -202,7 +221,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                 title=f"Mean over {len(comparisons)} benchmarks",
             ))
         print(
-            f"sweep: {summary['jobs_run']} simulated, "
+            f"sweep ({core} core): {summary['jobs_run']} simulated, "
             f"{summary['cache_hits']} cache hits, "
             f"{summary['retries']} retries, "
             f"{summary['failures']} failures "
@@ -305,6 +324,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="truncate the run (phase proportions preserved)")
     run_p.add_argument("--seed", type=int, default=None,
                        help="override the benchmark's deterministic RNG seed")
+    run_p.add_argument("--simcore", choices=("ref", "fast"), default=None,
+                       help="simulation core (default: REPRO_SIMCORE env "
+                            "var, then 'fast'; both are bit-identical)")
     run_p.add_argument("--json", action="store_true",
                        help="emit the full result as machine-readable JSON")
     run_p.set_defaults(func=_cmd_run)
@@ -348,6 +370,9 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-job wall-clock timeout in seconds")
     sweep_p.add_argument("--retries", type=int, default=1,
                          help="extra attempts after a job failure")
+    sweep_p.add_argument("--simcore", choices=("ref", "fast"), default=None,
+                         help="simulation core for every job (default: "
+                              "REPRO_SIMCORE env var, then 'fast')")
     sweep_p.add_argument("--no-progress", action="store_false",
                          dest="progress",
                          help="suppress per-job progress lines on stderr")

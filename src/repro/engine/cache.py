@@ -29,7 +29,9 @@ from repro.mcd.processor import SimulationResult
 #: cached results without changing the persistence format.
 #: 2: results now carry step_events (and probe_summary when observed);
 #:    version-1 entries predate both and must not be served.
-CACHE_VERSION = 2
+#: 3: canonical_dict gained the resolved "simcore" field; version-2 keys
+#:    were computed without it and would alias ref/fast results.
+CACHE_VERSION = 3
 
 
 def job_cache_key(job: SweepJob) -> str:

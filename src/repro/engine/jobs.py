@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Union
 
 from repro.mcd.domains import MachineConfig
 from repro.obs.facade import ObsConfig
+from repro.simcore import resolve_core
 from repro.workloads.phases import BenchmarkSpec
 from repro.workloads.suite import get_benchmark
 
@@ -44,6 +45,8 @@ class SweepJob:
     adaptive_overrides: Optional[Dict[str, object]] = None
     #: per-run observability config (picklable; a live Observability is not)
     obs: Optional[ObsConfig] = None
+    #: simulation core ("ref"/"fast"); None defers to REPRO_SIMCORE
+    simcore: Optional[str] = None
 
     @staticmethod
     def make(
@@ -81,6 +84,11 @@ class SweepJob:
             # obs never changes simulation outcomes, but it changes what the
             # stored result carries (probe_summary), so it is part of the key
             "obs": _plain(dataclasses.asdict(self.obs)) if self.obs else None,
+            # the cores are bit-identical by contract, but keying on the
+            # resolved core keeps their artifacts distinct so an equivalence
+            # regression can never be masked by a cache hit from the other
+            # core; resolving here also folds REPRO_SIMCORE into the key
+            "simcore": resolve_core(self.simcore),
         }
 
     def canonical_json(self) -> str:
@@ -119,4 +127,5 @@ def run_job(job: SweepJob) -> "SimulationResult":
         if job.adaptive_overrides
         else None,
         obs=job.obs,
+        simcore=job.simcore,
     )

@@ -34,6 +34,7 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 from repro.engine import telemetry as tm
 from repro.engine.cache import ResultCache
 from repro.engine.jobs import SweepJob, run_job
+from repro.simcore import resolve_core
 from repro.mcd.processor import SimulationResult
 
 try:  # BrokenProcessPool moved/aliased across Python versions
@@ -151,6 +152,9 @@ class SweepEngine:
             total_jobs=len(jobs),
             workers=self.config.workers,
             cache=self.cache is not None,
+            # cores jobs will resolve to, in job order de-duplicated --
+            # usually a single entry unless jobs pin cores explicitly
+            simcores=sorted({resolve_core(job.simcore) for job in jobs}),
         )
         outcomes: List[Optional[JobOutcome]] = [None] * len(jobs)
 

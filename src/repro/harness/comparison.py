@@ -90,13 +90,15 @@ def compare_schemes(
     record_history: bool = False,
     seed: Optional[int] = None,
     obs=None,
+    simcore: Optional[str] = None,
 ) -> BenchmarkComparison:
     """Run the baseline plus each scheme on one benchmark and compare.
 
     ``obs`` is forwarded to every :func:`run_experiment`; note a live
     ``Observability`` instance would then accumulate all runs into one
     trace, so per-run configs (``True`` / ``ObsConfig``) are the useful
-    forms here.
+    forms here.  ``simcore`` pins the simulation core for every run
+    (``None`` defers to ``REPRO_SIMCORE``).
     """
     spec = get_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
     common = dict(
@@ -105,6 +107,7 @@ def compare_schemes(
         record_history=record_history,
         seed=seed,
         obs=obs,
+        simcore=simcore,
     )
     baseline_run = run_experiment(spec, scheme="full-speed", **common)
     scheme_runs = [
@@ -127,6 +130,7 @@ def sweep(
     seed: Optional[int] = None,
     on_failure: str = "raise",
     obs=None,
+    simcore: Optional[str] = None,
 ) -> List[BenchmarkComparison]:
     """Compare schemes across a benchmark list (the per-figure sweeps).
 
@@ -166,6 +170,7 @@ def sweep(
                 pid_interval_ns=pid_interval_ns,
                 seed=seed,
                 obs=obs,
+                simcore=simcore,
             )
             for spec in specs
         ]
@@ -199,6 +204,7 @@ def sweep(
             # interval-sweep invocations (the Table-3 workload)
             pid_interval_ns=pid_interval_ns if scheme == "pid" else None,
             obs=obs,
+            simcore=simcore,
         )
         for spec in specs
         for scheme in all_schemes

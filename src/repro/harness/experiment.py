@@ -13,7 +13,8 @@ from repro.dvfs.attack_decay import AttackDecayConfig, AttackDecayController
 from repro.dvfs.base import DvfsController
 from repro.dvfs.pid import PidConfig, PidController
 from repro.mcd.domains import CONTROLLED_DOMAINS, DomainId, MachineConfig
-from repro.mcd.processor import MCDProcessor, SimulationResult
+from repro.mcd.processor import SimulationResult
+from repro.simcore import create_processor
 from repro.workloads.generator import generate_trace
 from repro.workloads.phases import BenchmarkSpec
 from repro.workloads.suite import get_benchmark
@@ -102,6 +103,7 @@ def run_experiment(
     adaptive_overrides: Optional[Dict[str, object]] = None,
     initial_frequencies: Optional[Dict[DomainId, float]] = None,
     obs=None,
+    simcore: Optional[str] = None,
 ) -> SimulationResult:
     """Run one benchmark under one DVFS scheme and return the result.
 
@@ -113,6 +115,9 @@ def run_experiment(
     :class:`repro.obs.ObsConfig`, or a live :class:`repro.obs.Observability`);
     the result then carries ``probe_summary``.  Step decisions are recorded
     on ``result.step_events`` regardless of ``obs`` and ``record_history``.
+    ``simcore`` selects the simulation core (``"ref"``/``"fast"``); ``None``
+    defers to the ``REPRO_SIMCORE`` environment variable -- both cores are
+    bit-identical, so this never changes results, only throughput.
     """
     spec = get_benchmark(benchmark) if isinstance(benchmark, str) else benchmark
     machine = machine or MachineConfig()
@@ -127,7 +132,7 @@ def run_experiment(
         pid_interval_ns=pid_interval_ns,
         adaptive_overrides=adaptive_overrides,
     )
-    processor = MCDProcessor(
+    processor = create_processor(
         trace=trace,
         config=machine,
         controllers=controllers,
@@ -138,6 +143,7 @@ def run_experiment(
         scheme=scheme,
         initial_frequencies=initial_frequencies,
         obs=obs,
+        simcore=simcore,
     )
     return processor.run()
 

@@ -1,0 +1,20 @@
+"""Hot-path markers consumed by the PERF001 statcheck rule.
+
+Decorating a function with :func:`hot_path` declares it part of the
+simulator's per-cycle inner loop: the PERF001 rule then flags any dict/list/
+set literal, comprehension, or ``dict()``/``list()``/``set()`` constructor
+call inside it, because per-cycle allocation churn is exactly what the fast
+core exists to eliminate.  The decorator itself is a no-op at runtime.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, TypeVar
+
+_F = TypeVar("_F", bound=Callable[..., object])
+
+
+def hot_path(fn: _F) -> _F:
+    """Mark ``fn`` as a per-cycle hot loop for static analysis (no-op)."""
+    fn.__hot_path__ = True  # type: ignore[attr-defined]
+    return fn

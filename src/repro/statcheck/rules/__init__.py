@@ -6,5 +6,6 @@ from repro.statcheck.rules import (  # noqa: F401  (import-for-registration)
     determinism,
     hygiene,
     obs_events,
+    perf,
     pool,
 )

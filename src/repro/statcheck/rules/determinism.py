@@ -25,7 +25,7 @@ from repro.statcheck.findings import Finding
 from repro.statcheck.registry import register
 
 #: Packages whose code runs inside (or decides for) the simulated machine.
-SIMULATION_SCOPE = ("repro.mcd", "repro.core", "repro.dvfs")
+SIMULATION_SCOPE = ("repro.mcd", "repro.core", "repro.dvfs", "repro.simcore")
 
 #: Module-level functions of ``random`` that draw from (or reseed) the
 #: interpreter-global RNG.  ``random.Random(seed)`` constructs an owned,

@@ -1,0 +1,137 @@
+"""Performance rule: keep the simulator's hot loops allocation-free.
+
+The simcore fast path exists because the reference simulator allocated
+small dicts and lists millions of times per run on its event loop.  That
+class of regression is easy to reintroduce -- a debug-friendly ``{...}``
+in a per-event branch looks harmless in review -- and expensive to
+rediscover by profiling.  PERF001 encodes the invariant statically: inside
+the recognized hot functions of the simulation packages, no dict/list/set
+is constructed *inside a loop*.
+
+A function is "hot" when it is one of the reference event-loop entry
+points (``_domain_cycle`` / ``_front_end_cycle``) or is explicitly marked
+with the :func:`repro.simcore.markers.hot_path` decorator.  One-time
+setup allocations before the loop are fine; the rule only fires on
+allocations lexically inside a ``for``/``while`` body, where they run
+once per event or per sample.
+
+A cold branch inside a hot loop (e.g. probe emission that is skipped
+unless observability is enabled) may carry a justified line suppression:
+``# statcheck: disable=PERF001 -- <why this branch is cold>``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator, Tuple
+
+from repro.statcheck.astutil import import_map, resolve_call
+from repro.statcheck.engine import Rule, SourceFile
+from repro.statcheck.findings import Finding
+from repro.statcheck.registry import register
+
+#: Packages whose loops are per-event/per-sample hot paths.
+PERF_SCOPE: Tuple[str, ...] = ("repro.mcd", "repro.simcore")
+
+#: Reference-core functions that are hot by name (the per-event arms of
+#: ``MCDProcessor.run``); everything else opts in via ``@hot_path``.
+_HOT_NAMES = frozenset({"_domain_cycle", "_front_end_cycle"})
+
+#: Decorator names that mark a function as a hot path.
+_HOT_DECORATORS = frozenset({"hot_path"})
+
+#: Builtin constructors whose call allocates a fresh container.
+_ALLOCATING_CALLS = frozenset({"dict", "list", "set"})
+
+_FUNCTION_NODES = (ast.FunctionDef, ast.AsyncFunctionDef)
+_LOOP_NODES = (ast.For, ast.AsyncFor, ast.While)
+
+
+def _is_hot(node: ast.AST) -> bool:
+    if not isinstance(node, _FUNCTION_NODES):
+        return False
+    if node.name in _HOT_NAMES:
+        return True
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = None
+        if isinstance(target, ast.Name):
+            name = target.id
+        elif isinstance(target, ast.Attribute):
+            name = target.attr
+        if name in _HOT_DECORATORS:
+            return True
+    return False
+
+
+@register
+class HotLoopAllocationRule(Rule):
+    """PERF001: no per-iteration container allocation in hot loops."""
+
+    id = "PERF001"
+    description = (
+        "no dict/list/set literals, comprehensions, or dict()/list()/set() "
+        "calls inside loops of hot-path functions (_domain_cycle, "
+        "_front_end_cycle, or @hot_path); hoist the allocation out of the "
+        "loop or reuse a preallocated buffer"
+    )
+    scope = PERF_SCOPE
+
+    def check_file(self, file: SourceFile) -> Iterator[Finding]:
+        assert file.tree is not None
+        imports = import_map(file.tree)
+        for node in ast.walk(file.tree):
+            if not _is_hot(node):
+                continue
+            yield from self._check_hot_function(file, node, imports)
+
+    def _check_hot_function(
+        self, file: SourceFile, fn: ast.AST, imports: "dict[str, str]"
+    ) -> Iterator[Finding]:
+        # find loops belonging to this function (not to nested functions),
+        # then flag every allocation lexically inside a loop body exactly
+        # once (nested loops share the outermost walk)
+        todo = list(ast.iter_child_nodes(fn))
+        while todo:
+            node = todo.pop()
+            if isinstance(node, _FUNCTION_NODES):
+                continue  # nested defs are their own (non-hot) scope
+            if isinstance(node, _LOOP_NODES):
+                yield from self._check_loop(file, node, imports)
+                continue  # _check_loop walked the whole subtree
+            todo.extend(ast.iter_child_nodes(node))
+
+    def _check_loop(
+        self, file: SourceFile, loop: ast.AST, imports: "dict[str, str]"
+    ) -> Iterator[Finding]:
+        todo = list(ast.iter_child_nodes(loop))
+        while todo:
+            node = todo.pop()
+            if isinstance(node, _FUNCTION_NODES):
+                continue  # a def's body allocating per call is its problem
+            todo.extend(ast.iter_child_nodes(node))
+            what = None
+            if isinstance(node, ast.Dict):
+                what = "dict literal"
+            elif isinstance(node, ast.List):
+                what = "list literal"
+            elif isinstance(node, ast.Set):
+                what = "set literal"
+            elif isinstance(node, ast.DictComp):
+                what = "dict comprehension"
+            elif isinstance(node, ast.ListComp):
+                what = "list comprehension"
+            elif isinstance(node, ast.SetComp):
+                what = "set comprehension"
+            elif isinstance(node, ast.Call):
+                resolved = resolve_call(node.func, imports)
+                if resolved in _ALLOCATING_CALLS:
+                    what = f"{resolved}() call"
+            if what is not None:
+                yield self.finding(
+                    file,
+                    node,
+                    f"{what} allocates on every iteration of a hot loop; "
+                    "hoist it out of the loop or reuse a preallocated "
+                    "buffer",
+                )

@@ -142,8 +142,18 @@ class TestSweepCommand:
         out = capsys.readouterr().out
         assert "Sweep vs full-speed baseline" in out
         assert "Mean over 1 benchmarks" in out
-        assert "sweep: 2 simulated" in out
+        assert "core): 2 simulated" in out
 
     def test_sweep_rejects_unknown_benchmark(self, capsys):
         assert main(["sweep", "doom"]) == 2
         assert "unknown benchmark" in capsys.readouterr().err
+
+    def test_run_rejects_bad_simcore_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SIMCORE", "turbo")
+        assert main(["run", "adpcm-encode", "--instructions", "2000"]) == 2
+        assert "unknown simcore 'turbo'" in capsys.readouterr().err
+
+    def test_sweep_rejects_bad_simcore_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SIMCORE", "turbo")
+        assert main(["sweep", "adpcm-encode"]) == 2
+        assert "unknown simcore 'turbo'" in capsys.readouterr().err

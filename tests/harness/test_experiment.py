@@ -103,14 +103,13 @@ class TestSeedForwarding:
         import repro.harness.experiment as experiment_module
 
         captured = {}
-        real_processor = experiment_module.MCDProcessor
+        real_create = experiment_module.create_processor
 
-        class SpyProcessor(real_processor):
-            def __init__(self, *args, **kwargs):
-                captured.update(kwargs)
-                super().__init__(*args, **kwargs)
+        def spy_create(*args, **kwargs):
+            captured.update(kwargs)
+            return real_create(*args, **kwargs)
 
-        monkeypatch.setattr(experiment_module, "MCDProcessor", SpyProcessor)
+        monkeypatch.setattr(experiment_module, "create_processor", spy_create)
         run_experiment("adpcm-encode", max_instructions=1500, seed=777)
         assert captured["seed"] == 777
 
@@ -120,14 +119,13 @@ class TestSeedForwarding:
         from repro.workloads.suite import get_benchmark
 
         captured = {}
-        real_processor = experiment_module.MCDProcessor
+        real_create = experiment_module.create_processor
 
-        class SpyProcessor(real_processor):
-            def __init__(self, *args, **kwargs):
-                captured.update(kwargs)
-                super().__init__(*args, **kwargs)
+        def spy_create(*args, **kwargs):
+            captured.update(kwargs)
+            return real_create(*args, **kwargs)
 
-        monkeypatch.setattr(experiment_module, "MCDProcessor", SpyProcessor)
+        monkeypatch.setattr(experiment_module, "create_processor", spy_create)
         run_experiment("adpcm-encode", max_instructions=1500)
         assert captured["seed"] == get_benchmark("adpcm-encode").seed
 

@@ -1,0 +1,182 @@
+"""Golden equivalence: the fast core is bit-identical to the reference core.
+
+This suite is the enforcement arm of the simcore contract: for every
+controller style the repo supports, a fast-core run must produce the *same*
+``SimulationResult`` -- every float equal, every ``FrequencyStepEvent`` in
+the same order, the same probe-event stream -- as the reference core.  Any
+divergence here means the fast core changed simulation semantics and must
+be fixed in ``repro.simcore.fast``, never papered over in the comparison.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+import pytest
+
+from repro.harness.experiment import run_experiment
+from repro.mcd.domains import transmeta_machine_config
+from repro.simcore import assert_results_identical
+
+#: Enough instructions to exercise sleep/wake, store-buffer pressure,
+#: mispredict redirects, and many DVFS steps, while keeping the full
+#: (scheme x seed) grid fast enough for tier-1.
+_INSTRUCTIONS = 2500
+
+_SCHEMES = ("full-speed", "adaptive", "attack-decay", "pid", "centralized")
+_SEEDS = (1, 2, 3)
+
+
+def _pair(benchmark, **kwargs):
+    """One (ref, fast) result pair for identical inputs."""
+    ref = run_experiment(benchmark, simcore="ref", **kwargs)
+    fast = run_experiment(benchmark, simcore="fast", **kwargs)
+    return ref, fast
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("scheme", _SCHEMES)
+    @pytest.mark.parametrize("seed", _SEEDS)
+    def test_scheme_seed_grid(self, scheme, seed):
+        ref, fast = _pair(
+            "adpcm-encode",
+            scheme=scheme,
+            max_instructions=_INSTRUCTIONS,
+            seed=seed,
+        )
+        assert_results_identical(
+            ref, fast, context=f"adpcm-encode/{scheme} seed={seed}"
+        )
+
+    def test_with_history_recording(self):
+        ref, fast = _pair(
+            "gzip",
+            scheme="adaptive",
+            max_instructions=_INSTRUCTIONS,
+            seed=7,
+            record_history=True,
+            history_stride=2,
+        )
+        assert_results_identical(ref, fast, context="gzip/adaptive history")
+
+    def test_transmeta_machine(self):
+        # Transmeta-style DVFS exercises the relock-pause path (domains
+        # freeze during transitions), which the fast core inlines.
+        ref, fast = _pair(
+            "gzip",
+            scheme="adaptive",
+            machine=transmeta_machine_config(),
+            max_instructions=_INSTRUCTIONS,
+            seed=3,
+        )
+        assert_results_identical(ref, fast, context="gzip/adaptive transmeta")
+
+    def test_observed_run(self):
+        ref, fast = _pair(
+            "gzip",
+            scheme="adaptive",
+            max_instructions=_INSTRUCTIONS,
+            seed=5,
+            obs=True,
+        )
+        # probe_summary is compared too (minus wall-clock profile timings,
+        # which differ between any two runs of either core)
+        assert_results_identical(ref, fast, context="gzip/adaptive obs")
+
+
+class TestProbeEventStream:
+    def test_probe_jsonl_byte_identical(self, tmp_path):
+        """The full probe-event JSONL must match byte-for-byte.
+
+        Profile events carry wall-clock measurements (``wall_s``) and are
+        excluded; every simulation-derived event line -- samples, gauges,
+        histograms, freq_step events -- must be byte-identical.
+        """
+        from repro.obs import ObsConfig, Observability
+
+        streams = {}
+        for core in ("ref", "fast"):
+            obs = Observability(ObsConfig())
+            run_experiment(
+                "gzip",
+                scheme="adaptive",
+                max_instructions=_INSTRUCTIONS,
+                seed=5,
+                obs=obs,
+                simcore=core,
+            )
+            jsonl = tmp_path / f"metrics-{core}.jsonl"
+            chrome = tmp_path / f"trace-{core}.json"
+            obs.write_trace_files(str(jsonl), str(chrome))
+            streams[core] = [
+                line
+                for line in jsonl.read_bytes().splitlines()
+                if b'"kind": "profile"' not in line
+            ]
+        assert streams["ref"], "expected a non-empty probe-event stream"
+        assert streams["ref"] == streams["fast"]
+
+
+class TestFastCoreDeterminism:
+    def test_same_seed_runs_hash_identically(self):
+        """Two fast-core runs with the same seed are bit-identical."""
+        import hashlib
+
+        from repro.harness.persistence import result_to_dict
+
+        digests = []
+        for _ in range(2):
+            result = run_experiment(
+                "gzip",
+                scheme="adaptive",
+                max_instructions=_INSTRUCTIONS,
+                seed=11,
+                record_history=True,
+                simcore="fast",
+            )
+            payload = json.dumps(
+                result_to_dict(result, include_history=True), sort_keys=True
+            )
+            digests.append(hashlib.sha256(payload.encode("utf-8")).hexdigest())
+        assert digests[0] == digests[1]
+
+
+class TestEscapeHatch:
+    def test_env_var_selects_core_end_to_end(self, monkeypatch):
+        """REPRO_SIMCORE routes run_experiment to the chosen class."""
+        import repro.harness.experiment as experiment_module
+        from repro.mcd.processor import MCDProcessor
+        from repro.simcore.fast import FastMCDProcessor
+
+        seen = []
+        real_create = experiment_module.create_processor
+
+        def spy_create(*args, **kwargs):
+            processor = real_create(*args, **kwargs)
+            seen.append(type(processor))
+            return processor
+
+        monkeypatch.setattr(experiment_module, "create_processor", spy_create)
+
+        monkeypatch.setenv("REPRO_SIMCORE", "ref")
+        run_experiment("adpcm-encode", max_instructions=500, seed=1)
+        assert seen[-1] is MCDProcessor
+
+        monkeypatch.setenv("REPRO_SIMCORE", "fast")
+        run_experiment("adpcm-encode", max_instructions=500, seed=1)
+        assert seen[-1] is FastMCDProcessor
+
+        # explicit argument beats the environment
+        monkeypatch.setenv("REPRO_SIMCORE", "fast")
+        run_experiment(
+            "adpcm-encode", max_instructions=500, seed=1, simcore="ref"
+        )
+        assert seen[-1] is MCDProcessor
+
+    def test_unset_env_defaults_to_fast(self, monkeypatch):
+        from repro.simcore import DEFAULT_CORE, resolve_core
+
+        monkeypatch.delenv("REPRO_SIMCORE", raising=False)
+        assert resolve_core() == DEFAULT_CORE == "fast"
+        assert "REPRO_SIMCORE" not in os.environ

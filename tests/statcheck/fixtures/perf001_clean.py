@@ -1,0 +1,38 @@
+"""PERF001 negative fixture: allocation-free hot loops, allocations
+allowed everywhere else."""
+
+from repro.simcore.markers import hot_path
+
+
+def _domain_cycle(events):
+    # one-time setup allocations before the loop never fire
+    occupancies = [0, 0, 0, 0]
+    stats = {"events": 0}
+    for i, event in enumerate(events):
+        # mutating preallocated buffers is the sanctioned pattern
+        occupancies[i % 4] += 1
+        stats["events"] += 1
+    return occupancies, stats
+
+
+def cold_helper(events):
+    # not a hot function: allocate freely, even inside loops
+    return [{"event": e} for e in events for _ in range(2)]
+
+
+@hot_path
+def megaloop(events):
+    buffer = []
+    while events:
+        buffer.append(events.pop())
+
+    def summarize():
+        # nested defs are their own scope, not part of the hot loop
+        return {e: True for e in buffer}
+
+    # a justified suppression documents a cold branch inside a hot loop
+    for event in buffer:
+        if event is None:  # never taken on the hot path
+            record = {"event": event}  # statcheck: disable=PERF001 -- cold error branch, only reached on corrupt input
+            raise ValueError(record)
+    return summarize()

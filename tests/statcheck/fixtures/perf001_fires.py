@@ -1,0 +1,33 @@
+"""PERF001 positive fixture: per-iteration allocations in hot loops."""
+
+from repro.simcore.markers import hot_path
+
+
+def _domain_cycle(events):
+    for event in events:
+        payload = {"event": event}  # line 8: dict literal in hot loop
+        stale = [event]  # line 9: list literal in hot loop
+        kinds = {event.kind}  # line 10: set literal in hot loop
+        payload.update(dict(kind=event.kind))  # line 11: dict() call
+        del stale, kinds
+    return payload
+
+
+def _front_end_cycle(queue):
+    while queue:
+        entry = queue.pop()
+        seen = [e.index for e in queue]  # line 19: list comprehension
+        fresh = list(queue)  # line 20: list() call
+        del entry, fresh
+    return seen
+
+
+@hot_path
+def megaloop(events):
+    total = 0
+    while events:
+        event = events.pop()
+        by_kind = {k: k for k in event.kinds}  # line 30: dict comprehension
+        tags = set(event.kinds)  # line 31: set() call
+        total += len(by_kind) + len(tags)
+    return total

@@ -51,6 +51,43 @@ def test_py001_has_no_clean_false_positives():
     assert findings_for("py001_clean.py", "PY001") == []
 
 
+#: PERF001 scopes to the simulator packages, not repro.core, so it gets
+#: its own module path instead of the shared IN_SCOPE.
+PERF_SCOPE_MODULE = "repro.simcore.fixture"
+
+
+def test_perf001_fires_on_every_hot_loop_allocation():
+    findings = findings_for(
+        "perf001_fires.py", "PERF001", module=PERF_SCOPE_MODULE
+    )
+    assert sorted(f.line for f in findings) == [8, 9, 10, 11, 19, 20, 30, 31]
+    messages = " | ".join(f.message for f in findings)
+    for kind in ("dict literal", "list literal", "set literal",
+                 "list comprehension", "dict comprehension",
+                 "dict() call", "list() call", "set() call"):
+        assert kind in messages, f"expected a {kind} finding"
+
+
+def test_perf001_silent_on_clean_fixture():
+    # covers: pre-loop setup allocations, non-hot functions, nested defs,
+    # and the justified cold-branch suppression
+    assert (
+        findings_for("perf001_clean.py", "PERF001", module=PERF_SCOPE_MODULE)
+        == []
+    )
+
+
+def test_perf001_scopes_to_simulator_packages():
+    # repro.core is hot-rule territory for DET001 but not for PERF001
+    assert findings_for("perf001_fires.py", "PERF001", module=IN_SCOPE) == []
+    assert (
+        findings_for("perf001_fires.py", "PERF001", module=OUT_OF_SCOPE) == []
+    )
+    assert findings_for(
+        "perf001_fires.py", "PERF001", module="repro.mcd.fixture"
+    )
+
+
 @pytest.mark.parametrize("rule_id,fixture", [
     ("DET001", "det001_fires.py"),
     ("DET002", "det002_fires.py"),
