@@ -23,9 +23,23 @@ CACHE001  error     every ``SweepJob`` field appears in the
 POOL001   error     no lambdas or local functions submitted to process pools
 OBS001    error     every emitted probe event kind has a registered schema in
                     ``repro.obs.schema`` -- and no schema is orphaned
+PERF001   error     no fresh container allocations inside simulator hot loops
 PY001     error     no mutable default arguments
 PY002     error     no bare/overbroad ``except`` that silently swallows errors
+UNIT001   error     no mixed physical units in arithmetic (ns vs GHz vs V);
+                    period/frequency conversions must go through ``1/f``
+SIM001    error     every state attribute the reference ``MCDProcessor`` hot
+                    path assigns must be carried by the ``Fast*`` core
+RACE001   error     no module-level mutable state mutated in code reachable
+                    from process-pool worker entry points
 ========  ========  ==========================================================
+
+``UNIT001``/``SIM001``/``RACE001`` are built on the semantic layer
+(:mod:`~repro.statcheck.semantic` symbol table,
+:mod:`~repro.statcheck.dataflow` def-use walker,
+:mod:`~repro.statcheck.callgraph` call graph); ``SUP001`` is reserved
+for unjustified suppressions under ``--require-justification`` and
+``E001`` for files that fail to parse.
 
 Findings can be suppressed inline::
 
@@ -35,6 +49,14 @@ or for a whole file with ``# statcheck: disable-file=RULE`` on any line.
 Run it as ``repro-dvfs check [paths]`` or ``python -m repro.statcheck``;
 exit status is 0 (clean), 1 (findings), or 2 (usage error or analyzer
 crash), so CI can tell a red build from a broken analyzer.
+
+Beyond one-shot runs, the CLI supports a per-module result cache with
+dependency-aware invalidation (on by default; ``--jobs N`` analyzes
+cache misses in parallel, ``--no-incremental`` disables it), a ratchet
+baseline (``--write-baseline`` / ``--baseline`` grandfather existing
+findings so only *new* ones fail), ``--changed-only BASE`` to scope
+per-file rules to the files changed since a git ref, and
+``--require-justification`` to fail suppressions without a reason.
 """
 
 from repro.statcheck.engine import (

@@ -84,3 +84,46 @@ def iter_scopes(tree: ast.Module) -> Iterator[ast.AST]:
 def location(node: ast.AST) -> Tuple[int, int]:
     """(line, col) of a node, tolerating synthetic nodes without one."""
     return (getattr(node, "lineno", 1), getattr(node, "col_offset", 0))
+
+
+#: Executor/pool methods whose first argument is the remote callable.
+#: Shared by the POOL001 rule and the call graph's worker-entry detection.
+SUBMIT_METHODS = frozenset(
+    {
+        "apply",
+        "apply_async",
+        "imap",
+        "imap_unordered",
+        "map",
+        "map_async",
+        "starmap",
+        "starmap_async",
+        "submit",
+    }
+)
+
+#: Receiver-name fragments that identify a worker pool.  Matching on the
+#: receiver (``executor.submit``, ``self._pool.map``) rather than the
+#: type keeps the detection purely syntactic; ``list.map``-style false
+#: positives are impossible because ``map`` is never a method of a
+#: non-pool object in this codebase.
+POOL_HINTS = ("pool", "executor")
+
+
+def is_pool_receiver(func: ast.Attribute) -> bool:
+    """Whether an attribute call's receiver looks like a process pool."""
+    receiver = dotted_name(func.value)
+    if receiver is None:
+        return False
+    last = receiver.rsplit(".", 1)[-1].lower()
+    return any(hint in last for hint in POOL_HINTS)
+
+
+def is_pool_submit(node: ast.Call) -> bool:
+    """Whether a call hands its first argument to a pool worker process."""
+    func = node.func
+    return (
+        isinstance(func, ast.Attribute)
+        and func.attr in SUBMIT_METHODS
+        and is_pool_receiver(func)
+    )

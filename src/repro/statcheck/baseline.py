@@ -1,0 +1,110 @@
+"""Ratchet baseline: grandfather existing findings, fail only on new ones.
+
+Turning a new rule on over a living codebase usually means a pile of
+pre-existing findings nobody can fix in the same change.  The baseline
+mode makes the gate a *ratchet* instead of a wall: findings recorded in
+``statcheck-baseline.json`` are reported but do not fail the run, any
+finding **not** in the baseline does, and entries that no longer occur
+are counted as *stale* so the file can be shrunk over time (it is never
+grown implicitly -- regenerating it is an explicit ``--write-baseline``).
+
+Matching is by ``(rule, path, message)`` **multiset**: line numbers are
+deliberately excluded so that unrelated edits shifting a grandfathered
+finding up or down do not break the gate, while a *second* occurrence of
+the same finding is new and fails.  Messages include enough context
+(symbol names, units) to keep this fingerprint tight.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.statcheck.findings import Finding
+
+_FORMAT_VERSION = 1
+
+#: the grandfathering fingerprint -- line numbers intentionally excluded
+Fingerprint = Tuple[str, str, str]
+
+
+def fingerprint(finding: Finding) -> Fingerprint:
+    return (finding.rule, finding.path.replace("\\", "/"), finding.message)
+
+
+@dataclass
+class BaselineResult:
+    """Outcome of screening one report against a baseline."""
+
+    #: findings not covered by the baseline -- these fail the run
+    new: List[Finding] = field(default_factory=list)
+    #: findings matched (and consumed) by baseline entries
+    grandfathered: List[Finding] = field(default_factory=list)
+    #: baseline entries no occurrence matched -- candidates for removal
+    stale: int = 0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "new": len(self.new),
+            "grandfathered": len(self.grandfathered),
+            "stale_entries": self.stale,
+        }
+
+
+class Baseline:
+    """A multiset of grandfathered finding fingerprints."""
+
+    def __init__(self, counts: Dict[Fingerprint, int]) -> None:
+        self.counts = counts
+
+    @classmethod
+    def from_findings(cls, findings: List[Finding]) -> "Baseline":
+        counts: Dict[Fingerprint, int] = {}
+        for finding in findings:
+            key = fingerprint(finding)
+            counts[key] = counts.get(key, 0) + 1
+        return cls(counts)
+
+    @classmethod
+    def load(cls, path: str) -> "Baseline":
+        with open(path, encoding="utf-8") as handle:
+            data = json.load(handle)
+        if not isinstance(data, dict) or "entries" not in data:
+            raise ValueError(f"{path}: not a statcheck baseline file")
+        counts: Dict[Fingerprint, int] = {}
+        for entry in data["entries"]:
+            key = (
+                str(entry["rule"]),
+                str(entry["path"]),
+                str(entry["message"]),
+            )
+            counts[key] = counts.get(key, 0) + int(entry.get("count", 1))
+        return cls(counts)
+
+    def dump(self, path: str) -> None:
+        entries = [
+            {"rule": rule, "path": file_path, "message": message, "count": count}
+            for (rule, file_path, message), count in sorted(self.counts.items())
+        ]
+        payload = {"version": _FORMAT_VERSION, "entries": entries}
+        tmp = f"{path}.tmp"
+        with open(tmp, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        os.replace(tmp, path)
+
+    def screen(self, findings: List[Finding]) -> BaselineResult:
+        """Split ``findings`` into new vs grandfathered, consuming entries."""
+        remaining = dict(self.counts)
+        result = BaselineResult()
+        for finding in findings:
+            key = fingerprint(finding)
+            if remaining.get(key, 0) > 0:
+                remaining[key] -= 1
+                result.grandfathered.append(finding)
+            else:
+                result.new.append(finding)
+        result.stale = sum(count for count in remaining.values() if count > 0)
+        return result

@@ -1,0 +1,154 @@
+"""Static call graph over the project symbol table.
+
+Nodes are function qualnames from :class:`~repro.statcheck.semantic.
+SymbolTable`; edges are added for the call shapes this codebase uses:
+
+* **direct calls** -- ``helper(x)`` to a module-level function, in the
+  same module or through an import alias;
+* **method calls** -- ``self.method(x)`` / ``cls.method(x)`` resolved
+  against the enclosing class and its project-resolvable bases;
+* **pool submissions** -- ``executor.submit(fn, ...)`` and friends (see
+  :data:`~repro.statcheck.astutil.SUBMIT_METHODS`), plus calls to the
+  engine's :func:`repro.engine.scheduler.pooled_map`.  Any argument that
+  statically resolves to a project function gets a call edge *and* is
+  recorded as a **worker entry point**: it runs inside a pool worker
+  process, which is what the RACE001 shared-state rule keys on.
+
+Unresolvable targets (dynamic dispatch, callables stored in data
+structures, ``self.runner(...)``) simply contribute no edge: the graph
+under-approximates calls, so reachability-based rules fail open.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Set, Tuple
+
+from repro.statcheck.astutil import dotted_name, is_pool_submit
+from repro.statcheck.semantic import (
+    ClassInfo,
+    FunctionInfo,
+    SymbolTable,
+)
+
+#: Plain functions that forward their callable argument into pool
+#: workers (the sweep engine's generic parallel map).
+POOLED_MAP_NAMES = frozenset({"pooled_map"})
+
+
+@dataclass(frozen=True)
+class CallEdge:
+    """One resolved call site."""
+
+    caller: str
+    callee: str
+    line: int
+    kind: str  # "direct" | "method" | "pool"
+
+
+class CallGraph:
+    """Directed call graph with pool-worker entry points."""
+
+    def __init__(self, table: SymbolTable) -> None:
+        self.table = table
+        self.edges: List[CallEdge] = []
+        self.successors: Dict[str, Set[str]] = {}
+        #: qualnames of functions that execute inside pool workers
+        self.worker_entries: Set[str] = set()
+
+    @classmethod
+    def build(cls, table: SymbolTable) -> "CallGraph":
+        graph = cls(table)
+        for qualname in sorted(table.functions):
+            graph._scan_function(table.functions[qualname])
+        return graph
+
+    # -- construction ---------------------------------------------------
+
+    def _add_edge(self, caller: str, callee: str, line: int, kind: str) -> None:
+        self.edges.append(
+            CallEdge(caller=caller, callee=callee, line=line, kind=kind)
+        )
+        self.successors.setdefault(caller, set()).add(callee)
+
+    def _enclosing_class(self, fn: FunctionInfo) -> Optional[ClassInfo]:
+        if fn.class_name is None:
+            return None
+        module = self.table.modules.get(fn.module)
+        if module is None:
+            return None
+        return module.classes.get(fn.class_name)
+
+    def _resolve_callable_ref(
+        self, fn: FunctionInfo, node: ast.expr
+    ) -> Optional[FunctionInfo]:
+        """Resolve an expression used *as a callable value* (not called)."""
+        dotted = dotted_name(node)
+        if dotted is None:
+            return None
+        if dotted.startswith("self.") or dotted.startswith("cls."):
+            return self._resolve_method(fn, dotted.split(".", 1)[1])
+        return self.table.resolve_function(fn.module, dotted)
+
+    def _resolve_method(
+        self, fn: FunctionInfo, method: str
+    ) -> Optional[FunctionInfo]:
+        cls = self._enclosing_class(fn)
+        if cls is None or "." in method:
+            return None
+        found = self.table.mro_methods(cls, method)
+        return found[0] if found else None
+
+    def _scan_function(self, fn: FunctionInfo) -> None:
+        for node in ast.walk(fn.node):
+            if not isinstance(node, ast.Call):
+                continue
+            line = getattr(node, "lineno", fn.node.lineno)
+            # pool submissions: every statically-resolvable argument
+            # crosses into a worker process
+            is_submit = is_pool_submit(node)
+            func_name = dotted_name(node.func)
+            is_pooled_map = func_name is not None and (
+                func_name in POOLED_MAP_NAMES
+                or func_name.rsplit(".", 1)[-1] in POOLED_MAP_NAMES
+            )
+            if is_submit or is_pooled_map:
+                for arg in node.args:
+                    target = self._resolve_callable_ref(fn, arg)
+                    if target is not None:
+                        self._add_edge(fn.qualname, target.qualname, line, "pool")
+                        self.worker_entries.add(target.qualname)
+                continue
+            # direct / method calls
+            if func_name is None:
+                continue
+            if func_name.startswith("self.") or func_name.startswith("cls."):
+                method = self._resolve_method(fn, func_name.split(".", 1)[1])
+                if method is not None:
+                    self._add_edge(fn.qualname, method.qualname, line, "method")
+                continue
+            target = self.table.resolve_function(fn.module, func_name)
+            if target is not None:
+                self._add_edge(fn.qualname, target.qualname, line, "direct")
+
+    # -- queries --------------------------------------------------------
+
+    def reachable(self, roots: Iterable[str]) -> Dict[str, str]:
+        """Every qualname reachable from ``roots`` (inclusive), mapped to
+        the root it was first reached from (BFS order, deterministic)."""
+        origin: Dict[str, str] = {}
+        queue: List[Tuple[str, str]] = [(root, root) for root in sorted(roots)]
+        while queue:
+            current, root = queue.pop(0)
+            if current in origin:
+                continue
+            origin[current] = root
+            for succ in sorted(self.successors.get(current, ())):
+                if succ not in origin:
+                    queue.append((succ, root))
+        return origin
+
+    def worker_reachable(self) -> Dict[str, str]:
+        """Functions that may execute inside a pool worker process."""
+        return self.reachable(self.worker_entries)

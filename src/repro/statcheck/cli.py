@@ -15,12 +15,18 @@ from __future__ import annotations
 
 import argparse
 import os
+import subprocess
 import sys
 from typing import List, Optional
 
+from repro.statcheck.baseline import Baseline
 from repro.statcheck.engine import Analyzer
+from repro.statcheck.incremental import IncrementalAnalyzer
 from repro.statcheck.registry import all_rules
 from repro.statcheck.reporters import RENDERERS
+
+#: default location of the incremental-analysis cache
+DEFAULT_CACHE_FILE = ".statcheck-cache.json"
 
 #: Exit statuses of the ``check`` command.
 EXIT_CLEAN = 0
@@ -48,6 +54,13 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="output format (default: text)",
     )
     parser.add_argument(
+        "--json",
+        action="store_const",
+        const="json",
+        dest="format",
+        help="shorthand for --format json",
+    )
+    parser.add_argument(
         "--select",
         default=None,
         metavar="RULES",
@@ -64,12 +77,79 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print the rule catalog and exit",
     )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="FILE",
+        help="ratchet mode: findings recorded in FILE are grandfathered "
+        "(reported in the summary, not as findings); only new findings "
+        "fail the run",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        default=None,
+        metavar="FILE",
+        help="record the current findings as the baseline in FILE and "
+        "exit 0 (explicit regeneration; the baseline never grows "
+        "implicitly)",
+    )
+    parser.add_argument(
+        "--changed-only",
+        default=None,
+        metavar="BASE",
+        help="run per-file rules only on files changed since git ref BASE "
+        "(cross-module rules still see the whole project)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=1,
+        metavar="N",
+        help="analyze cache-missed files on N worker processes "
+        "(default: 1, serial)",
+    )
+    parser.add_argument(
+        "--no-incremental",
+        action="store_true",
+        help="disable the per-module result cache",
+    )
+    parser.add_argument(
+        "--cache-file",
+        default=DEFAULT_CACHE_FILE,
+        metavar="FILE",
+        help=f"incremental-cache location (default: {DEFAULT_CACHE_FILE})",
+    )
+    parser.add_argument(
+        "--require-justification",
+        action="store_true",
+        help="fail suppressions that lack a '-- reason' justification "
+        "(reported as SUP001, never itself suppressible)",
+    )
 
 
 def _split_rules(value: Optional[str]) -> Optional[List[str]]:
     if value is None:
         return None
     return [part.strip() for part in value.split(",") if part.strip()]
+
+
+def _changed_paths(base: str) -> List[str]:
+    """Python files changed since git ref ``base`` (absolute paths)."""
+    proc = subprocess.run(
+        ["git", "diff", "--name-only", base, "--"],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    if proc.returncode != 0:
+        raise ValueError(
+            f"git diff --name-only {base} failed: {proc.stderr.strip()}"
+        )
+    return [
+        os.path.abspath(line.strip())
+        for line in proc.stdout.splitlines()
+        if line.strip().endswith(".py")
+    ]
 
 
 def run(args: argparse.Namespace) -> int:
@@ -81,14 +161,42 @@ def run(args: argparse.Namespace) -> int:
             print(f"    {cls.description}")
         return EXIT_CLEAN
     try:
-        analyzer = Analyzer(
-            select=_split_rules(args.select), ignore=_split_rules(args.ignore)
+        per_file_paths = (
+            _changed_paths(args.changed_only)
+            if args.changed_only is not None
+            else None
         )
-        report = analyzer.analyze_paths(args.paths or default_paths())
+        analyzer = Analyzer(
+            select=_split_rules(args.select),
+            ignore=_split_rules(args.ignore),
+            require_justification=args.require_justification,
+            per_file_paths=per_file_paths,
+        )
+        paths = args.paths or default_paths()
+        if args.no_incremental or per_file_paths is not None:
+            report = analyzer.analyze_paths(paths)
+        else:
+            report = IncrementalAnalyzer(
+                analyzer, cache_path=args.cache_file, jobs=args.jobs
+            ).analyze_paths(paths)
     except (ValueError, OSError) as exc:
         # bad rule selection or unreadable input: usage error, not findings
         print(f"statcheck: error: {exc}", file=sys.stderr)
         return EXIT_ERROR
+
+    if args.write_baseline is not None:
+        Baseline.from_findings(report.findings).dump(args.write_baseline)
+        print(
+            f"statcheck: wrote baseline with {len(report.findings)} "
+            f"finding(s) to {args.write_baseline}"
+        )
+        return EXIT_CLEAN
+
+    if args.baseline is not None:
+        screened = Baseline.load(args.baseline).screen(report.findings)
+        report.findings = screened.new
+        report.baseline = dict(screened.to_dict())
+
     print(RENDERERS[args.format](report))
     return EXIT_CLEAN if report.ok else EXIT_FINDINGS
 

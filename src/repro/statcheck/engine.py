@@ -47,14 +47,30 @@ from repro.statcheck.registry import all_rules
 _PRAGMA = re.compile(
     r"#\s*statcheck:\s*(?P<kind>disable|disable-file)\s*="
     r"\s*(?P<rules>[A-Za-z0-9_]+(?:\s*,\s*[A-Za-z0-9_]+)*)"
+    r"(?:\s*--\s*(?P<reason>\S.*?))?\s*$"
 )
 
 #: Rule ID reserved for files the analyzer cannot parse at all.
 PARSE_ERROR_RULE = "E001"
+#: Rule ID reserved for suppressions without a ``-- reason`` (only
+#: emitted under ``require_justification``; never itself suppressible).
+SUPPRESSION_RULE = "SUP001"
 
 
-def _parse_pragmas(source: str) -> "Tuple[Set[str], Dict[int, Set[str]]]":
-    """Extract (file-wide, per-line) suppression sets from comments.
+@dataclass(frozen=True)
+class Pragma:
+    """One ``# statcheck: disable[-file]=...`` comment, as written."""
+
+    line: int
+    kind: str  # "disable" | "disable-file"
+    rules: Tuple[str, ...]
+    reason: Optional[str] = None
+
+
+def _parse_pragmas(
+    source: str,
+) -> "Tuple[Set[str], Dict[int, Set[str]], List[Pragma]]":
+    """Extract (file-wide, per-line, raw-pragma) tables from comments.
 
     Tokenizing (rather than regexing raw lines) keeps pragma-looking text
     inside string literals from being honoured.  On tokenization failure
@@ -63,6 +79,7 @@ def _parse_pragmas(source: str) -> "Tuple[Set[str], Dict[int, Set[str]]]":
     """
     file_wide: Set[str] = set()
     per_line: Dict[int, Set[str]] = {}
+    pragmas: List[Pragma] = []
     try:
         tokens = tokenize.generate_tokens(io.StringIO(source).readline)
         for token in tokens:
@@ -72,13 +89,21 @@ def _parse_pragmas(source: str) -> "Tuple[Set[str], Dict[int, Set[str]]]":
             if not match:
                 continue
             rules = {part.strip() for part in match.group("rules").split(",")}
+            pragmas.append(
+                Pragma(
+                    line=token.start[0],
+                    kind=match.group("kind"),
+                    rules=tuple(sorted(rules)),
+                    reason=match.group("reason"),
+                )
+            )
             if match.group("kind") == "disable-file":
                 file_wide |= rules
             else:
                 per_line.setdefault(token.start[0], set()).update(rules)
     except (tokenize.TokenError, IndentationError, SyntaxError):
         pass
-    return file_wide, per_line
+    return file_wide, per_line, pragmas
 
 
 def _module_for_path(path: str) -> str:
@@ -109,6 +134,7 @@ class SourceFile:
     parse_error: Optional[str] = None
     file_suppressions: Set[str] = field(default_factory=set)
     line_suppressions: Dict[int, Set[str]] = field(default_factory=dict)
+    pragmas: List[Pragma] = field(default_factory=list)
 
     @classmethod
     def from_source(
@@ -116,7 +142,7 @@ class SourceFile:
     ) -> "SourceFile":
         """Build from in-memory source; ``module`` overrides the inferred
         dotted path (tests use this to exercise scoped rules on fixtures)."""
-        file_wide, per_line = _parse_pragmas(source)
+        file_wide, per_line, pragmas = _parse_pragmas(source)
         tree: Optional[ast.Module] = None
         parse_error: Optional[str] = None
         try:
@@ -131,6 +157,7 @@ class SourceFile:
             parse_error=parse_error,
             file_suppressions=file_wide,
             line_suppressions=per_line,
+            pragmas=pragmas,
         )
 
     @classmethod
@@ -206,6 +233,10 @@ class AnalysisReport:
     files_scanned: int
     rules: List[str]
     suppressed: int = 0
+    #: incremental-cache statistics (hits/misses/...), when enabled
+    incremental: Optional[Dict[str, object]] = None
+    #: baseline-screening statistics (new/grandfathered/stale), when used
+    baseline: Optional[Dict[str, object]] = None
 
     @property
     def ok(self) -> bool:
@@ -243,7 +274,15 @@ class Analyzer:
         rules: Optional[Sequence[Type[Rule]]] = None,
         select: Optional[Iterable[str]] = None,
         ignore: Optional[Iterable[str]] = None,
+        require_justification: bool = False,
+        per_file_paths: Optional[Iterable[str]] = None,
     ) -> None:
+        """``require_justification`` turns suppressions without a
+        ``-- reason`` into :data:`SUPPRESSION_RULE` findings (which are
+        themselves never suppressible).  ``per_file_paths`` restricts
+        *per-file* rules to those paths (the ``--changed-only`` mode);
+        cross-module rules always see the whole project.
+        """
         classes = list(rules) if rules is not None else all_rules()
         known = {cls.id for cls in classes}
         for rule_set in (select, ignore):
@@ -260,6 +299,12 @@ class Analyzer:
             dropped = set(ignore)
             classes = [cls for cls in classes if cls.id not in dropped]
         self.rules: List[Rule] = [cls() for cls in classes]
+        self.require_justification = require_justification
+        self.per_file_paths: Optional[Set[str]] = (
+            {os.path.abspath(path) for path in per_file_paths}
+            if per_file_paths is not None
+            else None
+        )
 
     def analyze_paths(self, paths: Sequence[str]) -> AnalysisReport:
         files = [SourceFile.from_path(path) for path in _collect_paths(paths)]
@@ -284,6 +329,11 @@ class Analyzer:
             for file in project.files:
                 if file.tree is None or not rule.applies_to(file):
                     continue
+                if (
+                    self.per_file_paths is not None
+                    and os.path.abspath(file.path) not in self.per_file_paths
+                ):
+                    continue
                 raw.extend(rule.check_file(file))
             raw.extend(rule.check_project(project))
 
@@ -298,6 +348,27 @@ class Analyzer:
                 suppressed += 1
             else:
                 kept.append(finding)
+        if self.require_justification:
+            # emitted after suppression filtering, so a bare
+            # ``disable=all`` cannot suppress its own finding
+            for file in project.files:
+                for pragma in file.pragmas:
+                    if pragma.reason is not None:
+                        continue
+                    kept.append(
+                        Finding(
+                            rule=SUPPRESSION_RULE,
+                            severity=Severity.ERROR,
+                            path=file.path,
+                            line=pragma.line,
+                            col=0,
+                            message=(
+                                f"suppression of {', '.join(pragma.rules)} "
+                                "carries no justification; append "
+                                "'-- <reason>' to the pragma"
+                            ),
+                        )
+                    )
         kept.sort(key=lambda finding: finding.sort_key)
         return AnalysisReport(
             findings=kept,

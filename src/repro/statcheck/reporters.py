@@ -18,11 +18,23 @@ _SARIF_LEVEL = {Severity.ERROR: "error", Severity.WARNING: "warning"}
 def render_text(report: AnalysisReport) -> str:
     lines = [finding.format_text() for finding in report.findings]
     noun = "finding" if len(report.findings) == 1 else "findings"
-    lines.append(
+    summary = (
         f"{TOOL_NAME}: {len(report.findings)} {noun} in "
         f"{report.files_scanned} file(s) "
         f"({len(report.rules)} rules, {report.suppressed} suppressed)"
     )
+    if report.incremental is not None:
+        summary += (
+            f" [cache: {report.incremental.get('hits', 0)} hit(s), "
+            f"{report.incremental.get('misses', 0)} miss(es)]"
+        )
+    if report.baseline is not None:
+        summary += (
+            f" [baseline: {report.baseline.get('new', 0)} new, "
+            f"{report.baseline.get('grandfathered', 0)} grandfathered, "
+            f"{report.baseline.get('stale_entries', 0)} stale]"
+        )
+    lines.append(summary)
     return "\n".join(lines)
 
 
@@ -34,6 +46,10 @@ def render_json(report: AnalysisReport) -> str:
         "suppressed": report.suppressed,
         "findings": [finding.to_dict() for finding in report.findings],
     }
+    if report.incremental is not None:
+        payload["incremental"] = report.incremental
+    if report.baseline is not None:
+        payload["baseline"] = report.baseline
     return json.dumps(payload, indent=2, sort_keys=True)
 
 

@@ -8,4 +8,7 @@ from repro.statcheck.rules import (  # noqa: F401  (import-for-registration)
     obs_events,
     perf,
     pool,
+    race,
+    simcontract,
+    units,
 )

@@ -12,40 +12,16 @@ from __future__ import annotations
 import ast
 from typing import Iterator, Set
 
-from repro.statcheck.astutil import FUNCTION_NODES, dotted_name, iter_scopes, walk_scope
+from repro.statcheck.astutil import (
+    FUNCTION_NODES,
+    SUBMIT_METHODS,
+    is_pool_receiver,
+    iter_scopes,
+    walk_scope,
+)
 from repro.statcheck.engine import Rule, SourceFile
 from repro.statcheck.findings import Finding
 from repro.statcheck.registry import register
-
-#: Executor/pool methods whose first argument is the remote callable.
-_SUBMIT_METHODS = frozenset(
-    {
-        "apply",
-        "apply_async",
-        "imap",
-        "imap_unordered",
-        "map",
-        "map_async",
-        "starmap",
-        "starmap_async",
-        "submit",
-    }
-)
-
-#: Receiver-name fragments that identify a worker pool.  Matching on the
-#: receiver (``executor.submit``, ``self._pool.map``) rather than the
-#: type keeps the rule purely syntactic; ``list.map``-style false
-#: positives are impossible because ``map`` is never a method of a
-#: non-pool object in this codebase.
-_POOL_HINTS = ("pool", "executor")
-
-
-def _is_pool_receiver(func: ast.Attribute) -> bool:
-    receiver = dotted_name(func.value)
-    if receiver is None:
-        return False
-    last = receiver.rsplit(".", 1)[-1].lower()
-    return any(hint in last for hint in _POOL_HINTS)
 
 
 @register
@@ -75,9 +51,9 @@ class PoolPayloadRule(Rule):
                 func = node.func
                 if not isinstance(func, ast.Attribute):
                     continue
-                if func.attr not in _SUBMIT_METHODS:
+                if func.attr not in SUBMIT_METHODS:
                     continue
-                if not _is_pool_receiver(func):
+                if not is_pool_receiver(func):
                     continue
                 if not node.args:
                     continue

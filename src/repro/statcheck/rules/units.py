@@ -1,0 +1,330 @@
+"""UNIT001: physical-unit propagation through controller arithmetic.
+
+Everything in the simulator is a bare float, but the quantities are
+dimensioned: periods in ns, frequencies in GHz, voltages, energies,
+queue occupancies.  Using a frequency where a period belongs (or
+dropping the ``1/f`` conversion between them) runs cleanly and corrupts
+every downstream number -- exactly the bug class a golden test cannot
+localize.  This rule propagates units from the annotation map in
+:mod:`repro.statcheck.units` through each function with the forward
+dataflow walker and flags:
+
+* ``+``/``-`` (and augmented forms) over two *different known,
+  non-scalar* units -- ``freq_ghz + period_ns``;
+* comparisons, ``min``/``max`` and conditional-expression branches that
+  mix known non-scalar units;
+* assignments (including attribute stores and keyword arguments) where
+  the *name* declares one unit and the value carries another --
+  ``period_ns = freq_ghz`` is the missing-``1/f`` shape.
+
+Scalars (literals, ``*_cycles`` counts) combine freely with any unit:
+epsilon offsets and cycle-count scaling are idiomatic here.  Unknown
+units never fire -- the rule fails open on dynamic values.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.statcheck.astutil import FUNCTION_NODES, resolve_call, import_map
+from repro.statcheck.dataflow import Env, ForwardWalker
+from repro.statcheck.engine import Rule, SourceFile
+from repro.statcheck.findings import Finding
+from repro.statcheck.registry import register
+from repro.statcheck.units import (
+    SCALAR,
+    Dim,
+    declared_unit,
+    div,
+    mul,
+    power,
+    unit_name,
+)
+
+#: builtins / math functions that are unit-transparent in the first arg
+_PASSTHROUGH = frozenset(
+    {"abs", "float", "round", "math.floor", "math.ceil", "math.fabs"}
+)
+#: variadic selectors: result has the (single) common unit of their args
+_SELECTORS = frozenset({"min", "max"})
+#: calls that always produce a dimensionless count
+_SCALAR_CALLS = frozenset({"len", "int", "bool"})
+
+UnitValue = Optional[Dim]
+
+
+def _mixable(a: UnitValue, b: UnitValue) -> bool:
+    """Whether two units are distinct, known, and both non-scalar."""
+    return (
+        a is not None and b is not None and a != b and SCALAR not in (a, b)
+    )
+
+
+class UnitWalker(ForwardWalker[UnitValue]):
+    """Forward unit inference over one function scope."""
+
+    def __init__(self, imports: Dict[str, str]) -> None:
+        self.imports = imports
+        self.problems: List[Tuple[ast.AST, str]] = []
+
+    def _report(self, node: ast.AST, message: str) -> None:
+        self.problems.append((node, message))
+
+    def merge(self, a: UnitValue, b: UnitValue) -> UnitValue:
+        return a if a == b else None
+
+    # -- binding checks -------------------------------------------------
+
+    def assign_hook(
+        self,
+        name: str,
+        value: UnitValue,
+        node: ast.AST,
+        env: "Env[UnitValue]",
+    ) -> None:
+        declared = declared_unit(name)
+        if _mixable(declared, value):
+            assert declared is not None and value is not None
+            self._report(
+                node,
+                f"{unit_name(value)} value assigned to "
+                f"{unit_name(declared)}-named variable {name!r} "
+                "(missing unit conversion, e.g. 1/f?)",
+            )
+            env[name] = value  # trust the value over the name downstream
+        elif value is None:
+            # explicitly unknown: do NOT fall back to the declared unit,
+            # the local meaning has been overwritten dynamically
+            env[name] = None
+
+    def store_hook(
+        self, target: ast.expr, value: UnitValue, env: "Env[UnitValue]"
+    ) -> None:
+        if isinstance(target, ast.Attribute):
+            declared = declared_unit(target.attr)
+            if _mixable(declared, value):
+                assert declared is not None and value is not None
+                self._report(
+                    target,
+                    f"{unit_name(value)} value stored into "
+                    f"{unit_name(declared)}-named attribute "
+                    f"{target.attr!r} (missing unit conversion?)",
+                )
+
+    def aug_combine(
+        self, stmt: ast.AugAssign, left: UnitValue, right: UnitValue
+    ) -> UnitValue:
+        op = stmt.op
+        if isinstance(op, (ast.Add, ast.Sub)):
+            if _mixable(left, right):
+                assert left is not None and right is not None
+                self._report(
+                    stmt,
+                    f"augmented {type(op).__name__.lower()} mixes "
+                    f"{unit_name(left)} and {unit_name(right)}",
+                )
+                return None
+            return left if left not in (None, SCALAR) else right
+        if isinstance(op, ast.Mult) and left is not None and right is not None:
+            return mul(left, right)
+        if isinstance(op, ast.Div) and left is not None and right is not None:
+            return div(left, right)
+        return None
+
+    # -- expression inference -------------------------------------------
+
+    def infer(self, node: ast.expr, env: "Env[UnitValue]") -> UnitValue:
+        if isinstance(node, ast.Constant):
+            value = node.value
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                return SCALAR
+            return None
+        if isinstance(node, ast.Name):
+            if isinstance(node.ctx, ast.Load) and node.id in env:
+                return env[node.id]
+            return declared_unit(node.id)
+        if isinstance(node, ast.Attribute):
+            self.infer(node.value, env)
+            return declared_unit(node.attr)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.infer(node.operand, env)
+            if isinstance(node.op, (ast.UAdd, ast.USub)):
+                return operand
+            return None
+        if isinstance(node, ast.BinOp):
+            return self._infer_binop(node, env)
+        if isinstance(node, ast.Compare):
+            self._check_compare(node, env)
+            return None
+        if isinstance(node, ast.BoolOp):
+            for value_node in node.values:
+                self.infer(value_node, env)
+            return None
+        if isinstance(node, ast.IfExp):
+            self.infer(node.test, env)
+            then = self.infer(node.body, env)
+            other = self.infer(node.orelse, env)
+            if _mixable(then, other):
+                assert then is not None and other is not None
+                self._report(
+                    node,
+                    "conditional branches carry different units: "
+                    f"{unit_name(then)} vs {unit_name(other)}",
+                )
+                return None
+            return then if then == other else None
+        if isinstance(node, ast.Call):
+            return self._infer_call(node, env)
+        if isinstance(node, ast.NamedExpr):
+            value = self.infer(node.value, env)
+            self._bind(node.target, value, env)
+            return value
+        if isinstance(node, ast.Subscript):
+            self.infer(node.value, env)
+            self.infer(node.slice, env)
+            return None
+        if isinstance(node, ast.Starred):
+            return self.infer(node.value, env)
+        # containers, comprehensions, f-strings, lambdas: visit children
+        # for their side effects (nested calls/compares), carry no unit
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.infer(child, env)
+        return None
+
+    def _infer_binop(self, node: ast.BinOp, env: "Env[UnitValue]") -> UnitValue:
+        left = self.infer(node.left, env)
+        right = self.infer(node.right, env)
+        op = node.op
+        if isinstance(op, (ast.Add, ast.Sub)):
+            if _mixable(left, right):
+                assert left is not None and right is not None
+                verb = "adds" if isinstance(op, ast.Add) else "subtracts"
+                self._report(
+                    node,
+                    f"{verb} {unit_name(right)} "
+                    f"{'to' if isinstance(op, ast.Add) else 'from'} "
+                    f"{unit_name(left)}",
+                )
+                return None
+            if left is not None and left != SCALAR:
+                return left
+            if right is not None and right != SCALAR:
+                return right
+            return SCALAR if left == SCALAR or right == SCALAR else None
+        if isinstance(op, ast.Mult):
+            if left is None or right is None:
+                return None
+            return mul(left, right)
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            if left is None or right is None:
+                return None
+            return div(left, right)
+        if isinstance(op, ast.Pow):
+            exponent = node.right
+            if (
+                left is not None
+                and isinstance(exponent, ast.Constant)
+                and isinstance(exponent.value, int)
+            ):
+                return power(left, exponent.value)
+            return None
+        if isinstance(op, ast.Mod):
+            return left
+        return None
+
+    def _check_compare(self, node: ast.Compare, env: "Env[UnitValue]") -> None:
+        units = [self.infer(node.left, env)]
+        units.extend(self.infer(comp, env) for comp in node.comparators)
+        known = [u for u in units if u is not None and u != SCALAR]
+        for first, second in zip(known, known[1:]):
+            if first != second:
+                self._report(
+                    node,
+                    f"compares {unit_name(first)} against "
+                    f"{unit_name(second)}",
+                )
+                return
+
+    def _infer_call(self, node: ast.Call, env: "Env[UnitValue]") -> UnitValue:
+        arg_units = [self.infer(arg, env) for arg in node.args]
+        for keyword in node.keywords:
+            value = self.infer(keyword.value, env)
+            if keyword.arg is None:
+                continue
+            declared = declared_unit(keyword.arg)
+            if _mixable(declared, value):
+                assert declared is not None and value is not None
+                self._report(
+                    keyword.value,
+                    f"{unit_name(value)} value passed to "
+                    f"{unit_name(declared)}-named argument "
+                    f"{keyword.arg!r} (missing unit conversion?)",
+                )
+        target = resolve_call(node.func, self.imports)
+        if target is None:
+            if not isinstance(node.func, ast.Name):
+                self.infer(node.func, env)
+            return None
+        if target in _SCALAR_CALLS:
+            return SCALAR
+        if target in _PASSTHROUGH and arg_units:
+            return arg_units[0]
+        if target in _SELECTORS:
+            known = [u for u in arg_units if u is not None and u != SCALAR]
+            for first, second in zip(known, known[1:]):
+                if first != second:
+                    self._report(
+                        node,
+                        f"{target}() mixes {unit_name(first)} and "
+                        f"{unit_name(second)} operands",
+                    )
+                    return None
+            if known and all(u == known[0] for u in known):
+                return known[0]
+            return None
+        return None
+
+
+@register
+class UnitPropagationRule(Rule):
+    """Mixed-unit arithmetic and missing 1/f conversions."""
+
+    id = "UNIT001"
+    description = (
+        "no arithmetic mixing different physical units (ns, GHz, V, nJ, "
+        "queue entries) and no frequency/period assignment without a 1/f "
+        "conversion, per the repro.statcheck.units annotation map"
+    )
+    scope = ("repro.core", "repro.dvfs", "repro.mcd", "repro.simcore")
+
+    def check_file(self, file: SourceFile) -> Iterator[Finding]:
+        assert file.tree is not None
+        imports = import_map(file.tree)
+        for scope_node in self._unit_scopes(file.tree):
+            walker = UnitWalker(imports)
+            env: Env[UnitValue] = {}
+            if isinstance(scope_node, FUNCTION_NODES):
+                args = scope_node.args
+                params = (
+                    list(args.posonlyargs)
+                    + list(args.args)
+                    + list(args.kwonlyargs)
+                )
+                for param in params:
+                    unit = declared_unit(param.arg)
+                    if unit is not None:
+                        env[param.arg] = unit
+                walker.run(scope_node.body, env)
+            else:
+                walker.run(scope_node.body, env)
+            for node, message in walker.problems:
+                yield self.finding(file, node, message)
+
+    @staticmethod
+    def _unit_scopes(tree: ast.Module) -> Iterator[ast.AST]:
+        yield tree
+        for node in ast.walk(tree):
+            if isinstance(node, FUNCTION_NODES):
+                yield node

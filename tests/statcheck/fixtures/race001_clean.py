@@ -1,0 +1,28 @@
+"""RACE001 clean fixture: pool workers that keep to themselves.
+
+Workers return values instead of mutating shared state; the only
+module-level mutation happens in the parent-side aggregation, which is
+not reachable from any worker entry point.  A local that shadows a
+module global is also fine.
+"""
+
+RESULTS = []
+LIMITS = {}
+
+
+def evaluate(job_id):
+    # a local shadowing the module global: no shared state involved
+    RESULTS = [job_id * 2.0]
+    return RESULTS[0]
+
+
+def summarize(outcomes):
+    # parent-side aggregation; never submitted to a pool
+    RESULTS.extend(outcomes)
+    LIMITS["count"] = len(RESULTS)
+    return LIMITS
+
+
+def run_sweep(executor, job_ids):
+    futures = [executor.submit(evaluate, job_id) for job_id in job_ids]
+    return summarize([future.result() for future in futures])

@@ -1,0 +1,29 @@
+"""RACE001 firing fixture: worker-reachable code mutating module state.
+
+``run_sweep`` submits ``evaluate`` to an executor; ``evaluate`` calls
+``record``, which mutates module-level containers three different ways.
+The rule must flag all of them via call-graph reachability, not just
+direct mutations in the submitted function.
+"""
+
+RESULTS = []
+BEST = {}
+COUNTER = 0
+
+
+def record(job_id, score):
+    global COUNTER
+    RESULTS.append((job_id, score))
+    BEST[job_id] = score
+    COUNTER = COUNTER + 1
+
+
+def evaluate(job_id):
+    score = job_id * 2.0
+    record(job_id, score)
+    return score
+
+
+def run_sweep(executor, job_ids):
+    futures = [executor.submit(evaluate, job_id) for job_id in job_ids]
+    return [future.result() for future in futures]

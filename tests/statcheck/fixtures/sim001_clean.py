@@ -1,0 +1,27 @@
+"""SIM001 clean fixture: the fast core carries every reference state."""
+
+
+class MCDProcessor:
+    def __init__(self):
+        self._now_ns = 0.0
+        self._freq_sum = {}
+        self._freq_samples = 0
+
+    def _advance(self, domain, per, freq_ghz):
+        self._now_ns = self._now_ns + per
+        self._freq_sum[domain] = self._freq_sum.get(domain, 0.0) + freq_ghz
+        self._freq_samples += 1
+
+
+class FastMCDProcessor(MCDProcessor):
+    def run(self, steps, domain, per, freq_ghz):
+        now_ns = self._now_ns
+        samples = self._freq_samples
+        freq_sum = self._freq_sum
+        for _ in range(steps):
+            now_ns += per
+            samples += 1
+            freq_sum[domain] = freq_sum.get(domain, 0.0) + freq_ghz
+        self._now_ns = now_ns
+        self._freq_samples = samples
+        self._freq_sum = freq_sum

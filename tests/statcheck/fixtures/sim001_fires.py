@@ -1,0 +1,32 @@
+"""SIM001 firing fixture: a fast core that dropped reference state.
+
+Shaped like the real pair: the reference hot path maintains a frequency
+accumulator table and a clock, the fast subclass re-implements the loop
+over locals -- but its author forgot the frequency table entirely, so
+``_freq_sum`` is never read, written back, or even initialized from.
+"""
+
+
+class MCDProcessor:
+    def __init__(self):
+        self._now_ns = 0.0
+        self._freq_sum = {}
+        self._freq_samples = 0
+
+    def _advance(self, domain, per, freq_ghz):
+        self._now_ns = self._now_ns + per
+        # the frequency-table write the fast core must mirror
+        self._freq_sum[domain] = self._freq_sum.get(domain, 0.0) + freq_ghz
+        self._freq_samples += 1
+
+
+class FastMCDProcessor(MCDProcessor):
+    def run(self, steps, domain, per, freq_ghz):
+        now_ns = self._now_ns
+        samples = self._freq_samples
+        for _ in range(steps):
+            now_ns += per
+            samples += 1
+        self._now_ns = now_ns
+        self._freq_samples = samples
+        # missing: any mention of self._freq_sum

@@ -1,0 +1,47 @@
+"""UNIT001 clean fixture: idiomatic controller arithmetic, zero findings.
+
+Mirrors the shapes the real hot paths use -- conversions through the
+unit algebra, scalar offsets, cycle-count scaling, unknown values.
+"""
+
+import math
+
+
+def proper_conversion(freq_ghz):
+    # 1/f: frequency -> time, exactly what the rule demands
+    period_ns = 1.0 / freq_ghz
+    return period_ns
+
+
+def scalar_offsets_are_fine(deadline_ns):
+    # epsilons and literal offsets combine freely with any unit
+    return deadline_ns + 0.25
+
+
+def cycle_count_scaling(penalty_cycles, period_ns):
+    # scalar * time -> time; the *_cycles suffix declares a count
+    stall_ns = penalty_cycles * period_ns
+    return stall_ns + period_ns
+
+
+def slew_algebra(f_target, f_now, slew_ghz_per_ns):
+    # |Δf| / slew -> time, assigned to a *_ns name: consistent
+    settle_ns = abs(f_target - f_now) / slew_ghz_per_ns
+    return settle_ns
+
+
+def unknown_stays_quiet(samples, period_ns):
+    # subscripts and unresolved calls carry no unit: never flag
+    latest = samples[-1]
+    return latest + period_ns
+
+
+def selector_over_one_unit(wake_ns, timer_ns):
+    return min(wake_ns, timer_ns)
+
+
+def reassignment_changes_meaning(window_ns):
+    # once a declared name is overwritten by an unknown value the
+    # declaration no longer applies downstream
+    window_ns = math.inf
+    return window_ns * 2.0

@@ -1,0 +1,42 @@
+"""UNIT001 firing fixture: mixed-unit arithmetic and missing conversions.
+
+Every function here contains exactly one unit bug; the test asserts each
+shape is caught.
+"""
+
+
+def adds_frequency_to_period(freq_ghz, period_ns):
+    # time + frequency: dimensional nonsense
+    return period_ns + freq_ghz
+
+
+def missing_one_over_f(freq_ghz):
+    # a *_ns name assigned a frequency: the classic dropped 1/f
+    period_ns = freq_ghz
+    return period_ns
+
+
+def compares_across_units(deadline_ns, target_ghz):
+    return deadline_ns < target_ghz
+
+
+def mixes_units_in_min(slack_ns, budget_ghz):
+    return min(slack_ns, budget_ghz)
+
+
+def wrong_keyword_unit(freq_ghz, schedule):
+    # a frequency handed to a time-named keyword argument
+    schedule(slew_ns=freq_ghz)
+
+
+def attribute_store_conflict(regulator, freq_ghz):
+    regulator.settle_ns = freq_ghz
+
+
+def augmented_mix(total_ns, freq_ghz):
+    total_ns -= freq_ghz
+    return total_ns
+
+
+def branchy_conditional(fast, wait_ns, rate_ghz):
+    return wait_ns if fast else rate_ghz

@@ -1,0 +1,177 @@
+"""Baseline ratchet tests: screening semantics and the CLI flag flows."""
+
+import json
+
+import pytest
+
+from repro.statcheck import cli as statcheck_cli
+from repro.statcheck.baseline import Baseline
+from repro.statcheck.findings import Finding, Severity
+
+
+def _finding(rule="PY001", path="src/mod.py", line=3, message="bad default"):
+    return Finding(
+        rule=rule,
+        path=path,
+        line=line,
+        col=0,
+        message=message,
+        severity=Severity.ERROR,
+    )
+
+
+class TestScreening:
+    def test_line_shift_is_grandfathered(self):
+        baseline = Baseline.from_findings([_finding(line=3)])
+        screened = baseline.screen([_finding(line=40)])
+        assert screened.new == []
+        assert len(screened.grandfathered) == 1
+        assert screened.stale == 0
+
+    def test_new_finding_is_reported(self):
+        baseline = Baseline.from_findings([_finding()])
+        fresh = _finding(rule="CTL001", message="hysteresis constant")
+        screened = baseline.screen([_finding(), fresh])
+        assert screened.new == [fresh]
+        assert len(screened.grandfathered) == 1
+
+    def test_duplicate_occurrence_consumes_the_multiset(self):
+        # one baselined occurrence, two in the report: the second is new
+        baseline = Baseline.from_findings([_finding(line=3)])
+        screened = baseline.screen([_finding(line=3), _finding(line=9)])
+        assert len(screened.grandfathered) == 1
+        assert len(screened.new) == 1
+
+    def test_fixed_finding_counts_as_stale(self):
+        baseline = Baseline.from_findings([_finding(), _finding(rule="PY002")])
+        screened = baseline.screen([_finding()])
+        assert screened.new == []
+        assert screened.stale == 1
+
+    def test_windows_paths_normalise_into_fingerprints(self):
+        baseline = Baseline.from_findings(
+            [_finding(path="src\\repro\\mod.py")]
+        )
+        screened = baseline.screen([_finding(path="src/repro/mod.py")])
+        assert screened.new == []
+
+    def test_dump_load_roundtrip(self, tmp_path):
+        baseline = Baseline.from_findings(
+            [_finding(), _finding(), _finding(rule="PY002")]
+        )
+        target = tmp_path / "baseline.json"
+        baseline.dump(str(target))
+        assert Baseline.load(str(target)).counts == baseline.counts
+
+    def test_load_rejects_foreign_json(self, tmp_path):
+        target = tmp_path / "baseline.json"
+        target.write_text('{"something": "else"}', encoding="utf-8")
+        with pytest.raises(ValueError):
+            Baseline.load(str(target))
+
+    def test_to_dict_summary_shape(self):
+        baseline = Baseline.from_findings([_finding()])
+        screened = baseline.screen([_finding(), _finding(rule="PY002")])
+        assert screened.to_dict() == {
+            "new": 1,
+            "grandfathered": 1,
+            "stale_entries": 0,
+        }
+
+
+@pytest.fixture
+def firing_tree(tmp_path):
+    """A tiny package that trips PY001 (mutable default argument)."""
+    pkg = tmp_path / "src"
+    pkg.mkdir()
+    (pkg / "mod.py").write_text(
+        "def f(memo={}):\n    return memo\n", encoding="utf-8"
+    )
+    return tmp_path
+
+
+def _cli(args, cwd, capsys):
+    import os
+
+    old = os.getcwd()
+    os.chdir(cwd)
+    try:
+        code = statcheck_cli.main(["--no-incremental", *args])
+    finally:
+        os.chdir(old)
+    return code, capsys.readouterr()
+
+
+class TestBaselineCli:
+    def test_write_baseline_then_check_is_clean(self, firing_tree, capsys):
+        code, _ = _cli(
+            ["src", "--write-baseline", "base.json"], firing_tree, capsys
+        )
+        assert code == 0
+        with open(firing_tree / "base.json", encoding="utf-8") as handle:
+            data = json.load(handle)
+        assert data["entries"], "expected the PY001 finding in the baseline"
+
+        code, captured = _cli(
+            ["src", "--baseline", "base.json", "--json"], firing_tree, capsys
+        )
+        assert code == 0
+        payload = json.loads(captured.out)
+        assert payload["findings"] == []
+        assert payload["baseline"]["grandfathered"] == 1
+        assert payload["baseline"]["new"] == 0
+
+    def test_new_finding_fails_against_baseline(self, firing_tree, capsys):
+        _cli(["src", "--write-baseline", "base.json"], firing_tree, capsys)
+        (firing_tree / "src" / "mod.py").write_text(
+            "def f(memo={}):\n"
+            "    return memo\n"
+            "def g(bag=[]):\n"
+            "    return bag\n",
+            encoding="utf-8",
+        )
+        code, captured = _cli(
+            ["src", "--baseline", "base.json", "--json"], firing_tree, capsys
+        )
+        assert code == 1
+        payload = json.loads(captured.out)
+        assert len(payload["findings"]) == 1
+        assert payload["baseline"]["new"] == 1
+        assert payload["baseline"]["grandfathered"] == 1
+
+    def test_missing_baseline_file_is_a_usage_error(
+        self, firing_tree, capsys
+    ):
+        code, captured = _cli(
+            ["src", "--baseline", "absent.json"], firing_tree, capsys
+        )
+        assert code == 2
+        assert "absent.json" in captured.err
+
+
+class TestRequireJustificationCli:
+    def test_bare_suppression_fails(self, tmp_path, capsys):
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "mod.py").write_text(
+            "def f(memo={}):  # statcheck: disable=PY001\n"
+            "    return memo\n",
+            encoding="utf-8",
+        )
+        code, captured = _cli(
+            ["src", "--require-justification"], tmp_path, capsys
+        )
+        assert code == 1
+        assert "SUP001" in captured.out
+
+    def test_justified_suppression_passes(self, tmp_path, capsys):
+        src = tmp_path / "src"
+        src.mkdir()
+        (src / "mod.py").write_text(
+            "def f(memo={}):  "
+            "# statcheck: disable=PY001 -- shared memo is the API\n"
+            "    return memo\n",
+            encoding="utf-8",
+        )
+        code, _ = _cli(["src", "--require-justification"], tmp_path, capsys)
+        assert code == 0

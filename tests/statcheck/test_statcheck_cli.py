@@ -48,6 +48,9 @@ class TestExitCodes:
             raise BrokenPipeError(32, "Broken pipe")
 
         monkeypatch.setattr(statcheck_cli.Analyzer, "analyze_paths", raise_epipe)
+        monkeypatch.setattr(
+            statcheck_cli.IncrementalAnalyzer, "analyze_paths", raise_epipe
+        )
         assert main([clean_tree]) == EXIT_ERROR
         err = capfd.readouterr().err
         assert "Traceback" not in err
@@ -58,6 +61,9 @@ class TestExitCodes:
             raise RuntimeError("synthetic crash")
 
         monkeypatch.setattr(statcheck_cli.Analyzer, "analyze", boom)
+        monkeypatch.setattr(
+            statcheck_cli.IncrementalAnalyzer, "analyze_paths", boom
+        )
         assert main([clean_tree]) == EXIT_ERROR
         err = capsys.readouterr().err
         assert "internal error" in err

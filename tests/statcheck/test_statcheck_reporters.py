@@ -74,3 +74,46 @@ def test_clean_report_renders_everywhere():
     assert "0 findings" in render_text(report)
     assert json.loads(render_json(report))["findings"] == []
     assert json.loads(render_sarif(report))["runs"][0]["results"] == []
+
+
+def test_sarif_columns_are_one_based_pinned_document():
+    """Regression pin: AST columns are 0-based, SARIF columns are 1-based.
+
+    A finding at col 0 must serialize as startColumn 1; this test pins the
+    whole region object so an accidental revert to 0-based columns (or a
+    silent region reshape) fails loudly.
+    """
+    from repro.statcheck.engine import AnalysisReport
+    from repro.statcheck.findings import Finding, Severity
+
+    report = AnalysisReport(
+        findings=[
+            Finding(
+                rule="PY001",
+                path="src/repro/core/mod.py",
+                line=12,
+                col=0,
+                message="mutable default argument",
+                severity=Severity.ERROR,
+            ),
+            Finding(
+                rule="PY002",
+                path="src/repro/core/mod.py",
+                line=30,
+                col=4,
+                message="wall-clock call in simulation code",
+                severity=Severity.WARNING,
+            ),
+        ],
+        files_scanned=1,
+        rules=["PY001", "PY002"],
+    )
+    doc = json.loads(render_sarif(report))
+    regions = [
+        result["locations"][0]["physicalLocation"]["region"]
+        for result in doc["runs"][0]["results"]
+    ]
+    assert regions == [
+        {"startLine": 12, "startColumn": 1},
+        {"startLine": 30, "startColumn": 5},
+    ]

@@ -20,6 +20,14 @@ RULE_CASES = [
     ("OBS001", "obs001_fires.py", [5, 15, 16], "obs001_clean.py"),
     ("PY001", "py001_fires.py", [6, 11, 15, 19], "py001_fires.py"),
     ("PY002", "py002_fires.py", [8, 16, 23], "py002_clean.py"),
+    (
+        "UNIT001",
+        "unit001_fires.py",
+        [10, 15, 20, 24, 29, 33, 37, 42],
+        "unit001_clean.py",
+    ),
+    ("SIM001", "sim001_fires.py", [23], "sim001_clean.py"),
+    ("RACE001", "race001_fires.py", [16, 17, 18], "race001_clean.py"),
 ]
 
 
@@ -130,3 +138,91 @@ def test_cache001_missing_method_is_a_finding():
     )
     assert len(report.findings) == 1
     assert "canonical_dict" in report.findings[0].message
+
+
+class TestSemanticRuleDetails:
+    """Behaviours of the semantic rules beyond the fixture tables."""
+
+    def test_sim001_fires_when_freq_table_write_is_deleted(self, fixtures_dir):
+        """Deleting the frequency-table carry from an otherwise-complete
+        fast core must produce exactly the missing-attribute finding."""
+        import os
+
+        from repro.statcheck import Analyzer, SourceFile
+
+        path = os.path.join(fixtures_dir, "sim001_clean.py")
+        with open(path, encoding="utf-8") as handle:
+            clean = handle.read()
+        # drop every freq_sum line from the fast class only
+        kept = []
+        in_fast = False
+        for line in clean.splitlines():
+            if line.startswith("class FastMCDProcessor"):
+                in_fast = True
+            if in_fast and "freq_sum" in line:
+                continue
+            kept.append(line)
+        broken = "\n".join(kept) + "\n"
+        report = Analyzer(select=["SIM001"]).analyze(
+            [SourceFile.from_source(broken, path=path, module=IN_SCOPE)]
+        )
+        assert len(report.findings) == 1
+        assert "_freq_sum" in report.findings[0].message
+
+    def test_sim001_suppressible_on_class_line(self):
+        from repro.statcheck import Analyzer, SourceFile
+
+        source = (
+            "class MCDProcessor:\n"
+            "    def step(self):\n"
+            "        self._now = 1.0\n"
+            "\n"
+            "class FastMCDProcessor(MCDProcessor):  "
+            "# statcheck: disable=SIM001 -- deliberate divergence\n"
+            "    def run(self):\n"
+            "        return 0\n"
+        )
+        report = Analyzer(select=["SIM001"]).analyze(
+            [SourceFile.from_source(source, path="fx.py", module=IN_SCOPE)]
+        )
+        assert report.findings == []
+        assert report.suppressed == 1
+
+    def test_race001_flags_the_real_scheduler_shape(self):
+        """pooled_map arguments count as worker entries."""
+        from repro.statcheck import Analyzer, SourceFile
+
+        source = (
+            "from repro.engine.scheduler import pooled_map\n"
+            "SEEN = []\n"
+            "def work(item):\n"
+            "    SEEN.append(item)\n"
+            "    return item\n"
+            "def run(items):\n"
+            "    return pooled_map(work, items, workers=4)\n"
+        )
+        report = Analyzer(select=["RACE001"]).analyze(
+            [SourceFile.from_source(source, path="fx.py", module=IN_SCOPE)]
+        )
+        assert [f.line for f in report.findings] == [4]
+        assert "SEEN" in report.findings[0].message
+
+    def test_unit001_fails_open_on_unknown_values(self):
+        from repro.statcheck import Analyzer, SourceFile
+
+        source = (
+            "def f(samples, cfg):\n"
+            "    x = samples[0]\n"
+            "    y = cfg.whatever()\n"
+            "    return x + y\n"
+        )
+        report = Analyzer(select=["UNIT001"]).analyze(
+            [SourceFile.from_source(source, path="fx.py", module=IN_SCOPE)]
+        )
+        assert report.findings == []
+
+    def test_unit001_out_of_scope_module_is_ignored(self):
+        assert (
+            findings_for("unit001_fires.py", "UNIT001", module=OUT_OF_SCOPE)
+            == []
+        )
