@@ -41,6 +41,9 @@ TRACKED = {
         ("samples_per_s.full_trace", "higher"),
         ("overhead_ratio.full_trace", "lower"),
     ],
+    "BENCH_serve.json": [
+        ("controller_step.req_per_s", "higher"),
+    ],
 }
 
 
@@ -104,11 +107,16 @@ def main(argv=None) -> int:
                         help="allowed fractional degradation (default 0.25)")
     parser.add_argument("--warn-only", action="store_true",
                         help="report regressions but exit 0 (fork PRs)")
+    parser.add_argument("--only", action="append", default=None,
+                        metavar="BENCH_FILE", choices=sorted(TRACKED),
+                        help="gate only this baseline file (repeatable); "
+                             "default: every tracked file")
     args = parser.parse_args(argv)
 
+    selected = sorted(args.only) if args.only else sorted(TRACKED)
     all_regressions: List[str] = []
     compared = 0
-    for name in sorted(TRACKED):
+    for name in selected:
         baseline_path = os.path.join(args.baseline_dir, name)
         current_path = os.path.join(args.current_dir, name)
         if not os.path.exists(baseline_path):

@@ -9,6 +9,9 @@ Subcommands
               engine (worker pool, result cache, telemetry)
 ``trace``     run one benchmark with the observability layer on and write
               JSONL + Chrome-trace (Perfetto-loadable) artifacts
+``serve``     start the DVFS HTTP service (job submission, SSE event
+              streams, cached results by content hash, controller
+              scoring); SIGINT/SIGTERM drain gracefully
 ``check``     run the statcheck static analyzer over the source tree
               (exit 0 clean / 1 findings / 2 analyzer error)
 ``analyze``   print the Section-4 stability analysis for a design point
@@ -152,6 +155,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         )
         return 2
 
+    from repro.engine import shutdown_on_signals
+
     engine = SweepEngine(
         EngineConfig(
             workers=args.jobs,
@@ -162,16 +167,25 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             progress=args.progress and not args.json,
         )
     )
-    comparisons = sweep(
-        args.benchmarks or sorted(BENCHMARKS),
-        schemes=tuple(args.schemes),
-        max_instructions=args.instructions,
-        seed=args.seed,
-        engine=engine,
-        on_failure="skip",
-        simcore=core,
-    )
+    # Ctrl-C / SIGTERM drain the sweep (in-flight jobs finish, queued
+    # jobs cancel, telemetry + cache writes flush) instead of aborting.
+    with shutdown_on_signals(engine):
+        comparisons = sweep(
+            args.benchmarks or sorted(BENCHMARKS),
+            schemes=tuple(args.schemes),
+            max_instructions=args.instructions,
+            seed=args.seed,
+            engine=engine,
+            on_failure="skip",
+            simcore=core,
+        )
     summary = engine.telemetry.summary()
+    if engine.shutdown_requested:
+        print(
+            f"sweep interrupted: {summary['cancelled']} job(s) cancelled "
+            f"after draining in-flight work",
+            file=sys.stderr,
+        )
 
     if args.json:
         payload = {
@@ -228,6 +242,8 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             f"in {summary['wall_s']:.2f}s "
             f"({summary['jobs_per_s']:.2f} jobs/s)"
         )
+    if engine.shutdown_requested:
+        return 130  # conventional interrupted-by-signal exit
     return 0 if summary["failures"] == 0 else 1
 
 
@@ -288,6 +304,62 @@ def _cmd_trace(args: argparse.Namespace) -> int:
         for problem in errors:
             print(f"SCHEMA ERROR: {problem}", file=sys.stderr)
     return 1 if errors else 0
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+    import os
+    import signal
+
+    from repro.serve.app import ServeApp, ServeConfig
+
+    config = ServeConfig(
+        host=args.host,
+        port=args.port,
+        cache_dir=args.cache_dir,
+        workers=args.jobs,
+        max_batch=args.max_batch,
+        max_delay_s=args.max_delay_ms / 1e3,
+        executor_threads=args.threads,
+        simcore=args.simcore,
+    )
+    app = ServeApp(config)
+
+    async def _serve() -> None:
+        host, port = await app.start()
+        print(
+            f"repro-dvfs serve: listening on http://{host}:{port} "
+            f"(cache: {config.cache_dir or 'memory-only'}, "
+            f"coalescing {config.max_batch}/{args.max_delay_ms:g}ms)",
+            file=sys.stderr,
+        )
+        loop = asyncio.get_event_loop()
+        stopping: "asyncio.Future[None]" = loop.create_future()
+
+        def _on_signal() -> None:
+            if not stopping.done():
+                stopping.set_result(None)
+                return
+            # second signal while draining: the user means it
+            print("repro-dvfs serve: forced exit", file=sys.stderr)
+            os._exit(130)
+
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(signum, _on_signal)
+        try:
+            await stopping
+            print(
+                "repro-dvfs serve: draining in-flight jobs...",
+                file=sys.stderr,
+            )
+            await app.stop()
+        finally:
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                loop.remove_signal_handler(signum)
+        print("repro-dvfs serve: stopped", file=sys.stderr)
+
+    asyncio.run(_serve())
+    return 0
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
@@ -403,6 +475,34 @@ def build_parser() -> argparse.ArgumentParser:
     trace_p.add_argument("--json", action="store_true",
                          help="emit the run + probe summary as JSON")
     trace_p.set_defaults(func=_cmd_trace)
+
+    serve_p = sub.add_parser(
+        "serve",
+        help="start the DVFS HTTP service (runs, sweeps, SSE streams, "
+             "results by hash, controller scoring)",
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="bind address (default: loopback)")
+    serve_p.add_argument("--port", type=int, default=8035,
+                         help="bind port (0 picks an ephemeral port)")
+    serve_p.add_argument("--cache-dir", default=None, dest="cache_dir",
+                         help="content-addressed result cache directory; "
+                              "also backs GET /v1/results/{sha} across "
+                              "restarts (memory-only when omitted)")
+    serve_p.add_argument("--jobs", type=int, default=1,
+                         help="worker processes per sweep engine")
+    serve_p.add_argument("--threads", type=int, default=4,
+                         help="simulation threads off the event loop")
+    serve_p.add_argument("--max-batch", type=int, default=8,
+                         dest="max_batch",
+                         help="coalescer: runs per run_batch tick")
+    serve_p.add_argument("--max-delay-ms", type=float, default=5.0,
+                         dest="max_delay_ms",
+                         help="coalescer: max added latency while waiting "
+                              "to fill a batch")
+    serve_p.add_argument("--simcore", choices=("ref", "fast"), default=None,
+                         help="default simulation core for submitted jobs")
+    serve_p.set_defaults(func=_cmd_serve)
 
     check_p = sub.add_parser(
         "check",

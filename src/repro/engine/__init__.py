@@ -9,7 +9,12 @@ cache (:mod:`repro.engine.cache`), and a structured telemetry stream
 (:mod:`repro.engine.telemetry`).
 """
 
-from repro.engine.cache import CACHE_VERSION, ResultCache, job_cache_key
+from repro.engine.cache import (
+    CACHE_VERSION,
+    ResultCache,
+    get_by_key,
+    job_cache_key,
+)
 from repro.engine.jobs import SweepJob, run_job
 from repro.engine.scheduler import (
     EngineConfig,
@@ -17,6 +22,7 @@ from repro.engine.scheduler import (
     JobTimeoutError,
     SweepEngine,
     run_sweep,
+    shutdown_on_signals,
 )
 from repro.engine.telemetry import (
     JsonlEventLog,
@@ -37,7 +43,9 @@ __all__ = [
     "SweepEngine",
     "SweepJob",
     "TelemetryEvent",
+    "get_by_key",
     "job_cache_key",
     "run_job",
     "run_sweep",
+    "shutdown_on_signals",
 ]

@@ -19,6 +19,7 @@ from __future__ import annotations
 
 import hashlib
 import os
+import re
 from typing import Dict, Optional
 
 from repro.engine.jobs import SweepJob
@@ -33,6 +34,10 @@ from repro.mcd.processor import SimulationResult
 #:    were computed without it and would alias ref/fast results.
 CACHE_VERSION = 3
 
+#: keys are sha256 hex digests; anything else (``../`` traversal, short
+#: prefixes) is rejected before touching the filesystem.
+_KEY_RE = re.compile(r"[0-9a-f]{64}")
+
 
 def job_cache_key(job: SweepJob) -> str:
     """Stable hex digest addressing ``job``'s result on disk."""
@@ -46,6 +51,31 @@ def job_cache_key(job: SweepJob) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def entry_path(root: str, key: str) -> str:
+    """On-disk path of cache entry ``key`` under ``root``."""
+    return os.path.join(str(root), key[:2], f"{key}.json.gz")
+
+
+def get_by_key(key: str, root: str) -> Optional[SimulationResult]:
+    """Fetch a cached result directly by its content hash.
+
+    This is the library face of ``GET /v1/results/{sha}``: any consumer
+    holding a job's :func:`job_cache_key` can retrieve the deserialized
+    :class:`~repro.mcd.processor.SimulationResult` without rebuilding the
+    job.  Same contract as :meth:`ResultCache.get` -- a missing, corrupt,
+    or version-mismatched entry reads as ``None``, never an exception.
+    """
+    if not _KEY_RE.fullmatch(key):
+        return None
+    try:
+        results = persistence.load_result_objects(entry_path(root, key))
+    except (OSError, ValueError, KeyError, EOFError):
+        return None
+    if len(results) != 1:
+        return None
+    return results[0]
+
+
 class ResultCache:
     """Directory-backed result store addressed by :func:`job_cache_key`."""
 
@@ -56,8 +86,16 @@ class ResultCache:
         self.stores = 0
 
     def path_for(self, job: SweepJob) -> str:
-        key = job_cache_key(job)
-        return os.path.join(self.root, key[:2], f"{key}.json.gz")
+        return entry_path(self.root, job_cache_key(job))
+
+    def get_by_key(self, key: str) -> Optional[SimulationResult]:
+        """:func:`get_by_key` against this cache's root, with counters."""
+        result = get_by_key(key, self.root)
+        if result is None:
+            self.misses += 1
+        else:
+            self.hits += 1
+        return result
 
     def get(self, job: SweepJob) -> Optional[SimulationResult]:
         """Return the cached result for ``job``, or ``None`` on a miss.

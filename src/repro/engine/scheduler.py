@@ -17,6 +17,12 @@ Execution model
 * A job that raises (or times out) is retried up to ``retries`` times;
   on exhaustion it is surfaced as a failed :class:`JobOutcome` in the
   telemetry stream and the result list, and the sweep continues.
+* A sweep can be **drained**: :meth:`SweepEngine.request_shutdown`
+  (typically installed on SIGINT/SIGTERM via :func:`shutdown_on_signals`)
+  lets in-flight jobs finish, cancels everything still queued (surfaced
+  as ``job_cancelled`` telemetry), and still emits ``sweep_finished`` --
+  so an interrupted sweep flushes its telemetry and cache writes instead
+  of orphaning pool workers.
 
 Outcomes are returned in input-job order regardless of completion order,
 so pool and serial execution are interchangeable downstream.
@@ -25,11 +31,23 @@ so pool and serial execution are interchangeable downstream.
 from __future__ import annotations
 
 import concurrent.futures
+import contextlib
 import signal
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Sequence, TypeVar
+from types import FrameType
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    TypeVar,
+)
 
 from repro.engine import telemetry as tm
 from repro.engine.cache import ResultCache
@@ -187,8 +205,23 @@ class SweepEngine:
             if self.config.cache_dir
             else None
         )
+        self._shutdown = threading.Event()
 
     # -- public API ----------------------------------------------------
+
+    def request_shutdown(self) -> None:
+        """Drain the sweep: finish in-flight jobs, cancel queued ones.
+
+        Safe to call from any thread (including a signal handler); the
+        first call emits a ``shutdown_requested`` telemetry event.
+        """
+        if not self._shutdown.is_set():
+            self._shutdown.set()
+            self.telemetry.emit(tm.SHUTDOWN_REQUESTED)
+
+    @property
+    def shutdown_requested(self) -> bool:
+        return self._shutdown.is_set()
 
     def run(self, jobs: Sequence[SweepJob]) -> List[JobOutcome]:
         """Execute ``jobs``; outcomes come back in input order."""
@@ -280,6 +313,20 @@ class SweepEngine:
             tm.JOB_FAILED, job.job_id, error=error, attempts=attempts
         )
 
+    def _record_cancelled(
+        self,
+        index: int,
+        job: SweepJob,
+        attempts: int,
+        outcomes: List[Optional[JobOutcome]],
+    ) -> None:
+        """A drained job still yields an outcome (``ok`` False), keeping
+        ``run()``'s one-outcome-per-job input-order contract intact."""
+        outcomes[index] = JobOutcome(
+            job=job, error="cancelled: shutdown requested", attempts=attempts
+        )
+        self.telemetry.emit(tm.JOB_CANCELLED, job.job_id, reason="shutdown")
+
     def _run_serial(
         self,
         jobs: Sequence[SweepJob],
@@ -288,6 +335,9 @@ class SweepEngine:
     ) -> None:
         for index in indices:
             job = jobs[index]
+            if self._shutdown.is_set():
+                self._record_cancelled(index, job, 0, outcomes)
+                continue
             attempts = 0
             while True:
                 attempts += 1
@@ -301,7 +351,7 @@ class SweepEngine:
                     )
                 except Exception as exc:  # noqa: BLE001 -- isolate job faults
                     error = f"{type(exc).__name__}: {exc}"
-                    if attempts <= self.config.retries:
+                    if attempts <= self.config.retries and not self._shutdown.is_set():
                         self.telemetry.emit(
                             tm.JOB_RETRIED, job.job_id,
                             error=error, attempt=attempts,
@@ -314,6 +364,26 @@ class SweepEngine:
                     time.monotonic() - started, outcomes,
                 )
                 break
+
+    def _cancel_queued(
+        self,
+        jobs: Sequence[SweepJob],
+        futures: "Dict[concurrent.futures.Future[SimulationResult], int]",
+        attempts: Dict[int, int],
+        outcomes: List[Optional[JobOutcome]],
+    ) -> None:
+        """Drain helper: cancel every not-yet-running pooled future.
+
+        Jobs already executing on a worker keep running to completion;
+        everything still queued is cancelled and surfaced as
+        ``job_cancelled`` telemetry.
+        """
+        for future in list(futures):
+            if future.cancel():
+                index = futures.pop(future)
+                self._record_cancelled(
+                    index, jobs[index], attempts[index], outcomes
+                )
 
     def _run_pooled(
         self,
@@ -354,6 +424,9 @@ class SweepEngine:
         try:
             with executor:
                 for index in indices:
+                    if self._shutdown.is_set():
+                        self._record_cancelled(index, jobs[index], 0, outcomes)
+                        continue
                     submit(index)
                 while futures:
                     done, _ = concurrent.futures.wait(
@@ -368,9 +441,18 @@ class SweepEngine:
                             result = future.result()
                         except BrokenProcessPool:
                             raise
+                        except concurrent.futures.CancelledError:
+                            if outcomes[index] is None:
+                                self._record_cancelled(
+                                    index, job, attempts[index], outcomes
+                                )
+                            continue
                         except Exception as exc:  # noqa: BLE001
                             error = f"{type(exc).__name__}: {exc}"
-                            if attempts[index] <= self.config.retries:
+                            if (
+                                attempts[index] <= self.config.retries
+                                and not self._shutdown.is_set()
+                            ):
                                 self.telemetry.emit(
                                     tm.JOB_RETRIED, job.job_id,
                                     error=error, attempt=attempts[index],
@@ -386,6 +468,8 @@ class SweepEngine:
                             index, job, result,
                             attempts[index], wall_s, outcomes,
                         )
+                    if self._shutdown.is_set():
+                        self._cancel_queued(jobs, futures, attempts, outcomes)
         except BrokenProcessPool as exc:
             # a worker died hard (OOM-kill, segfault); finish what's left
             # in-process rather than losing the sweep
@@ -410,3 +494,44 @@ def run_sweep(
     elif config_overrides:
         raise TypeError("pass either config or keyword overrides, not both")
     return SweepEngine(config).run(jobs)
+
+
+@contextlib.contextmanager
+def shutdown_on_signals(
+    engine: SweepEngine,
+    signums: Tuple[int, ...] = (signal.SIGINT, signal.SIGTERM),
+) -> Iterator[SweepEngine]:
+    """Install handlers that drain ``engine`` on the given signals.
+
+    The first signal requests a graceful drain (in-flight jobs finish,
+    queued jobs are cancelled, telemetry and cache writes are flushed);
+    a second delivery falls through to the previously installed handler,
+    so a double Ctrl-C still kills a wedged sweep.  Previous handlers
+    are restored on exit.  Off the main thread, where Python forbids
+    installing signal handlers, this degrades to a no-op.
+    """
+    if threading.current_thread() is not threading.main_thread():
+        yield engine
+        return
+
+    previous: Dict[int, Any] = {}
+
+    def _handler(signum: int, frame: Optional[FrameType]) -> None:
+        if engine.shutdown_requested:
+            # second signal: restore + re-raise to the old disposition
+            old = previous.get(signum, signal.SIG_DFL)
+            signal.signal(signum, old)
+            if callable(old):
+                old(signum, frame)
+            else:
+                signal.raise_signal(signum)
+            return
+        engine.request_shutdown()
+
+    try:
+        for signum in signums:
+            previous[signum] = signal.signal(signum, _handler)
+        yield engine
+    finally:
+        for signum, old in previous.items():
+            signal.signal(signum, old)

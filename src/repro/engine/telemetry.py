@@ -30,7 +30,9 @@ JOB_FINISHED = "job_finished"
 JOB_CACHE_HIT = "job_cache_hit"
 JOB_RETRIED = "job_retried"
 JOB_FAILED = "job_failed"
+JOB_CANCELLED = "job_cancelled"
 POOL_UNAVAILABLE = "pool_unavailable"
+SHUTDOWN_REQUESTED = "shutdown_requested"
 SWEEP_FINISHED = "sweep_finished"
 
 
@@ -136,6 +138,7 @@ class RunTelemetry:
             JOB_CACHE_HIT: 0,
             JOB_RETRIED: 0,
             JOB_FAILED: 0,
+            JOB_CANCELLED: 0,
         }
         self.events: List[TelemetryEvent] = []
         self._started_at: Optional[float] = None
@@ -208,6 +211,7 @@ class RunTelemetry:
             "cache_hits": self.counters[JOB_CACHE_HIT],
             "retries": self.counters[JOB_RETRIED],
             "failures": self.counters[JOB_FAILED],
+            "cancelled": self.counters[JOB_CANCELLED],
             "wall_s": self.wall_s,
             "jobs_per_s": self.throughput_jobs_per_s(),
         }

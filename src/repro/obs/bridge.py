@@ -1,0 +1,62 @@
+"""Thread-safe bridges from observability streams into an asyncio loop.
+
+The serve layer executes simulations on worker threads (and, through the
+sweep engine, worker processes) while its SSE subscribers live on the
+event loop.  :class:`EventBridge` is the seam between the two worlds: it
+wraps a loop + callback pair and exposes
+
+* :meth:`telemetry_listener` -- a :class:`repro.engine.telemetry.RunTelemetry`
+  listener forwarding every engine event (job started / finished /
+  cache hit / retried / failed / cancelled ...) as a plain dict;
+* :meth:`probe_sink` -- a :class:`repro.obs.probe.ProbeBus` event sink
+  forwarding every structured probe event dict.
+
+Both hop threads with ``loop.call_soon_threadsafe`` and silently drop
+events once the loop is closed (a simulation outliving the server must
+not crash its worker thread over lost telemetry).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import TYPE_CHECKING, Any, Callable, Dict
+
+if TYPE_CHECKING:
+    from repro.engine.telemetry import TelemetryEvent
+
+
+class EventBridge:
+    """Forward engine telemetry / probe events onto an event loop."""
+
+    def __init__(
+        self,
+        loop: asyncio.AbstractEventLoop,
+        publish: Callable[[str, Dict[str, Any]], None],
+    ) -> None:
+        self.loop = loop
+        self.publish = publish
+        #: events that could not be delivered because the loop was closed
+        self.lost = 0
+
+    def _post(self, stream: str, payload: Dict[str, Any]) -> None:
+        try:
+            self.loop.call_soon_threadsafe(self.publish, stream, payload)
+        except RuntimeError:
+            # loop closed mid-run: the producer outlived the server
+            self.lost += 1
+
+    def telemetry_listener(self) -> "Callable[[TelemetryEvent], None]":
+        """A listener for ``RunTelemetry.add_listener``."""
+
+        def _listener(event: "TelemetryEvent") -> None:
+            self._post("telemetry", event.to_dict())
+
+        return _listener
+
+    def probe_sink(self) -> Callable[[Dict[str, Any]], None]:
+        """A sink for ``ProbeBus.add_sink``."""
+
+        def _sink(event: Dict[str, Any]) -> None:
+            self._post("probe", dict(event))
+
+        return _sink

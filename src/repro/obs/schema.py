@@ -60,6 +60,23 @@ EVENT_SCHEMAS: Dict[str, Dict] = {
         "wall_s": _NUMBER,
         "calls": int,
     },
+    # -- serve layer (repro.serve): t_ns is wall monotonic ns since
+    # -- server start, not simulated time.
+    "serve_request": {
+        "method": str,
+        "path": str,
+        "status": int,
+        "wall_ms": _NUMBER,
+    },
+    "serve_batch_flush": {
+        "requests": int,
+        "groups": int,
+        "run_batch_calls": int,
+    },
+    "serve_sse_drop": {
+        "job": str,
+        "dropped": int,
+    },
 }
 
 _FSM_STATES = ("wait", "count_up", "count_down")
@@ -119,6 +136,19 @@ def validate_event(event: Dict) -> List[str]:
         for field in ("level_trigger", "slope_trigger"):
             if event[field] not in _TRIGGERS:
                 errors.append(f"reconcile: {field} must be -1, 0 or +1")
+    if kind == "serve_request":
+        if not 100 <= event["status"] <= 599:
+            errors.append("serve_request: status must be an HTTP status code")
+        if event["wall_ms"] < 0:
+            errors.append("serve_request: wall_ms must be non-negative")
+    if kind == "serve_batch_flush":
+        for field in ("requests", "groups", "run_batch_calls"):
+            if event[field] < 0:
+                errors.append(f"serve_batch_flush: {field} must be non-negative")
+        if event["groups"] > event["requests"]:
+            errors.append("serve_batch_flush: groups cannot exceed requests")
+    if kind == "serve_sse_drop" and event["dropped"] < 1:
+        errors.append("serve_sse_drop: dropped must be positive")
     return errors
 
 

@@ -1,0 +1,172 @@
+"""A thin stdlib client for the DVFS service.
+
+Built on ``http.client`` so it adds no dependencies; one
+:class:`ServeClient` holds one keep-alive connection (which is what
+makes the load bench measure the service, not TCP handshakes).  The SSE
+reader is a plain generator over the stream's ``data:`` frames --
+enough for tests, the bench, and scripted use; browsers bring their own
+``EventSource``.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+from typing import Any, Dict, Iterator, List, Optional
+
+
+class ServeError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """One keep-alive connection to a running service."""
+
+    def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: Optional[http.client.HTTPConnection] = None
+
+    # -- transport -----------------------------------------------------
+
+    def _connection(self) -> http.client.HTTPConnection:
+        if self._conn is None:
+            self._conn = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        return self._conn
+
+    def close(self) -> None:
+        if self._conn is not None:
+            self._conn.close()
+            self._conn = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[Dict[str, Any]] = None,
+    ) -> Dict[str, Any]:
+        """One JSON request/response round trip (retries one reconnect)."""
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (1, 2):
+            conn = self._connection()
+            try:
+                conn.request(method, path, body=body, headers=headers)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (http.client.HTTPException, OSError):
+                # stale keep-alive connection: reconnect once
+                self.close()
+                if attempt == 2:
+                    raise
+        parsed = json.loads(data.decode("utf-8")) if data else {}
+        if response.status >= 400:
+            message = (
+                parsed.get("error", data.decode("utf-8", "replace"))
+                if isinstance(parsed, dict)
+                else str(parsed)
+            )
+            raise ServeError(response.status, message)
+        return parsed
+
+    # -- endpoints -----------------------------------------------------
+
+    def health(self) -> Dict[str, Any]:
+        return self.request("GET", "/v1/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        return self.request("GET", "/v1/stats")
+
+    def benchmarks(self) -> Dict[str, Any]:
+        return self.request("GET", "/v1/benchmarks")
+
+    def submit_run(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        return self.request("POST", "/v1/runs", spec)
+
+    def submit_sweep(self, spec: Dict[str, Any]) -> Dict[str, Any]:
+        return self.request("POST", "/v1/sweeps", spec)
+
+    def get_job(self, job_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/v1/runs/{job_id}")
+
+    def get_result(self, sha: str) -> Dict[str, Any]:
+        return self.request("GET", f"/v1/results/{sha}")
+
+    def controller_step(self, payload: Dict[str, Any]) -> Dict[str, Any]:
+        return self.request("POST", "/v1/controller/step", payload)
+
+    # -- streaming -----------------------------------------------------
+
+    def stream_events(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Iterator[Dict[str, Any]]:
+        """Yield ``{"event", "id", "data"}`` dicts from a job's SSE stream.
+
+        Uses a dedicated connection (the stream ends with the
+        connection); returns when the server closes the stream after the
+        job's terminal ``end`` event.
+        """
+        conn = http.client.HTTPConnection(
+            self.host, self.port,
+            timeout=self.timeout if timeout is None else timeout,
+        )
+        try:
+            conn.request("GET", f"/v1/runs/{job_id}/events")
+            response = conn.getresponse()
+            if response.status >= 400:
+                data = response.read()
+                try:
+                    message = json.loads(data.decode("utf-8"))["error"]
+                except (ValueError, KeyError):
+                    message = data.decode("utf-8", "replace")
+                raise ServeError(response.status, message)
+            event: Dict[str, Any] = {}
+            data_lines: List[str] = []
+            for raw in response:
+                line = raw.decode("utf-8").rstrip("\n").rstrip("\r")
+                if not line:
+                    if data_lines:
+                        text = "\n".join(data_lines)
+                        try:
+                            event["data"] = json.loads(text)
+                        except ValueError:
+                            event["data"] = text
+                        yield event
+                    event, data_lines = {}, []
+                    continue
+                if line.startswith("data:"):
+                    data_lines.append(line[5:].lstrip())
+                elif line.startswith("event:"):
+                    event["event"] = line[6:].strip()
+                elif line.startswith("id:"):
+                    try:
+                        event["id"] = int(line[3:].strip())
+                    except ValueError:
+                        event["id"] = line[3:].strip()
+        finally:
+            conn.close()
+
+    def wait_for_job(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Dict[str, Any]:
+        """Consume the job's event stream until it ends; return the last
+        ``job`` state payload seen (the terminal state)."""
+        last: Dict[str, Any] = {}
+        for frame in self.stream_events(job_id, timeout=timeout):
+            if frame.get("event") == "job" and isinstance(frame.get("data"), dict):
+                last = frame["data"]
+        return last

@@ -1,0 +1,210 @@
+"""Batch concurrent single-run requests into ``run_batch`` ticks.
+
+``POST /v1/runs`` arrives one simulation at a time, but the batched
+simulation backend (:func:`repro.simcore.run_batch`, PR 4) amortizes
+table construction and engine overhead across many seeds of one
+``(benchmark, scheme, parameters)`` point.  The coalescer is the adapter
+between the two shapes:
+
+* submissions accumulate in a pending list;
+* when ``max_batch`` are waiting, a batch is cut immediately; otherwise
+  a timer flushes whatever arrived within ``max_delay_s`` (so a lone
+  request pays at most the coalescing window in added latency);
+* each flushed batch is grouped by *everything except the seed* (the
+  job's canonical dict minus ``seed``); every group becomes exactly one
+  ``run_batch`` call with the group's seeds -- so N concurrent
+  homogeneous requests cost ceil(N / max_batch) backend ticks;
+* results are content-identical to serial execution: ``run_batch``
+  builds the same :class:`repro.engine.jobs.SweepJob` per seed, through
+  the same engine/cache, as a direct ``run_experiment`` call would.
+
+The executing ``run_batch`` runs on a thread-pool executor so the event
+loop keeps serving while simulations grind.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    List,
+    Optional,
+    Tuple,
+)
+
+from repro.obs.probe import NULL_PROBE
+from repro.simcore import run_batch
+
+if TYPE_CHECKING:
+    import concurrent.futures
+
+    from repro.engine.jobs import SweepJob
+    from repro.engine.scheduler import SweepEngine
+    from repro.mcd.processor import SimulationResult
+
+
+def group_key(job: "SweepJob") -> str:
+    """The coalescing identity: the job's canonical dict minus its seed.
+
+    Two jobs with equal group keys differ (at most) in their RNG seed,
+    which is exactly the axis ``run_batch`` vectorizes over.
+    """
+    payload = job.canonical_dict()
+    payload.pop("seed", None)
+    return json.dumps(payload, sort_keys=True)
+
+
+class RequestCoalescer:
+    """Accumulate submissions; flush them as grouped ``run_batch`` calls."""
+
+    def __init__(
+        self,
+        max_batch: int = 8,
+        max_delay_s: float = 0.005,
+        engine_factory: "Optional[Callable[[], Optional[SweepEngine]]]" = None,
+        run_batch_fn: Optional[Callable[..., "List[SimulationResult]"]] = None,
+        executor: "Optional[concurrent.futures.Executor]" = None,
+        probe: Any = NULL_PROBE,
+        clock_ns: Optional[Callable[[], float]] = None,
+    ) -> None:
+        if max_batch <= 0:
+            raise ValueError("max_batch must be positive")
+        if max_delay_s < 0:
+            raise ValueError("max_delay_s must be non-negative")
+        self.max_batch = max_batch
+        self.max_delay_s = max_delay_s
+        self.engine_factory = engine_factory or (lambda: None)
+        self.run_batch_fn = run_batch_fn or run_batch
+        self.executor = executor
+        self.probe = probe
+        self.clock_ns = clock_ns or (lambda: 0.0)
+        self._pending: "List[Tuple[SweepJob, asyncio.Future]]" = []
+        self._timer: Optional[asyncio.Task] = None
+        self._inflight: "List[asyncio.Task]" = []
+        # -- stats (exposed by /v1/stats and the load bench) -----------
+        self.submitted = 0
+        self.flushes = 0
+        self.run_batch_calls = 0
+        self.batched_runs = 0
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "submitted": self.submitted,
+            "flushes": self.flushes,
+            "run_batch_calls": self.run_batch_calls,
+            "batched_runs": self.batched_runs,
+            "pending": len(self._pending),
+        }
+
+    # -- submission ----------------------------------------------------
+
+    async def submit(self, job: "SweepJob") -> "SimulationResult":
+        """Queue ``job`` for the next batch tick; await its result."""
+        loop = asyncio.get_event_loop()
+        future: asyncio.Future = loop.create_future()
+        self._pending.append((job, future))
+        self.submitted += 1
+        if len(self._pending) >= self.max_batch:
+            self._cut_batch()
+        elif self._timer is None:
+            self._timer = loop.create_task(self._delayed_flush())
+        return await future
+
+    async def _delayed_flush(self) -> None:
+        try:
+            await asyncio.sleep(self.max_delay_s)
+        except asyncio.CancelledError:
+            return
+        self._timer = None
+        while self._pending:
+            self._cut_batch()
+
+    def _cut_batch(self) -> None:
+        """Slice up to ``max_batch`` pending requests into one flush task."""
+        batch = self._pending[: self.max_batch]
+        del self._pending[: len(batch)]
+        if not batch:
+            return
+        if not self._pending and self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        task = asyncio.get_event_loop().create_task(self._run_flush(batch))
+        self._inflight.append(task)
+        task.add_done_callback(self._inflight.remove)
+
+    # -- execution -----------------------------------------------------
+
+    async def _run_flush(
+        self, batch: "List[Tuple[SweepJob, asyncio.Future]]"
+    ) -> None:
+        self.flushes += 1
+        groups: "Dict[str, List[Tuple[SweepJob, asyncio.Future]]]" = {}
+        for job, future in batch:
+            groups.setdefault(group_key(job), []).append((job, future))
+        self.probe.event(
+            "serve_batch_flush",
+            self.clock_ns(),
+            requests=len(batch),
+            groups=len(groups),
+            run_batch_calls=self.run_batch_calls,
+        )
+        loop = asyncio.get_event_loop()
+        for entries in groups.values():
+            try:
+                results = await loop.run_in_executor(
+                    self.executor, self._execute_group, entries
+                )
+            except Exception as exc:  # noqa: BLE001 -- fault -> awaiters
+                for _, future in entries:
+                    if not future.done():
+                        future.set_exception(
+                            RuntimeError(
+                                f"batched run failed: "
+                                f"{type(exc).__name__}: {exc}"
+                            )
+                        )
+            else:
+                for (_, future), result in zip(entries, results):
+                    if not future.done():
+                        future.set_result(result)
+
+    def _execute_group(
+        self, entries: "List[Tuple[SweepJob, asyncio.Future]]"
+    ) -> "List[SimulationResult]":
+        """One ``run_batch`` tick for one homogeneous group (worker thread)."""
+        self.run_batch_calls += 1
+        self.batched_runs += len(entries)
+        first = entries[0][0]
+        seeds = [job.seed for job, _ in entries]
+        return self.run_batch_fn(
+            first.benchmark,
+            scheme=first.scheme,
+            seeds=seeds,
+            machine=first.machine,
+            max_instructions=first.max_instructions,
+            record_history=first.record_history,
+            history_stride=first.history_stride,
+            pid_interval_ns=first.pid_interval_ns,
+            adaptive_overrides=dict(first.adaptive_overrides)
+            if first.adaptive_overrides
+            else None,
+            obs=first.obs,
+            simcore=first.simcore,
+            engine=self.engine_factory(),
+        )
+
+    # -- shutdown ------------------------------------------------------
+
+    async def drain(self) -> None:
+        """Flush everything pending and wait for in-flight batches."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        while self._pending:
+            self._cut_batch()
+        while self._inflight:
+            await asyncio.gather(*list(self._inflight), return_exceptions=True)

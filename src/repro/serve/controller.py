@@ -1,0 +1,158 @@
+"""The paper's adaptive FSM as a stateless scorable function.
+
+``POST /v1/controller/step`` takes a queue-occupancy trajectory plus the
+controller's parameters and returns the step decisions the adaptive
+scheme would make -- the paper's control law exposed as a pure
+request/response computation (the shape the related control-theoretic
+work treats a regulator as: a component reacting to a measurement
+stream).
+
+The scorer replays the real implementation -- a fresh
+:class:`repro.core.controller.AdaptiveDvfsController` (signal monitor,
+two time-delay FSMs, action scheduler) fed one sample per trajectory
+entry at the machine's sampling period -- so endpoint decisions and
+simulator decisions can never drift apart.  Frequency application is
+the one simplification versus the full simulator: a commanded step is
+applied instantly (clamped to the DVFS envelope) rather than slewed,
+while the physical switching time still gates the FSMs through the
+scheduler's Act window, exactly as in the paper's Figure 4.
+
+Everything here is deterministic and stateless across calls: the same
+payload always scores to the same decisions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Dict, List
+
+from repro.core.config import AdaptiveConfig, default_adaptive_config
+from repro.core.controller import AdaptiveDvfsController
+from repro.mcd.domains import DomainId, MachineConfig
+from repro.serve.http import BadRequest
+
+#: hard cap on trajectory length; a million 4 ns samples is 4 ms of
+#: simulated time, far beyond any real reaction-time question.
+MAX_SAMPLES = 1_000_000
+
+_CONTROLLED = {d.value: d for d in (DomainId.INT, DomainId.FP, DomainId.LS)}
+
+
+def _parse_occupancy(payload: Dict[str, Any]) -> List[int]:
+    raw = payload.get("occupancy")
+    if not isinstance(raw, list) or not raw:
+        raise BadRequest("'occupancy' must be a non-empty list of integers")
+    if len(raw) > MAX_SAMPLES:
+        raise BadRequest(
+            f"trajectory too long: {len(raw)} samples (max {MAX_SAMPLES})"
+        )
+    occupancy: List[int] = []
+    for index, value in enumerate(raw):
+        if isinstance(value, bool) or not isinstance(value, int):
+            raise BadRequest(
+                f"occupancy[{index}] must be an integer, got {value!r}"
+            )
+        if value < 0:
+            raise BadRequest(f"occupancy[{index}] is negative")
+        occupancy.append(value)
+    return occupancy
+
+
+def _parse_machine(payload: Dict[str, Any]) -> MachineConfig:
+    overrides = payload.get("machine") or {}
+    if not isinstance(overrides, dict):
+        raise BadRequest("'machine' must be an object of MachineConfig fields")
+    try:
+        return MachineConfig(**overrides)
+    except (TypeError, ValueError) as exc:
+        raise BadRequest(f"bad machine config: {exc}")
+
+
+def _parse_config(payload: Dict[str, Any], domain: DomainId) -> AdaptiveConfig:
+    overrides = payload.get("config") or {}
+    if not isinstance(overrides, dict):
+        raise BadRequest("'config' must be an object of AdaptiveConfig fields")
+    try:
+        return default_adaptive_config(domain, **overrides)
+    except (TypeError, ValueError) as exc:
+        raise BadRequest(f"bad controller config: {exc}")
+
+
+def score_trajectory(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """Score one occupancy trajectory through the adaptive controller.
+
+    Payload fields (all but ``occupancy`` optional):
+
+    * ``occupancy`` -- list of non-negative queue-occupancy integers,
+      one per sampling period;
+    * ``domain`` -- ``"int"`` (default), ``"fp"`` or ``"ls"`` (sets the
+      paper's per-domain ``q_ref`` default);
+    * ``config`` -- :class:`repro.core.config.AdaptiveConfig` overrides
+      (``q_ref``, ``dw_level``, ``t_m0``, ``t_l0``, ...);
+    * ``machine`` -- :class:`repro.mcd.domains.MachineConfig` overrides
+      (``step_ghz``, ``f_max_ghz``, ``slew_ns_per_mhz``, ...);
+    * ``initial_freq_ghz`` -- starting frequency (default ``f_max``);
+    * ``include_trace`` -- also return the per-sample frequency series.
+
+    Returns the decision list (sample index, simulated time, signed
+    steps, resulting frequency), scheduler counters, and the effective
+    configuration that produced them.
+    """
+    if not isinstance(payload, dict):
+        raise BadRequest("request body must be a JSON object")
+    occupancy = _parse_occupancy(payload)
+    domain_name = payload.get("domain", DomainId.INT.value)
+    domain = _CONTROLLED.get(domain_name)
+    if domain is None:
+        raise BadRequest(
+            f"unknown domain {domain_name!r}; expected one of "
+            f"{sorted(_CONTROLLED)}"
+        )
+    machine = _parse_machine(payload)
+    config = _parse_config(payload, domain)
+    initial = payload.get("initial_freq_ghz", machine.f_max_ghz)
+    if isinstance(initial, bool) or not isinstance(initial, (int, float)):
+        raise BadRequest("'initial_freq_ghz' must be a number")
+
+    controller = AdaptiveDvfsController(domain, config, machine)
+    freq_ghz = machine.clamp_frequency(float(initial))
+    period_ns = machine.sample_period_ns
+    decisions: List[Dict[str, Any]] = []
+    trace: List[float] = []
+    now_ns = 0.0
+    for index, q in enumerate(occupancy):
+        command = controller.observe(now_ns, q, freq_ghz)
+        if command is not None:
+            freq_ghz = machine.clamp_frequency(
+                freq_ghz + command.steps * machine.step_ghz
+            )
+            decisions.append(
+                {
+                    "index": index,
+                    "t_ns": now_ns,
+                    "steps": command.steps,
+                    "freq_ghz": freq_ghz,
+                }
+            )
+        trace.append(freq_ghz)
+        now_ns += period_ns
+
+    scheduler = controller.scheduler
+    result: Dict[str, Any] = {
+        "samples": len(occupancy),
+        "domain": domain.value,
+        "decisions": decisions,
+        "final_freq_ghz": freq_ghz,
+        "counters": {
+            "actions": scheduler.actions,
+            "combined": scheduler.combined,
+            "cancellations": scheduler.cancellations,
+            "commands_issued": controller.commands_issued,
+        },
+        "config": dataclasses.asdict(config),
+        "sample_period_ns": period_ns,
+        "step_ghz": machine.step_ghz,
+    }
+    if payload.get("include_trace"):
+        result["frequency_ghz"] = trace
+    return result

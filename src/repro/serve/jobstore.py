@@ -1,0 +1,179 @@
+"""In-memory job registry with per-job event history and live fan-out.
+
+One :class:`Job` records everything the API exposes about a submitted
+run or sweep: its lifecycle state, the content hashes its results are
+(or will be) addressable under, an error string on failure, and the
+bounded event history that late SSE subscribers replay.
+
+The store is **loop-confined**: every mutating call must happen on the
+server's event loop (worker threads publish through
+``loop.call_soon_threadsafe`` -- see :class:`repro.obs.bridge.EventBridge`).
+That single-threaded discipline is what lets the store be plain dicts
+and lists with no locks.
+"""
+
+from __future__ import annotations
+
+import collections
+import itertools
+from typing import Any, Deque, Dict, List, Optional, Tuple
+
+from repro.serve.sse import DropOldestQueue
+
+
+class JobState:
+    """Lifecycle states of a service job."""
+
+    QUEUED = "queued"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+
+    TERMINAL = (DONE, FAILED)
+
+
+class Job:
+    """One submitted run or sweep."""
+
+    def __init__(self, job_id: str, kind: str, spec: Dict[str, Any]) -> None:
+        self.id = job_id
+        self.kind = kind  # "run" | "sweep"
+        self.spec = spec
+        self.state = JobState.QUEUED
+        self.error: Optional[str] = None
+        #: content hashes of this job's results (one per sweep job),
+        #: known at submission time -- the cache key is a pure function
+        #: of the job spec.
+        self.result_shas: List[str] = []
+        #: (seq, event-name, payload) history for SSE replay
+        self.events: Deque[Tuple[int, str, Dict[str, Any]]] = (
+            collections.deque()
+        )
+        self.history_dropped = 0
+        self._seq = itertools.count(1)
+        self._subscribers: List[DropOldestQueue] = []
+
+    @property
+    def finished(self) -> bool:
+        return self.state in JobState.TERMINAL
+
+    def summary(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "id": self.id,
+            "kind": self.kind,
+            "state": self.state,
+            "spec": self.spec,
+            "result_shas": list(self.result_shas),
+            "events_recorded": len(self.events),
+            "events_dropped": self.history_dropped,
+        }
+        if self.error is not None:
+            payload["error"] = self.error
+        return payload
+
+
+class JobStore:
+    """Registry of jobs; evicts the oldest finished jobs past capacity."""
+
+    def __init__(self, max_jobs: int = 1024, history_limit: int = 8192,
+                 queue_size: int = 1024) -> None:
+        if max_jobs <= 0:
+            raise ValueError("max_jobs must be positive")
+        self.max_jobs = max_jobs
+        self.history_limit = history_limit
+        self.queue_size = queue_size
+        self._jobs: "collections.OrderedDict[str, Job]" = (
+            collections.OrderedDict()
+        )
+        self._counter = itertools.count(1)
+        self.evicted = 0
+
+    # -- registry ------------------------------------------------------
+
+    def create(self, kind: str, spec: Dict[str, Any]) -> Job:
+        job = Job(f"{kind}-{next(self._counter):06d}", kind, spec)
+        self._jobs[job.id] = job
+        self._evict_if_needed()
+        return job
+
+    def get(self, job_id: str) -> Optional[Job]:
+        return self._jobs.get(job_id)
+
+    def __len__(self) -> int:
+        return len(self._jobs)
+
+    def counts(self) -> Dict[str, int]:
+        counts: Dict[str, int] = {}
+        for job in self._jobs.values():
+            counts[job.state] = counts.get(job.state, 0) + 1
+        return counts
+
+    def _evict_if_needed(self) -> None:
+        if len(self._jobs) <= self.max_jobs:
+            return
+        # oldest finished jobs go first; never evict live ones
+        for job_id in list(self._jobs):
+            if len(self._jobs) <= self.max_jobs:
+                break
+            if self._jobs[job_id].finished:
+                del self._jobs[job_id]
+                self.evicted += 1
+
+    # -- event stream --------------------------------------------------
+
+    def publish(self, job: Job, event: str, payload: Dict[str, Any]) -> int:
+        """Record one event on ``job`` and fan it out to subscribers.
+
+        Returns the event's sequence number.  History is bounded to
+        ``history_limit`` (oldest dropped and counted); each subscriber
+        queue applies its own drop-oldest policy on top.
+        """
+        seq = next(job._seq)
+        if len(job.events) >= self.history_limit:
+            job.events.popleft()
+            job.history_dropped += 1
+        job.events.append((seq, event, payload))
+        for queue in job._subscribers:
+            queue.put((seq, event, payload))
+        return seq
+
+    def set_state(self, job: Job, state: str,
+                  error: Optional[str] = None) -> None:
+        """Advance ``job`` to ``state``, publishing a ``job`` event.
+
+        Reaching a terminal state closes every subscriber queue (after
+        their backlog drains).
+        """
+        job.state = state
+        if error is not None:
+            job.error = error
+        payload: Dict[str, Any] = {"id": job.id, "state": state}
+        if error is not None:
+            payload["error"] = error
+        self.publish(job, "job", payload)
+        if job.finished:
+            for queue in job._subscribers:
+                queue.close()
+            job._subscribers = []
+
+    def subscribe(self, job: Job) -> DropOldestQueue:
+        """A queue that replays ``job``'s history, then streams live.
+
+        For a finished job the queue is pre-closed: the consumer gets
+        the full backlog and then end-of-stream.
+        """
+        queue = DropOldestQueue(maxsize=max(self.queue_size,
+                                            len(job.events) + 1))
+        for seq, event, payload in job.events:
+            queue.put((seq, event, payload))
+        if job.finished:
+            queue.close()
+        else:
+            job._subscribers.append(queue)
+        return queue
+
+    def unsubscribe(self, job: Job, queue: DropOldestQueue) -> None:
+        try:
+            job._subscribers.remove(queue)
+        except ValueError:
+            pass

@@ -1,0 +1,81 @@
+"""Method/path routing with ``{param}`` captures.
+
+Patterns are literal path segments with optional ``{name}`` placeholders
+(``/v1/runs/{id}/events``).  A placeholder matches exactly one non-empty
+segment and the captured value lands in ``request.params[name]``.
+Matching distinguishes "no such path" (404) from "path exists but not
+for this method" (405, with an ``Allow`` header's worth of methods).
+"""
+
+from __future__ import annotations
+
+from typing import Awaitable, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.serve.http import AnyResponse, Request
+
+Handler = Callable[[Request], Awaitable[AnyResponse]]
+
+
+class _Route:
+    def __init__(self, method: str, pattern: str, handler: Handler) -> None:
+        self.method = method.upper()
+        self.pattern = pattern
+        self.handler = handler
+        self.segments: List[str] = [s for s in pattern.strip("/").split("/")]
+
+    def match(self, segments: Sequence[str]) -> Optional[Dict[str, str]]:
+        if len(segments) != len(self.segments):
+            return None
+        params: Dict[str, str] = {}
+        for want, got in zip(self.segments, segments):
+            if want.startswith("{") and want.endswith("}"):
+                if not got:
+                    return None
+                params[want[1:-1]] = got
+            elif want != got:
+                return None
+        return params
+
+
+class Match:
+    """Outcome of a routing attempt."""
+
+    def __init__(
+        self,
+        handler: Optional[Handler] = None,
+        params: Optional[Dict[str, str]] = None,
+        allowed: Optional[List[str]] = None,
+    ) -> None:
+        self.handler = handler
+        self.params = params or {}
+        #: methods that WOULD have matched the path (for 405 responses);
+        #: empty means the path itself is unknown (404).
+        self.allowed = allowed or []
+
+
+class Router:
+    """Ordered route table; first match wins."""
+
+    def __init__(self) -> None:
+        self._routes: List[_Route] = []
+
+    def add(self, method: str, pattern: str, handler: Handler) -> None:
+        self._routes.append(_Route(method, pattern, handler))
+
+    def get(self, pattern: str, handler: Handler) -> None:
+        self.add("GET", pattern, handler)
+
+    def post(self, pattern: str, handler: Handler) -> None:
+        self.add("POST", pattern, handler)
+
+    def resolve(self, method: str, path: str) -> Match:
+        segments: Tuple[str, ...] = tuple(path.strip("/").split("/"))
+        allowed: List[str] = []
+        for route in self._routes:
+            params = route.match(segments)
+            if params is None:
+                continue
+            if route.method == method.upper():
+                return Match(handler=route.handler, params=params)
+            allowed.append(route.method)
+        return Match(allowed=sorted(set(allowed)))

@@ -1,0 +1,92 @@
+"""Run a :class:`repro.serve.app.ServeApp` on a background thread.
+
+Tests, the load bench, and interactive use all want the same thing: a
+live server on an ephemeral port, torn down cleanly afterwards.
+:class:`BackgroundServer` owns a private event loop on a daemon thread,
+starts the app on it, and exposes the bound address::
+
+    with BackgroundServer(ServeConfig(port=0)) as server:
+        client = ServeClient(*server.address)
+        ...
+
+Exit performs the app's graceful shutdown (drain coalescer, stop
+engines) before joining the thread.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+from typing import Any, Optional, Tuple
+
+from repro.serve.app import ServeApp, ServeConfig
+
+
+class BackgroundServer:
+    """Context manager: a served :class:`ServeApp` on its own thread."""
+
+    def __init__(self, config: Optional[ServeConfig] = None) -> None:
+        self.config = config or ServeConfig(port=0)
+        self.app: Optional[ServeApp] = None
+        self.address: Tuple[str, int] = ("", 0)
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._thread: Optional[threading.Thread] = None
+        self._ready = threading.Event()
+        self._startup_error: Optional[BaseException] = None
+
+    def __enter__(self) -> "BackgroundServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.stop()
+
+    def start(self) -> "BackgroundServer":
+        self._thread = threading.Thread(
+            target=self._run, name="repro-serve-test", daemon=True
+        )
+        self._thread.start()
+        if not self._ready.wait(timeout=30):
+            raise RuntimeError("server failed to start within 30s")
+        if self._startup_error is not None:
+            raise RuntimeError(
+                f"server failed to start: {self._startup_error!r}"
+            )
+        return self
+
+    def stop(self) -> None:
+        loop, app = self._loop, self.app
+        if loop is None or app is None or self._thread is None:
+            return
+        future = asyncio.run_coroutine_threadsafe(app.stop(), loop)
+        try:
+            future.result(timeout=30)
+        finally:
+            loop.call_soon_threadsafe(loop.stop)
+            self._thread.join(timeout=30)
+
+    def _run(self) -> None:
+        loop = asyncio.new_event_loop()
+        asyncio.set_event_loop(loop)
+        self._loop = loop
+        self.app = ServeApp(self.config)
+        try:
+            self.address = loop.run_until_complete(self.app.start())
+        except BaseException as exc:  # noqa: BLE001 -- surfaced to start()
+            self._startup_error = exc
+            self._ready.set()
+            loop.close()
+            return
+        self._ready.set()
+        try:
+            loop.run_forever()
+        finally:
+            # drain callbacks scheduled during shutdown, then close
+            pending = asyncio.all_tasks(loop)
+            for task in pending:
+                task.cancel()
+            if pending:
+                loop.run_until_complete(
+                    asyncio.gather(*pending, return_exceptions=True)
+                )
+            loop.close()

@@ -4,7 +4,13 @@ import os
 
 import pytest
 
-from repro.engine.cache import CACHE_VERSION, ResultCache, job_cache_key
+from repro.engine.cache import (
+    CACHE_VERSION,
+    ResultCache,
+    entry_path,
+    get_by_key,
+    job_cache_key,
+)
 from repro.engine.jobs import SweepJob, run_job
 from repro.mcd.domains import DomainId, MachineConfig
 
@@ -103,3 +109,54 @@ class TestResultCache:
         before = job_cache_key(job)
         monkeypatch.setattr("repro.engine.cache.CACHE_VERSION", CACHE_VERSION + 1)
         assert job_cache_key(job) != before
+
+
+class TestGetByKey:
+    """Fetching cached results by bare content hash (the serve path)."""
+
+    def test_roundtrip_by_hash(self, tmp_path, job, result):
+        cache = ResultCache(str(tmp_path))
+        cache.put(job, result)
+        key = job_cache_key(job)
+
+        loaded = get_by_key(key, str(tmp_path))
+        assert loaded is not None
+        assert loaded.benchmark == result.benchmark
+        assert loaded.scheme == result.scheme
+        assert loaded.time_ns == pytest.approx(result.time_ns)
+        assert loaded.energy.total == pytest.approx(result.energy.total)
+
+    def test_missing_key_is_none(self, tmp_path):
+        assert get_by_key("a" * 64, str(tmp_path)) is None
+
+    @pytest.mark.parametrize(
+        "bad",
+        [
+            "",
+            "short",
+            "A" * 64,  # uppercase: not a canonical digest
+            "g" * 64,  # non-hex
+            "../" + "a" * 61,  # traversal attempt
+            "a" * 63 + "/",
+        ],
+    )
+    def test_malformed_keys_rejected_without_touching_disk(self, tmp_path, bad):
+        assert get_by_key(bad, str(tmp_path)) is None
+
+    def test_corrupt_entry_is_none(self, tmp_path, job, result):
+        cache = ResultCache(str(tmp_path))
+        cache.put(job, result)
+        key = job_cache_key(job)
+        with open(entry_path(str(tmp_path), key), "wb") as handle:
+            handle.write(b"garbage")
+        assert get_by_key(key, str(tmp_path)) is None
+
+    def test_bound_method_counts_hit_and_miss(self, tmp_path, job, result):
+        cache = ResultCache(str(tmp_path))
+        cache.put(job, result)
+        key = job_cache_key(job)
+        assert cache.get_by_key(key) is not None
+        assert cache.get_by_key("b" * 64) is None
+        stats = cache.stats()
+        assert stats["hits"] == 1
+        assert stats["misses"] == 1

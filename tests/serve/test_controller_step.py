@@ -1,0 +1,110 @@
+"""Tests for the stateless controller-scoring endpoint logic."""
+
+import pytest
+
+from repro.core.config import default_adaptive_config
+from repro.core.controller import AdaptiveDvfsController
+from repro.mcd.domains import DomainId, MachineConfig
+from repro.serve.controller import MAX_SAMPLES, score_trajectory
+from repro.serve.http import BadRequest
+
+RAMP = [0, 2, 8, 12, 14, 14, 12, 6, 2, 0] * 5
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            {},
+            {"occupancy": []},
+            {"occupancy": "nope"},
+            {"occupancy": [1, 2, "x"]},
+            {"occupancy": [1, -2]},
+            {"occupancy": [True, 1]},
+            {"occupancy": [1], "domain": "dram"},
+            {"occupancy": [1], "machine": "fast"},
+            {"occupancy": [1], "machine": {"nonsense_field": 1}},
+            {"occupancy": [1], "config": {"nonsense_field": 1}},
+            {"occupancy": [1], "initial_freq_ghz": "quick"},
+            "not an object",
+        ],
+    )
+    def test_bad_payloads_rejected(self, payload):
+        with pytest.raises(BadRequest):
+            score_trajectory(payload)
+
+    def test_trajectory_length_capped(self):
+        with pytest.raises(BadRequest) as excinfo:
+            score_trajectory({"occupancy": [0] * (MAX_SAMPLES + 1)})
+        assert "too long" in str(excinfo.value)
+
+
+class TestScoring:
+    def test_deterministic_across_calls(self):
+        payload = {"occupancy": RAMP, "include_trace": True}
+        assert score_trajectory(payload) == score_trajectory(payload)
+
+    def test_matches_direct_controller_replay(self):
+        """The endpoint replays the real controller, never a reimplementation."""
+        machine = MachineConfig()
+        config = default_adaptive_config(DomainId.INT)
+        controller = AdaptiveDvfsController(DomainId.INT, config, machine)
+        freq = machine.f_max_ghz
+        expected = []
+        now_ns = 0.0
+        for index, q in enumerate(RAMP):
+            command = controller.observe(now_ns, q, freq)
+            if command is not None:
+                freq = machine.clamp_frequency(
+                    freq + command.steps * machine.step_ghz
+                )
+                expected.append((index, command.steps, freq))
+            now_ns += machine.sample_period_ns
+
+        scored = score_trajectory({"occupancy": RAMP})
+        got = [
+            (d["index"], d["steps"], d["freq_ghz"])
+            for d in scored["decisions"]
+        ]
+        assert got == expected
+        assert scored["final_freq_ghz"] == freq
+
+    def test_high_occupancy_steps_up_low_steps_down(self):
+        surge = score_trajectory({
+            "occupancy": [14] * 60,
+            "initial_freq_ghz": 0.6,
+        })
+        assert surge["final_freq_ghz"] > 0.6
+
+        idle = score_trajectory({
+            "occupancy": [0] * 60,
+            "initial_freq_ghz": 0.6,
+        })
+        assert idle["final_freq_ghz"] < 0.6
+
+    def test_frequency_stays_clamped(self):
+        scored = score_trajectory({
+            "occupancy": [14] * 200,
+            "include_trace": True,
+        })
+        machine = MachineConfig()
+        assert all(
+            machine.f_min_ghz <= f <= machine.f_max_ghz
+            for f in scored["frequency_ghz"]
+        )
+
+    def test_domain_sets_qref_default(self):
+        int_cfg = score_trajectory({"occupancy": [1], "domain": "int"})
+        ls_cfg = score_trajectory({"occupancy": [1], "domain": "ls"})
+        assert int_cfg["config"]["q_ref"] != ls_cfg["config"]["q_ref"]
+
+    def test_config_overrides_apply(self):
+        scored = score_trajectory({
+            "occupancy": [1], "config": {"q_ref": 9.5},
+        })
+        assert scored["config"]["q_ref"] == 9.5
+
+    def test_trace_only_when_asked(self):
+        assert "frequency_ghz" not in score_trajectory({"occupancy": [1]})
+        traced = score_trajectory({"occupancy": [1, 2], "include_trace": True})
+        assert len(traced["frequency_ghz"]) == 2

@@ -1,0 +1,107 @@
+"""Tests for the in-memory job registry and its event fan-out."""
+
+import asyncio
+
+from repro.serve.jobstore import JobState, JobStore
+
+
+def drain(queue):
+    """Collect a closed queue's backlog synchronously."""
+
+    async def _drain():
+        items = []
+        while True:
+            item = await queue.get()
+            if item is None:
+                return items
+            items.append(item)
+
+    return asyncio.run(_drain())
+
+
+class TestRegistry:
+    def test_ids_are_sequential_per_store(self):
+        store = JobStore()
+        a = store.create("run", {})
+        b = store.create("sweep", {})
+        assert a.id == "run-000001"
+        assert b.id == "sweep-000002"
+        assert store.get(a.id) is a
+        assert store.get("missing") is None
+
+    def test_counts_by_state(self):
+        store = JobStore()
+        a = store.create("run", {})
+        store.create("run", {})
+        store.set_state(a, JobState.DONE)
+        assert store.counts() == {"done": 1, "queued": 1}
+
+    def test_eviction_prefers_oldest_finished(self):
+        store = JobStore(max_jobs=2)
+        done = store.create("run", {})
+        store.set_state(done, JobState.DONE)
+        live = store.create("run", {})
+        store.create("run", {})  # overflows capacity
+        assert store.get(done.id) is None
+        assert store.get(live.id) is live
+        assert store.evicted == 1
+
+    def test_live_jobs_never_evicted(self):
+        store = JobStore(max_jobs=1)
+        first = store.create("run", {})
+        second = store.create("run", {})
+        # both live: store tolerates temporary overflow
+        assert store.get(first.id) is first
+        assert store.get(second.id) is second
+
+
+class TestEventStream:
+    def test_history_replay_then_close_on_finished(self):
+        store = JobStore()
+        job = store.create("run", {})
+        store.publish(job, "freq_step", {"steps": 1})
+        store.publish(job, "freq_step", {"steps": -1})
+        store.set_state(job, JobState.DONE)
+        items = drain(store.subscribe(job))
+        assert [event for _, event, _ in items] == [
+            "freq_step", "freq_step", "job",
+        ]
+        seqs = [seq for seq, _, _ in items]
+        assert seqs == sorted(seqs)
+
+    def test_live_subscriber_sees_new_events(self):
+        store = JobStore()
+        job = store.create("run", {})
+        queue = store.subscribe(job)
+        store.publish(job, "telemetry", {"event": "job_started"})
+        store.set_state(job, JobState.DONE)
+        items = drain(queue)
+        assert [event for _, event, _ in items] == ["telemetry", "job"]
+        assert queue.closed
+
+    def test_history_is_bounded_and_counted(self):
+        store = JobStore(history_limit=3)
+        job = store.create("run", {})
+        for i in range(5):
+            store.publish(job, "e", {"i": i})
+        assert len(job.events) == 3
+        assert job.history_dropped == 2
+        assert [payload["i"] for _, _, payload in job.events] == [2, 3, 4]
+
+    def test_failure_state_carries_error(self):
+        store = JobStore()
+        job = store.create("run", {})
+        store.set_state(job, JobState.FAILED, error="boom")
+        assert job.error == "boom"
+        assert job.finished
+        summary = job.summary()
+        assert summary["error"] == "boom"
+        assert summary["state"] == "failed"
+
+    def test_unsubscribe_stops_delivery(self):
+        store = JobStore()
+        job = store.create("run", {})
+        queue = store.subscribe(job)
+        store.unsubscribe(job, queue)
+        store.publish(job, "e", {})
+        assert len(queue) == 0

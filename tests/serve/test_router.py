@@ -1,0 +1,51 @@
+"""Tests for method/path routing with parameter captures."""
+
+from repro.serve.router import Router
+
+
+async def _h(request):  # pragma: no cover - never awaited by these tests
+    return None
+
+
+class TestRouter:
+    def _router(self):
+        router = Router()
+        router.get("/v1/runs/{id}", _h)
+        router.get("/v1/runs/{id}/events", _h)
+        router.post("/v1/runs", _h)
+        router.get("/v1/healthz", _h)
+        return router
+
+    def test_literal_match(self):
+        match = self._router().resolve("GET", "/v1/healthz")
+        assert match.handler is _h
+        assert match.params == {}
+
+    def test_param_capture(self):
+        match = self._router().resolve("GET", "/v1/runs/run-000042")
+        assert match.handler is _h
+        assert match.params == {"id": "run-000042"}
+
+    def test_nested_param_route(self):
+        match = self._router().resolve("GET", "/v1/runs/abc/events")
+        assert match.params == {"id": "abc"}
+
+    def test_unknown_path_is_404(self):
+        match = self._router().resolve("GET", "/v1/nothing")
+        assert match.handler is None
+        assert match.allowed == []
+
+    def test_wrong_method_is_405_with_allowed(self):
+        match = self._router().resolve("DELETE", "/v1/runs")
+        assert match.handler is None
+        assert match.allowed == ["POST"]
+
+    def test_method_is_case_insensitive(self):
+        assert self._router().resolve("get", "/v1/healthz").handler is _h
+
+    def test_empty_segment_does_not_match_param(self):
+        match = self._router().resolve("GET", "/v1/runs//events")
+        assert match.handler is None
+
+    def test_trailing_slash_equivalence(self):
+        assert self._router().resolve("GET", "/v1/healthz/").handler is _h

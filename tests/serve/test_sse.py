@@ -1,0 +1,96 @@
+"""Tests for SSE framing and the drop-oldest subscriber queue."""
+
+import asyncio
+
+import pytest
+
+from repro.serve.sse import DropOldestQueue, format_sse
+
+
+class TestFormatSse:
+    def test_dict_payload_is_json(self):
+        frame = format_sse({"a": 1}, event="sample", event_id=7).decode()
+        assert frame == 'id: 7\nevent: sample\ndata: {"a": 1}\n\n'
+
+    def test_string_payload_passes_through(self):
+        assert format_sse("hello") == b"data: hello\n\n"
+
+    def test_multiline_data_split_per_spec(self):
+        frame = format_sse("line1\nline2").decode()
+        assert frame == "data: line1\ndata: line2\n\n"
+
+    def test_minimal_frame(self):
+        assert format_sse({"x": 2}) == b'data: {"x": 2}\n\n'
+
+
+class TestDropOldestQueue:
+    def test_fifo_order(self):
+        async def _main():
+            queue = DropOldestQueue(maxsize=8)
+            for i in range(3):
+                queue.put(i)
+            return [await queue.get() for _ in range(3)]
+
+        assert asyncio.run(_main()) == [0, 1, 2]
+
+    def test_drops_oldest_when_full(self):
+        queue = DropOldestQueue(maxsize=2)
+        queue.put("a")
+        queue.put("b")
+        queue.put("c")
+        assert queue.dropped == 1
+        assert len(queue) == 2
+
+        async def _drain():
+            return [await queue.get(), await queue.get()]
+
+        assert asyncio.run(_drain()) == ["b", "c"]
+
+    def test_close_yields_none_after_backlog(self):
+        async def _main():
+            queue = DropOldestQueue()
+            queue.put(1)
+            queue.close()
+            return [await queue.get(), await queue.get()]
+
+        assert asyncio.run(_main()) == [1, None]
+
+    def test_put_after_close_is_ignored(self):
+        queue = DropOldestQueue()
+        queue.close()
+        queue.put("late")
+        assert len(queue) == 0
+
+    def test_get_wakes_on_concurrent_put(self):
+        async def _main():
+            queue = DropOldestQueue()
+
+            async def producer():
+                await asyncio.sleep(0.01)
+                queue.put("item")
+
+            task = asyncio.get_event_loop().create_task(producer())
+            value = await asyncio.wait_for(queue.get(), timeout=5)
+            await task
+            return value
+
+        assert asyncio.run(_main()) == "item"
+
+    def test_get_wakes_on_concurrent_close(self):
+        async def _main():
+            queue = DropOldestQueue()
+
+            async def closer():
+                await asyncio.sleep(0.01)
+                queue.close()
+
+            task = asyncio.get_event_loop().create_task(closer())
+            value = await asyncio.wait_for(queue.get(), timeout=5)
+            await task
+            return value
+
+        assert asyncio.run(_main()) is None
+
+    def test_invalid_maxsize_rejected(self):
+        with pytest.raises(ValueError):
+            DropOldestQueue(maxsize=0)
