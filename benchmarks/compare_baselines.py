@@ -40,6 +40,9 @@ TRACKED = {
         ("samples_per_s.disabled", "higher"),
         ("samples_per_s.full_trace", "higher"),
         ("overhead_ratio.full_trace", "lower"),
+        ("engine_runs_per_s.disabled", "higher"),
+        ("engine_runs_per_s.metrics", "higher"),
+        ("overhead_ratio.engine_metrics", "lower"),
     ],
     "BENCH_serve.json": [
         ("controller_step.req_per_s", "higher"),

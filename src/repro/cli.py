@@ -12,6 +12,9 @@ Subcommands
 ``serve``     start the DVFS HTTP service (job submission, SSE event
               streams, cached results by content hash, controller
               scoring); SIGINT/SIGTERM drain gracefully
+``top``       live terminal dashboard polling a running service's
+              ``/metrics`` (request rates, latency quantiles, engine and
+              coalescer health)
 ``check``     run the statcheck static analyzer over the source tree
               (exit 0 clean / 1 findings / 2 analyzer error)
 ``analyze``   print the Section-4 stability analysis for a design point
@@ -362,6 +365,21 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_top(args: argparse.Namespace) -> int:
+    from repro.serve.top import run_top
+
+    try:
+        return run_top(
+            host=args.host,
+            port=args.port,
+            interval_s=args.interval,
+            iterations=1 if args.once else args.iterations,
+            clear=not (args.no_clear or args.once),
+        )
+    except KeyboardInterrupt:
+        return 0
+
+
 def _cmd_check(args: argparse.Namespace) -> int:
     from repro.statcheck import cli as statcheck_cli
 
@@ -503,6 +521,24 @@ def build_parser() -> argparse.ArgumentParser:
     serve_p.add_argument("--simcore", choices=("ref", "fast"), default=None,
                          help="default simulation core for submitted jobs")
     serve_p.set_defaults(func=_cmd_serve)
+
+    top_p = sub.add_parser(
+        "top",
+        help="live terminal dashboard over a running service's /metrics",
+    )
+    top_p.add_argument("--host", default="127.0.0.1",
+                       help="service host (default: 127.0.0.1)")
+    top_p.add_argument("--port", type=int, default=8035,
+                       help="service port (default: 8035)")
+    top_p.add_argument("--interval", type=float, default=2.0,
+                       help="seconds between scrapes (default: 2)")
+    top_p.add_argument("--iterations", type=int, default=None,
+                       help="stop after N redraws (default: run until ^C)")
+    top_p.add_argument("--once", action="store_true",
+                       help="scrape and render a single frame, no clearing")
+    top_p.add_argument("--no-clear", action="store_true", dest="no_clear",
+                       help="append frames instead of clearing the screen")
+    top_p.set_defaults(func=_cmd_top)
 
     check_p = sub.add_parser(
         "check",

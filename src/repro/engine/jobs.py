@@ -16,6 +16,7 @@ from typing import TYPE_CHECKING, Any, Dict, Mapping, Optional, Union
 
 from repro.mcd.domains import MachineConfig
 from repro.obs.facade import ObsConfig
+from repro.obs.spans import SpanContext
 from repro.simcore import resolve_core
 from repro.workloads.phases import BenchmarkSpec
 from repro.workloads.suite import get_benchmark
@@ -47,6 +48,11 @@ class SweepJob:
     obs: Optional[ObsConfig] = None
     #: simulation core ("ref"/"fast"); None defers to REPRO_SIMCORE
     simcore: Optional[str] = None
+    #: parent span of this job's worker span (picklable, crosses the pool
+    #: boundary).  Deliberately NOT in canonical_dict(): span ids are
+    #: random per submission and cannot affect simulation outcomes, so
+    #: keying on them would break content-addressed cache hits.
+    span: Optional[SpanContext] = None  # statcheck: disable=CACHE001 -- observability-only; random per submission, must not enter the cache key
 
     @staticmethod
     def make(

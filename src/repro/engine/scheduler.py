@@ -52,6 +52,14 @@ from typing import (
 from repro.engine import telemetry as tm
 from repro.engine.cache import ResultCache
 from repro.engine.jobs import SweepJob, run_job
+from repro.obs.metrics import Counter, CounterFamily, Gauge, MetricsRegistry
+from repro.obs.spans import (
+    NULL_TRACER,
+    Span,
+    SpanContext,
+    TracerLike,
+    start_worker_span,
+)
 from repro.simcore import resolve_core
 from repro.mcd.processor import SimulationResult
 
@@ -133,10 +141,28 @@ def _pool_entry(
     runner: Callable[[SweepJob], SimulationResult],
     job: SweepJob,
     timeout_s: Optional[float],
-) -> SimulationResult:
-    """Worker-process entry point (module-level, hence picklable)."""
-    return _call_with_timeout(runner, job, timeout_s)
+    span_parent: Optional[Dict[str, str]] = None,
+) -> Tuple[SimulationResult, Optional[Dict[str, Any]]]:
+    """Worker-process entry point (module-level, hence picklable).
 
+    With a ``span_parent`` context (a plain picklable dict), the run is
+    wrapped in a worker span that carries the submitting trace ID across
+    the process boundary; the finished-span dict rides home in the
+    return value for the engine to record.  Without one, the call is
+    exactly the pre-tracing path.
+    """
+    if span_parent is None:
+        return _call_with_timeout(runner, job, timeout_s), None
+    span = start_worker_span(
+        f"job:{job.job_id}", span_parent, attrs={"seed": job.seed}
+    )
+    result = _call_with_timeout(runner, job, timeout_s)
+    span.set_attr("instructions", result.instructions)
+    return result, span.end()
+
+
+#: what a pooled job ships home: the result plus its optional worker span.
+_PoolResult = Tuple[SimulationResult, Optional[Dict[str, Any]]]
 
 _ItemT = TypeVar("_ItemT")
 _ResultT = TypeVar("_ResultT")
@@ -194,6 +220,9 @@ class SweepEngine:
         config: Optional[EngineConfig] = None,
         runner: Callable[[SweepJob], SimulationResult] = run_job,
         telemetry: Optional[tm.RunTelemetry] = None,
+        tracer: TracerLike = NULL_TRACER,
+        trace_parent: Optional[SpanContext] = None,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         self.config = config or EngineConfig()
         self.runner = runner
@@ -206,6 +235,46 @@ class SweepEngine:
             else None
         )
         self._shutdown = threading.Event()
+        self.tracer = tracer
+        self.trace_parent = trace_parent
+        self._sweep_span: Optional[Span] = None
+        # Instruments are resolved to attributes once, here, and only
+        # when a live registry is passed: the metrics-disabled engine
+        # then makes zero calls into repro.obs.metrics for a whole run
+        # (the sys.setprofile guard in tests/obs/test_overhead.py).
+        self._m_jobs: Optional[CounterFamily] = None
+        self._m_retries: Optional[Counter] = None
+        self._m_timeouts: Optional[Counter] = None
+        self._m_pending: Optional[Gauge] = None
+        self._m_inflight: Optional[Gauge] = None
+        self._m_cache_ratio: Optional[Gauge] = None
+        self._m_instr_rate: Optional[Gauge] = None
+        if metrics is not None and metrics.enabled:
+            self._m_jobs = metrics.counter_family(
+                "repro_engine_jobs_total",
+                "Sweep jobs by terminal outcome", ("outcome",),
+            )
+            self._m_retries = metrics.counter(
+                "repro_engine_retries_total", "Job attempts after a failure"
+            )
+            self._m_timeouts = metrics.counter(
+                "repro_engine_timeouts_total", "Jobs that hit the per-job timeout"
+            )
+            self._m_pending = metrics.gauge(
+                "repro_engine_pending_jobs",
+                "Submitted jobs not yet finished (queue depth)",
+            )
+            self._m_inflight = metrics.gauge(
+                "repro_engine_inflight_jobs", "Job attempts currently executing"
+            )
+            self._m_cache_ratio = metrics.gauge(
+                "repro_engine_cache_hit_ratio",
+                "Cache hits / jobs of the most recent sweep",
+            )
+            self._m_instr_rate = metrics.gauge(
+                "repro_run_instr_per_s",
+                "Instructions per wall-second of the latest finished job",
+            )
 
     # -- public API ----------------------------------------------------
 
@@ -228,6 +297,12 @@ class SweepEngine:
         jobs = list(jobs)
         if self.config.progress:
             self.telemetry.add_listener(tm.ProgressReporter(len(jobs)))
+        if self.tracer.enabled:
+            self._sweep_span = self.tracer.start(
+                "sweep",
+                parent=self.trace_parent,
+                attrs={"jobs": len(jobs), "workers": self.config.workers},
+            )
         self.telemetry.emit(
             tm.SWEEP_STARTED,
             total_jobs=len(jobs),
@@ -252,8 +327,22 @@ class SweepEngine:
                 self.telemetry.record_probe_summary(condensed)
                 extra = {"obs": condensed} if condensed else {}
                 self.telemetry.emit(tm.JOB_CACHE_HIT, job.job_id, **extra)
+                if self._m_jobs is not None:
+                    self._m_jobs.labels(outcome="cache_hit").inc()
+                if self.tracer.enabled:
+                    self.tracer.start(
+                        f"job:{job.job_id}",
+                        parent=self._job_parent(job),
+                        attrs={"cache": "hit", "seed": job.seed},
+                    ).end()
             else:
                 pending.append(index)
+
+        hits = len(jobs) - len(pending)
+        if self._m_cache_ratio is not None and jobs:
+            self._m_cache_ratio.set(hits / len(jobs))
+        if self._m_pending is not None:
+            self._m_pending.inc(len(pending))
 
         if pending:
             if self.config.workers > 1 and len(pending) > 1:
@@ -262,6 +351,10 @@ class SweepEngine:
                 self._run_serial(jobs, pending, outcomes)
 
         self.telemetry.emit(tm.SWEEP_FINISHED, **self.telemetry.summary())
+        if self._sweep_span is not None:
+            self._sweep_span.set_attr("cache_hits", hits)
+            self._sweep_span.end()
+            self._sweep_span = None
         return [outcome for outcome in outcomes if outcome is not None]
 
     def results(self, jobs: Sequence[SweepJob]) -> List[SimulationResult]:
@@ -276,6 +369,34 @@ class SweepEngine:
         return [o.result for o in outcomes if o.result is not None]
 
     # -- execution paths ----------------------------------------------
+
+    def _job_parent(self, job: SweepJob) -> Optional[SpanContext]:
+        """The parent context for a job's spans: a job-carried context
+        (e.g. the serve request that submitted it) wins over the
+        engine's own sweep span."""
+        if job.span is not None:
+            return job.span
+        if self._sweep_span is not None:
+            return self._sweep_span.context
+        return None
+
+    def _span_parent_dict(self, job: SweepJob) -> Optional[Dict[str, str]]:
+        """What crosses the process boundary: a plain dict, or None when
+        tracing is off (keeping the worker path allocation-free)."""
+        if not self.tracer.enabled:
+            return None
+        parent = self._job_parent(job)
+        return parent.to_dict() if parent is not None else None
+
+    def _record_worker_span(self, span: Optional[Dict[str, Any]]) -> None:
+        if span is not None and self.tracer.enabled:
+            self.tracer.record(span)
+
+    def _job_done(self, outcome: str) -> None:
+        if self._m_jobs is not None:
+            self._m_jobs.labels(outcome=outcome).inc()
+        if self._m_pending is not None:
+            self._m_pending.dec()
 
     def _record_success(
         self,
@@ -299,6 +420,9 @@ class SweepEngine:
         self.telemetry.emit(
             tm.JOB_FINISHED, job.job_id, attempts=attempts, wall_s=wall_s, **extra
         )
+        self._job_done("finished")
+        if self._m_instr_rate is not None and wall_s > 0:
+            self._m_instr_rate.set(result.instructions / wall_s)
 
     def _record_failure(
         self,
@@ -312,6 +436,9 @@ class SweepEngine:
         self.telemetry.emit(
             tm.JOB_FAILED, job.job_id, error=error, attempts=attempts
         )
+        self._job_done("failed")
+        if self._m_timeouts is not None and "JobTimeoutError" in error:
+            self._m_timeouts.inc()
 
     def _record_cancelled(
         self,
@@ -326,6 +453,7 @@ class SweepEngine:
             job=job, error="cancelled: shutdown requested", attempts=attempts
         )
         self.telemetry.emit(tm.JOB_CANCELLED, job.job_id, reason="shutdown")
+        self._job_done("cancelled")
 
     def _run_serial(
         self,
@@ -344,21 +472,31 @@ class SweepEngine:
                 self.telemetry.emit(
                     tm.JOB_STARTED, job.job_id, attempt=attempts, mode="serial"
                 )
+                if self._m_inflight is not None:
+                    self._m_inflight.inc()
                 started = time.monotonic()
                 try:
-                    result = _call_with_timeout(
-                        self.runner, job, self.config.timeout_s
+                    result, span = _pool_entry(
+                        self.runner, job, self.config.timeout_s,
+                        self._span_parent_dict(job),
                     )
                 except Exception as exc:  # noqa: BLE001 -- isolate job faults
+                    if self._m_inflight is not None:
+                        self._m_inflight.dec()
                     error = f"{type(exc).__name__}: {exc}"
                     if attempts <= self.config.retries and not self._shutdown.is_set():
                         self.telemetry.emit(
                             tm.JOB_RETRIED, job.job_id,
                             error=error, attempt=attempts,
                         )
+                        if self._m_retries is not None:
+                            self._m_retries.inc()
                         continue
                     self._record_failure(index, job, error, attempts, outcomes)
                     break
+                if self._m_inflight is not None:
+                    self._m_inflight.dec()
+                self._record_worker_span(span)
                 self._record_success(
                     index, job, result, attempts,
                     time.monotonic() - started, outcomes,
@@ -368,7 +506,7 @@ class SweepEngine:
     def _cancel_queued(
         self,
         jobs: Sequence[SweepJob],
-        futures: "Dict[concurrent.futures.Future[SimulationResult], int]",
+        futures: "Dict[concurrent.futures.Future[_PoolResult], int]",
         attempts: Dict[int, int],
         outcomes: List[Optional[JobOutcome]],
     ) -> None:
@@ -381,6 +519,8 @@ class SweepEngine:
         for future in list(futures):
             if future.cancel():
                 index = futures.pop(future)
+                if self._m_inflight is not None:
+                    self._m_inflight.dec()
                 self._record_cancelled(
                     index, jobs[index], attempts[index], outcomes
                 )
@@ -407,7 +547,7 @@ class SweepEngine:
 
         attempts: Dict[int, int] = {index: 0 for index in indices}
         started_at: Dict[int, float] = {}
-        futures: Dict[concurrent.futures.Future[SimulationResult], int] = {}
+        futures: Dict[concurrent.futures.Future[_PoolResult], int] = {}
 
         def submit(index: int) -> None:
             attempts[index] += 1
@@ -415,9 +555,12 @@ class SweepEngine:
                 tm.JOB_STARTED, jobs[index].job_id,
                 attempt=attempts[index], mode="pool",
             )
+            if self._m_inflight is not None:
+                self._m_inflight.inc()
             started_at[index] = time.monotonic()
             future = executor.submit(
-                _pool_entry, self.runner, jobs[index], self.config.timeout_s
+                _pool_entry, self.runner, jobs[index], self.config.timeout_s,
+                self._span_parent_dict(jobs[index]),
             )
             futures[future] = index
 
@@ -437,8 +580,10 @@ class SweepEngine:
                         index = futures.pop(future)
                         job = jobs[index]
                         wall_s = time.monotonic() - started_at[index]
+                        if self._m_inflight is not None:
+                            self._m_inflight.dec()
                         try:
-                            result = future.result()
+                            result, span = future.result()
                         except BrokenProcessPool:
                             raise
                         except concurrent.futures.CancelledError:
@@ -457,6 +602,8 @@ class SweepEngine:
                                     tm.JOB_RETRIED, job.job_id,
                                     error=error, attempt=attempts[index],
                                 )
+                                if self._m_retries is not None:
+                                    self._m_retries.inc()
                                 submit(index)
                             else:
                                 self._record_failure(
@@ -464,6 +611,7 @@ class SweepEngine:
                                     attempts[index], outcomes,
                                 )
                             continue
+                        self._record_worker_span(span)
                         self._record_success(
                             index, job, result,
                             attempts[index], wall_s, outcomes,
@@ -473,6 +621,8 @@ class SweepEngine:
         except BrokenProcessPool as exc:
             # a worker died hard (OOM-kill, segfault); finish what's left
             # in-process rather than losing the sweep
+            if self._m_inflight is not None:
+                self._m_inflight.dec(len(futures))
             remaining = [i for i in indices if outcomes[i] is None]
             self.telemetry.emit(
                 tm.POOL_UNAVAILABLE,

@@ -15,6 +15,7 @@ just wrote.
 from __future__ import annotations
 
 import json
+import re
 import sys
 from typing import Dict, List, Sequence
 
@@ -77,7 +78,29 @@ EVENT_SCHEMAS: Dict[str, Dict] = {
         "job": str,
         "dropped": int,
     },
+    "serve_metrics_scrape": {
+        "families": int,
+        "bytes": int,
+    },
+    # -- span tracing (repro.obs.spans): t_ns is the epoch wall clock the
+    # -- span started/ended at, shared across processes.
+    "span_start": {
+        "trace_id": str,
+        "span_id": str,
+        "parent_id": str,
+        "name": str,
+    },
+    "span_end": {
+        "trace_id": str,
+        "span_id": str,
+        "parent_id": str,
+        "name": str,
+        "dur_ns": _NUMBER,
+    },
 }
+
+#: trace/span identifiers are lowercase hex, 8..32 chars (os.urandom.hex()).
+_SPAN_ID = re.compile(r"^[0-9a-f]{8,64}$")
 
 _FSM_STATES = ("wait", "count_up", "count_down")
 _RECONCILE_OUTCOMES = ("single", "combine", "cancel")
@@ -149,6 +172,31 @@ def validate_event(event: Dict) -> List[str]:
             errors.append("serve_batch_flush: groups cannot exceed requests")
     if kind == "serve_sse_drop" and event["dropped"] < 1:
         errors.append("serve_sse_drop: dropped must be positive")
+    if kind == "serve_metrics_scrape":
+        for field in ("families", "bytes"):
+            if event[field] < 0:
+                errors.append(
+                    f"serve_metrics_scrape: {field} must be non-negative"
+                )
+    if kind in ("span_start", "span_end"):
+        for field in ("trace_id", "span_id"):
+            if not _SPAN_ID.match(event[field]):
+                errors.append(
+                    f"{kind}: {field} must be 8..64 lowercase-hex chars, "
+                    f"got {event[field]!r}"
+                )
+        parent_id = event["parent_id"]
+        if parent_id and not _SPAN_ID.match(parent_id):
+            errors.append(
+                f"{kind}: parent_id must be empty or lowercase hex, "
+                f"got {parent_id!r}"
+            )
+        if parent_id == event["span_id"]:
+            errors.append(f"{kind}: a span cannot be its own parent")
+        if not event["name"]:
+            errors.append(f"{kind}: name must be non-empty")
+    if kind == "span_end" and event["dur_ns"] < 0:
+        errors.append("span_end: dur_ns must be non-negative")
     return errors
 
 

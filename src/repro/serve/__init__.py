@@ -20,6 +20,9 @@ network-callable system (ROADMAP item 3):
   graceful shutdown;
 * :mod:`repro.serve.client` -- a thin stdlib client used by the tests,
   the load bench, and the CI smoke job;
+* :mod:`repro.serve.top` -- the ``repro-dvfs top`` terminal dashboard
+  polling ``GET /metrics`` (request rates, latency quantiles, engine
+  and coalescer health);
 * :mod:`repro.serve.testing` -- run a server on a background thread.
 
 Start it with ``repro-dvfs serve`` (see the README's "Serving" section
@@ -34,6 +37,7 @@ from repro.serve.http import Request, Response
 from repro.serve.jobstore import Job, JobState, JobStore
 from repro.serve.router import Router
 from repro.serve.sse import DropOldestQueue, format_sse
+from repro.serve.top import parse_prometheus, render, run_top
 
 __all__ = [
     "DropOldestQueue",
@@ -48,5 +52,8 @@ __all__ = [
     "ServeClient",
     "ServeConfig",
     "format_sse",
+    "parse_prometheus",
+    "render",
+    "run_top",
     "score_trajectory",
 ]

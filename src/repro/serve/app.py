@@ -46,7 +46,9 @@ from repro.mcd.domains import MachineConfig
 from repro.mcd.processor import SimulationResult
 from repro.obs.bridge import EventBridge
 from repro.obs.facade import Observability, ObsConfig
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.probe import ProbeBus
+from repro.obs.spans import Span, SpanRecorder
 from repro.serve.coalescer import RequestCoalescer
 from repro.serve.controller import score_trajectory
 from repro.serve.http import (
@@ -88,6 +90,9 @@ class ServeConfig:
     executor_threads: int = 4
     #: default simulation core for submitted jobs (``None`` = env default).
     simcore: Optional[str] = None
+    #: seconds between metrics ring-buffer samples (rates on ``/v1/stats``
+    #: and ``repro-dvfs top``); ``0`` disables the sampler task.
+    metrics_window_s: float = 2.0
 
 
 class ServeApp:
@@ -103,6 +108,38 @@ class ServeApp:
         #: the server's own probe bus (serve_* events, request counters).
         self.probe = ProbeBus()
         self._t0 = time.monotonic_ns()
+        #: process-wide metrics registry, scraped by ``GET /metrics``.
+        self.metrics = MetricsRegistry()
+        #: span recorder; run/sweep submissions open root spans here and
+        #: worker spans from pool processes are stitched back in.
+        self.tracer = SpanRecorder(probe=self.probe)
+        self._m_requests = self.metrics.counter_family(
+            "repro_http_requests_total",
+            "HTTP requests served.",
+            ("method", "route", "status"),
+        )
+        self._m_latency = self.metrics.histogram_family(
+            "repro_http_request_seconds",
+            "Request wall time by endpoint.",
+            ("method", "route"),
+        )
+        self._m_sse_dropped = self.metrics.counter(
+            "repro_serve_sse_dropped_total",
+            "SSE events dropped by slow consumers.",
+        )
+        self._m_jobs_gauge = self.metrics.gauge_family(
+            "repro_serve_jobs",
+            "Jobs in the registry by state (sampled at scrape).",
+            ("state",),
+        )
+        self._m_results_gauge = self.metrics.gauge(
+            "repro_serve_results_in_memory",
+            "Results held in the in-memory window (sampled at scrape).",
+        )
+        self._m_uptime = self.metrics.gauge(
+            "repro_serve_uptime_seconds",
+            "Seconds since server construction (sampled at scrape).",
+        )
         self.executor = concurrent.futures.ThreadPoolExecutor(
             max_workers=self.config.executor_threads,
             thread_name_prefix="repro-serve",
@@ -120,11 +157,17 @@ class ServeApp:
             executor=self.executor,
             probe=self.probe,
             clock_ns=self._now_ns,
+            tracer=self.tracer,
+            metrics=self.metrics,
         )
         self._results: (
             "collections.OrderedDict[str, SimulationResult]"
         ) = collections.OrderedDict()
         self._tasks: Set["asyncio.Task[None]"] = set()
+        # the window sampler never finishes on its own, so it lives
+        # outside _tasks (which stop() awaits to completion) and is
+        # cancelled explicitly during shutdown.
+        self._window_task: Optional["asyncio.Task[None]"] = None
         self._server: Optional[asyncio.AbstractServer] = None
         self.router = Router()
         self._install_routes()
@@ -137,7 +180,11 @@ class ServeApp:
 
     def _make_engine(self) -> SweepEngine:
         """A fresh engine (own telemetry) for one coalescer flush."""
-        engine = SweepEngine(EngineConfig(cache_dir=self.config.cache_dir))
+        engine = SweepEngine(
+            EngineConfig(cache_dir=self.config.cache_dir),
+            tracer=self.tracer,
+            metrics=self.metrics,
+        )
         self._engines.add(engine)
         return engine
 
@@ -162,6 +209,8 @@ class ServeApp:
         self.router.get("/v1/runs/{id}/events", self._handle_job_events)
         self.router.get("/v1/results/{sha}", self._handle_result)
         self.router.post("/v1/controller/step", self._handle_controller_step)
+        self.router.get("/metrics", self._handle_metrics)
+        self.router.get("/v1/spans/{id}", self._handle_spans)
 
     # -- lifecycle -----------------------------------------------------
 
@@ -174,7 +223,17 @@ class ServeApp:
             host=self.config.host,
             port=self.config.port,
         )
+        if self.config.metrics_window_s > 0:
+            self._window_task = asyncio.get_event_loop().create_task(
+                self._sample_windows()
+            )
         return server_address(self._server)
+
+    async def _sample_windows(self) -> None:
+        """Periodically snapshot family totals into the metrics rings."""
+        while True:
+            await asyncio.sleep(self.config.metrics_window_s)
+            self.metrics.record_window(self._now_ns() / 1e9)
 
     async def stop(self) -> None:
         """Graceful shutdown: stop accepting, drain, flush, release."""
@@ -182,6 +241,13 @@ class ServeApp:
             self._server.close()
             await self._server.wait_closed()
             self._server = None
+        if self._window_task is not None:
+            self._window_task.cancel()
+            try:
+                await self._window_task
+            except asyncio.CancelledError:
+                pass
+            self._window_task = None
         # flush everything the coalescer holds, then drain job tasks;
         # engines running sweeps are asked to cancel their queued jobs.
         for engine in list(self._engines):
@@ -216,13 +282,23 @@ class ServeApp:
                 response = await match.handler(request)
             except BadRequest as exc:
                 response = Response.error(exc.status, str(exc))
+        wall_s = time.monotonic() - started
+        # route label from the matched pattern, not the raw path --
+        # bounded cardinality no matter what clients request.
+        route = match.pattern or "unmatched"
+        self._m_requests.labels(
+            method=request.method, route=route, status=str(response.status)
+        ).inc()
+        self._m_latency.labels(method=request.method, route=route).observe(
+            wall_s
+        )
         self.probe.event(
             "serve_request",
             self._now_ns(),
             method=request.method,
             path=request.path,
             status=response.status,
-            wall_ms=(time.monotonic() - started) * 1e3,
+            wall_ms=wall_s * 1e3,
         )
         return response
 
@@ -247,10 +323,62 @@ class ServeApp:
         }
         if self.cache is not None:
             payload["cache"] = self.cache.stats()
+        payload["rates"] = {
+            "http_requests_per_s": self.metrics.rate(
+                "repro_http_requests_total"
+            ),
+            "coalesced_runs_per_s": self.metrics.rate(
+                "repro_serve_coalescer_batched_runs_total"
+            ),
+        }
+        payload["spans"] = self.tracer.summary()
         return Response.json(payload)
 
     async def _handle_controller_step(self, request: Request) -> Response:
         return Response.json(score_trajectory(request.json()))
+
+    # -- ops surface ---------------------------------------------------
+
+    async def _handle_metrics(self, request: Request) -> Response:
+        """Prometheus text exposition of the registry."""
+        counts = self.store.counts()
+        for state in (JobState.QUEUED, JobState.RUNNING, JobState.DONE,
+                      JobState.FAILED):
+            self._m_jobs_gauge.labels(state=state).set(counts.get(state, 0))
+        self._m_results_gauge.set(len(self._results))
+        self._m_uptime.set(self._now_ns() / 1e9)
+        body = self.metrics.render_prometheus()
+        self.probe.event(
+            "serve_metrics_scrape",
+            self._now_ns(),
+            families=self.metrics.family_count,
+            bytes=len(body),
+        )
+        return Response(
+            200,
+            body.encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    async def _handle_spans(self, request: Request) -> Response:
+        """The span tree of one job's trace, root to pool workers."""
+        job = self.store.get(request.params.get("id", ""))
+        if job is None:
+            raise BadRequest(
+                f"no such job: {request.params.get('id', '')!r}", status=404
+            )
+        if job.trace_id is None:
+            raise BadRequest(
+                f"job {job.id!r} has no trace (tracing disabled?)", status=404
+            )
+        return Response.json(
+            {
+                "id": job.id,
+                "trace_id": job.trace_id,
+                "spans": self.tracer.spans(job.trace_id),
+                "tree": self.tracer.tree(job.trace_id),
+            }
+        )
 
     # -- run submission ------------------------------------------------
 
@@ -263,33 +391,56 @@ class ServeApp:
         record = self.store.create("run", _public_spec(job))
         record.result_shas.append(sha)
         traced = bool(spec.get("trace"))
+        root = self.tracer.start(
+            f"run:{record.id}",
+            attrs={
+                "kind": "run",
+                "benchmark": job.benchmark.name,
+                "scheme": job.scheme,
+                "traced": traced,
+            },
+        )
+        record.trace_id = root.trace_id
+        # the job carries the root's context across the coalescer and (for
+        # pooled engines) the process boundary, so worker spans stitch
+        # back to this submission.
+        job = dataclasses.replace(job, span=root.context)
         if traced:
-            self._spawn(self._execute_traced_run(record, job))
+            self._spawn(self._execute_traced_run(record, job, root))
         else:
-            self._spawn(self._execute_run(record, job))
+            self._spawn(self._execute_run(record, job, root))
         return Response.json(
             {
                 "id": record.id,
                 "state": record.state,
                 "result_sha": sha,
                 "coalesced": not traced,
+                "trace_id": record.trace_id,
                 "events": f"/v1/runs/{record.id}/events",
                 "result": f"/v1/results/{sha}",
             },
             status=202,
         )
 
-    async def _execute_run(self, record: Job, job: SweepJob) -> None:
+    async def _execute_run(
+        self, record: Job, job: SweepJob, root: Span
+    ) -> None:
         """Coalesced path: the run rides a shared ``run_batch`` tick."""
         self.store.set_state(record, JobState.RUNNING)
         try:
             result = await self.coalescer.submit(job)
         except Exception as exc:  # noqa: BLE001 -- job fault -> job state
             self.store.set_state(record, JobState.FAILED, error=str(exc))
+            root.set_attr("state", JobState.FAILED)
+            root.end()
             return
         self._finish_run(record, job, result)
+        root.set_attr("state", record.state)
+        root.end()
 
-    async def _execute_traced_run(self, record: Job, job: SweepJob) -> None:
+    async def _execute_traced_run(
+        self, record: Job, job: SweepJob, root: Span
+    ) -> None:
         """Uncoalesced path: live probe events stream into the job's SSE.
 
         A traced run trades batching for observability -- its ProbeBus is
@@ -306,6 +457,8 @@ class ServeApp:
         )
         observability = Observability(job.obs or ObsConfig())
         observability.bus.add_sink(bridge.probe_sink())
+        child = self.tracer.start("run_experiment", parent=root,
+                                  attrs={"traced": True})
         try:
             result = await loop.run_in_executor(
                 self.executor,
@@ -327,11 +480,19 @@ class ServeApp:
                 ),
             )
         except Exception as exc:  # noqa: BLE001 -- job fault -> job state
+            child.set_attr("error", str(exc))
+            child.end()
             self.store.set_state(record, JobState.FAILED, error=str(exc))
+            root.set_attr("state", JobState.FAILED)
+            root.end()
             return
+        child.set_attr("instructions", result.instructions)
+        child.end()
         if self.cache is not None:
             self.cache.put(job, result)
         self._finish_run(record, job, result, publish_steps=False)
+        root.set_attr("state", record.state)
+        root.end()
 
     def _finish_run(
         self,
@@ -376,19 +537,26 @@ class ServeApp:
             },
         )
         record.result_shas.extend(shas)
-        self._spawn(self._execute_sweep(record, jobs))
+        root = self.tracer.start(
+            f"sweep:{record.id}", attrs={"kind": "sweep", "jobs": len(jobs)}
+        )
+        record.trace_id = root.trace_id
+        self._spawn(self._execute_sweep(record, jobs, root))
         return Response.json(
             {
                 "id": record.id,
                 "state": record.state,
                 "jobs": len(jobs),
                 "result_shas": shas,
+                "trace_id": record.trace_id,
                 "events": f"/v1/runs/{record.id}/events",
             },
             status=202,
         )
 
-    async def _execute_sweep(self, record: Job, jobs: List[SweepJob]) -> None:
+    async def _execute_sweep(
+        self, record: Job, jobs: List[SweepJob], root: Span
+    ) -> None:
         self.store.set_state(record, JobState.RUNNING)
         loop = asyncio.get_event_loop()
         bridge = EventBridge(
@@ -403,6 +571,9 @@ class ServeApp:
                 workers=self.config.workers, cache_dir=self.config.cache_dir
             ),
             telemetry=telemetry,
+            tracer=self.tracer,
+            trace_parent=root.context,
+            metrics=self.metrics,
         )
         self._engines.add(engine)
         try:
@@ -411,6 +582,8 @@ class ServeApp:
             )
         except Exception as exc:  # noqa: BLE001 -- engine fault -> job state
             self.store.set_state(record, JobState.FAILED, error=str(exc))
+            root.set_attr("state", JobState.FAILED)
+            root.end()
             return
         failures = []
         for sha, outcome in zip(record.result_shas, outcomes):
@@ -427,6 +600,9 @@ class ServeApp:
             )
         else:
             self.store.set_state(record, JobState.DONE)
+        root.set_attr("state", record.state)
+        root.set_attr("failures", len(failures))
+        root.end()
 
     # -- job status + events -------------------------------------------
 
@@ -456,6 +632,7 @@ class ServeApp:
                 seq, event, payload = item
                 yield format_sse(payload, event=event, event_id=seq)
             if queue.dropped:
+                self._m_sse_dropped.inc(queue.dropped)
                 self.probe.event(
                     "serve_sse_drop",
                     self._now_ns(),

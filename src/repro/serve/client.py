@@ -83,6 +83,25 @@ class ServeClient:
             raise ServeError(response.status, message)
         return parsed
 
+    def request_text(self, method: str, path: str) -> str:
+        """One round trip returning the raw response body as text
+        (non-JSON endpoints such as ``GET /metrics``)."""
+        for attempt in (1, 2):
+            conn = self._connection()
+            try:
+                conn.request(method, path)
+                response = conn.getresponse()
+                data = response.read()
+                break
+            except (http.client.HTTPException, OSError):
+                self.close()
+                if attempt == 2:
+                    raise
+        text = data.decode("utf-8", "replace")
+        if response.status >= 400:
+            raise ServeError(response.status, text)
+        return text
+
     # -- endpoints -----------------------------------------------------
 
     def health(self) -> Dict[str, Any]:
@@ -108,6 +127,13 @@ class ServeClient:
 
     def controller_step(self, payload: Dict[str, Any]) -> Dict[str, Any]:
         return self.request("POST", "/v1/controller/step", payload)
+
+    def metrics_text(self) -> str:
+        """The Prometheus exposition body from ``GET /metrics``."""
+        return self.request_text("GET", "/metrics")
+
+    def get_spans(self, job_id: str) -> Dict[str, Any]:
+        return self.request("GET", f"/v1/spans/{job_id}")
 
     # -- streaming -----------------------------------------------------
 

@@ -37,6 +37,7 @@ from typing import (
 )
 
 from repro.obs.probe import NULL_PROBE
+from repro.obs.spans import NULL_TRACER, TracerLike
 from repro.simcore import run_batch
 
 if TYPE_CHECKING:
@@ -45,6 +46,11 @@ if TYPE_CHECKING:
     from repro.engine.jobs import SweepJob
     from repro.engine.scheduler import SweepEngine
     from repro.mcd.processor import SimulationResult
+    from repro.obs.metrics import MetricsRegistry
+
+#: histogram bounds for batch sizes (a batch has >= 1 request and is
+#: capped by ``max_batch``, typically single digits)
+_BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0)
 
 
 def group_key(job: "SweepJob") -> str:
@@ -70,6 +76,8 @@ class RequestCoalescer:
         executor: "Optional[concurrent.futures.Executor]" = None,
         probe: Any = NULL_PROBE,
         clock_ns: Optional[Callable[[], float]] = None,
+        tracer: TracerLike = NULL_TRACER,
+        metrics: "Optional[MetricsRegistry]" = None,
     ) -> None:
         if max_batch <= 0:
             raise ValueError("max_batch must be positive")
@@ -82,6 +90,7 @@ class RequestCoalescer:
         self.executor = executor
         self.probe = probe
         self.clock_ns = clock_ns or (lambda: 0.0)
+        self.tracer = tracer
         self._pending: "List[Tuple[SweepJob, asyncio.Future]]" = []
         self._timer: Optional[asyncio.Task] = None
         self._inflight: "List[asyncio.Task]" = []
@@ -90,6 +99,32 @@ class RequestCoalescer:
         self.flushes = 0
         self.run_batch_calls = 0
         self.batched_runs = 0
+        # Instruments are resolved once, here, so the metrics-disabled
+        # path makes zero calls into repro.obs.metrics afterwards.
+        self._m_flushes = self._m_run_batch = self._m_batched = None
+        self._m_batch_size = self._m_pending_gauge = None
+        if metrics is not None and metrics.enabled:
+            self._m_flushes = metrics.counter(
+                "repro_serve_coalescer_flushes_total",
+                "Coalescer flush ticks.",
+            )
+            self._m_run_batch = metrics.counter(
+                "repro_serve_coalescer_run_batch_total",
+                "Backend run_batch calls issued by the coalescer.",
+            )
+            self._m_batched = metrics.counter(
+                "repro_serve_coalescer_batched_runs_total",
+                "Individual runs executed through coalesced batches.",
+            )
+            self._m_batch_size = metrics.histogram(
+                "repro_serve_coalescer_batch_size",
+                "Requests per coalescer flush.",
+                buckets=_BATCH_SIZE_BUCKETS,
+            )
+            self._m_pending_gauge = metrics.gauge(
+                "repro_serve_coalescer_pending",
+                "Requests waiting for the next coalescer flush.",
+            )
 
     def stats(self) -> Dict[str, int]:
         return {
@@ -108,6 +143,8 @@ class RequestCoalescer:
         future: asyncio.Future = loop.create_future()
         self._pending.append((job, future))
         self.submitted += 1
+        if self._m_pending_gauge is not None:
+            self._m_pending_gauge.set(len(self._pending))
         if len(self._pending) >= self.max_batch:
             self._cut_batch()
         elif self._timer is None:
@@ -129,6 +166,8 @@ class RequestCoalescer:
         del self._pending[: len(batch)]
         if not batch:
             return
+        if self._m_pending_gauge is not None:
+            self._m_pending_gauge.set(len(self._pending))
         if not self._pending and self._timer is not None:
             self._timer.cancel()
             self._timer = None
@@ -152,13 +191,32 @@ class RequestCoalescer:
             groups=len(groups),
             run_batch_calls=self.run_batch_calls,
         )
+        if self._m_flushes is not None:
+            self._m_flushes.inc()
+            self._m_batch_size.observe(float(len(batch)))
+        flush_span = None
+        if self.tracer.enabled:
+            flush_span = self.tracer.start(
+                "coalescer.flush",
+                attrs={"requests": len(batch), "groups": len(groups)},
+            )
         loop = asyncio.get_event_loop()
         for entries in groups.values():
+            group_span = None
+            if flush_span is not None:
+                group_span = self.tracer.start(
+                    "coalescer.run_batch",
+                    parent=flush_span,
+                    attrs={"runs": len(entries)},
+                )
             try:
                 results = await loop.run_in_executor(
                     self.executor, self._execute_group, entries
                 )
             except Exception as exc:  # noqa: BLE001 -- fault -> awaiters
+                if group_span is not None:
+                    group_span.set_attr("error", f"{type(exc).__name__}: {exc}")
+                    group_span.end()
                 for _, future in entries:
                     if not future.done():
                         future.set_exception(
@@ -168,9 +226,13 @@ class RequestCoalescer:
                             )
                         )
             else:
+                if group_span is not None:
+                    group_span.end()
                 for (_, future), result in zip(entries, results):
                     if not future.done():
                         future.set_result(result)
+        if flush_span is not None:
+            flush_span.end()
 
     def _execute_group(
         self, entries: "List[Tuple[SweepJob, asyncio.Future]]"
@@ -178,8 +240,18 @@ class RequestCoalescer:
         """One ``run_batch`` tick for one homogeneous group (worker thread)."""
         self.run_batch_calls += 1
         self.batched_runs += len(entries)
+        if self._m_run_batch is not None:
+            self._m_run_batch.inc()
+            self._m_batched.inc(len(entries))
         first = entries[0][0]
         seeds = [job.seed for job, _ in entries]
+        kwargs: Dict[str, Any] = {}
+        # Forward per-request span contexts only when a submission actually
+        # carries one, so stub run_batch_fn signatures (tests) and the
+        # tracing-off path never see the extra keyword.
+        span_contexts = [getattr(job, "span", None) for job, _ in entries]
+        if any(span is not None for span in span_contexts):
+            kwargs["spans"] = span_contexts
         return self.run_batch_fn(
             first.benchmark,
             scheme=first.scheme,
@@ -195,6 +267,7 @@ class RequestCoalescer:
             obs=first.obs,
             simcore=first.simcore,
             engine=self.engine_factory(),
+            **kwargs,
         )
 
     # -- shutdown ------------------------------------------------------

@@ -41,6 +41,8 @@ class Job:
         self.spec = spec
         self.state = JobState.QUEUED
         self.error: Optional[str] = None
+        #: trace id of this job's root span (None when tracing is off)
+        self.trace_id: Optional[str] = None
         #: content hashes of this job's results (one per sweep job),
         #: known at submission time -- the cache key is a pure function
         #: of the job spec.
@@ -69,6 +71,8 @@ class Job:
         }
         if self.error is not None:
             payload["error"] = self.error
+        if self.trace_id is not None:
+            payload["trace_id"] = self.trace_id
         return payload
 
 

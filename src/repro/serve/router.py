@@ -45,12 +45,16 @@ class Match:
         handler: Optional[Handler] = None,
         params: Optional[Dict[str, str]] = None,
         allowed: Optional[List[str]] = None,
+        pattern: Optional[str] = None,
     ) -> None:
         self.handler = handler
         self.params = params or {}
         #: methods that WOULD have matched the path (for 405 responses);
         #: empty means the path itself is unknown (404).
         self.allowed = allowed or []
+        #: the matched route's pattern string (``/v1/runs/{id}``), the
+        #: bounded-cardinality label metrics use instead of raw paths.
+        self.pattern = pattern
 
 
 class Router:
@@ -76,6 +80,10 @@ class Router:
             if params is None:
                 continue
             if route.method == method.upper():
-                return Match(handler=route.handler, params=params)
+                return Match(
+                    handler=route.handler,
+                    params=params,
+                    pattern=route.pattern,
+                )
             allowed.append(route.method)
         return Match(allowed=sorted(set(allowed)))

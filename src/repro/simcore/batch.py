@@ -12,13 +12,14 @@ per replica).
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Union
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Sequence, Union
 
 if TYPE_CHECKING:
     from repro.engine.scheduler import SweepEngine
     from repro.mcd.domains import MachineConfig
     from repro.mcd.processor import SimulationResult
     from repro.obs.facade import ObsConfig
+    from repro.obs.spans import SpanContext
     from repro.workloads.phases import BenchmarkSpec
 
 
@@ -36,6 +37,7 @@ def run_batch(
     obs: "Optional[ObsConfig]" = None,
     simcore: Optional[str] = None,
     engine: "Optional[SweepEngine]" = None,
+    spans: "Optional[Sequence[Optional[SpanContext]]]" = None,
 ) -> "List[SimulationResult]":
     """Run one benchmark/scheme point across many seeds; results in seed order.
 
@@ -43,6 +45,10 @@ def run_batch(
     defers to ``REPRO_SIMCORE`` and the default.  ``engine`` is an optional
     :class:`repro.engine.SweepEngine` for parallel/cached execution; without
     one the batch runs serially in-process (still retried and observable).
+    ``spans`` optionally carries one parent
+    :class:`~repro.obs.spans.SpanContext` per seed (the serve coalescer's
+    per-request trace contexts), attached to the constructed jobs so
+    worker spans stitch back to their submitting requests.
     """
     # Imported lazily: repro.engine.jobs imports this package for the
     # cache-key core selection, so a module-level import would be circular.
@@ -52,6 +58,11 @@ def run_batch(
     seed_list = list(seeds)
     if not seed_list:
         raise ValueError("run_batch needs at least one seed")
+    span_list = list(spans) if spans is not None else [None] * len(seed_list)
+    if len(span_list) != len(seed_list):
+        raise ValueError(
+            f"spans ({len(span_list)}) must parallel seeds ({len(seed_list)})"
+        )
     jobs = [
         SweepJob.make(
             benchmark,
@@ -65,8 +76,9 @@ def run_batch(
             adaptive_overrides=adaptive_overrides,
             obs=obs,
             simcore=simcore,
+            span=span,
         )
-        for seed in seed_list
+        for seed, span in zip(seed_list, span_list)
     ]
     results: "List[SimulationResult]" = run_experiment_batch(jobs, engine=engine)
     return results

@@ -73,6 +73,73 @@ def test_enabled_run_does_call_into_obs():
     assert calls, "observed run never entered repro.obs -- tracer broken?"
 
 
+METRICS_FILES = tuple(
+    os.path.join(OBS_DIR, name) for name in ("metrics.py", "spans.py")
+)
+
+
+def test_engine_without_metrics_never_calls_metrics_or_spans():
+    """The engine's metrics/tracing default path is zero-call.
+
+    Instruments are resolved to ``None`` at construction and every span
+    site is gated on ``tracer.enabled``, so a default-configured engine
+    run must make no calls into ``repro.obs.metrics`` or
+    ``repro.obs.spans`` at all -- not even no-op ones.
+    """
+    from repro.engine.scheduler import SweepEngine
+    from repro.engine.jobs import SweepJob
+
+    engine = SweepEngine()  # defaults: no metrics, NULL_TRACER, serial
+    jobs = [SweepJob.make("adpcm-encode", scheme="adaptive",
+                          max_instructions=2000)]
+    calls = []
+
+    def tracer(frame, event, arg):
+        if event == "call" and frame.f_code.co_filename.startswith(
+            METRICS_FILES
+        ):
+            calls.append(
+                f"{os.path.basename(frame.f_code.co_filename)}:"
+                f"{frame.f_code.co_name}"
+            )
+
+    sys.setprofile(tracer)
+    try:
+        outcomes = engine.run(jobs)
+    finally:
+        sys.setprofile(None)
+    assert outcomes[0].ok
+    assert calls == [], (
+        f"metrics-disabled engine entered metrics/spans: {sorted(set(calls))}"
+    )
+
+
+def test_engine_with_metrics_does_call_into_metrics():
+    """The engine-level tracer works: a metered run is seen entering."""
+    from repro.engine.scheduler import SweepEngine
+    from repro.engine.jobs import SweepJob
+    from repro.obs.metrics import MetricsRegistry
+    from repro.obs.spans import SpanRecorder
+
+    engine = SweepEngine(metrics=MetricsRegistry(), tracer=SpanRecorder())
+    jobs = [SweepJob.make("adpcm-encode", scheme="adaptive",
+                          max_instructions=2000)]
+    calls = []
+
+    def tracer(frame, event, arg):
+        if event == "call" and frame.f_code.co_filename.startswith(
+            METRICS_FILES
+        ):
+            calls.append(frame.f_code.co_name)
+
+    sys.setprofile(tracer)
+    try:
+        engine.run(jobs)
+    finally:
+        sys.setprofile(None)
+    assert calls, "metered engine never entered metrics/spans -- guard broken?"
+
+
 def _median_wall_s(obs, repeats: int = 3) -> float:
     times = []
     for _ in range(repeats):

@@ -1,0 +1,168 @@
+"""Strict grammar checks of the Prometheus text exposition renderer.
+
+The scrape endpoint is only useful if real Prometheus servers can parse
+it, so these tests pin the text format line by line: comment structure,
+``TYPE`` before samples, label escaping, and the histogram
+``_bucket``/``_sum``/``_count`` invariants (cumulative, monotone,
+``+Inf`` equals ``_count``).
+"""
+
+from __future__ import annotations
+
+import re
+
+from repro.obs.metrics import MetricsRegistry
+from repro.serve.top import parse_prometheus
+
+#: one exposition sample line: name, optional {labels}, numeric value.
+#: label values are quoted strings that may contain anything escaped
+#: (including ``{``/``}``), so the labels group is built from the quoted
+#: string grammar, not a lazy "no braces" class.
+SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r'(?P<labels>\{(?:[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*",?)*\})?'
+    r" (?P<value>[0-9eE+.\-]+|\+Inf|-Inf|NaN)$"
+)
+COMMENT_LINE = re.compile(
+    r"^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$"
+)
+LABEL_PAIR = re.compile(r'^[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*"$')
+
+
+def _registry_with_everything() -> MetricsRegistry:
+    registry = MetricsRegistry()
+    registry.counter("plain_total", "a plain counter").inc(3)
+    fam = registry.counter_family(
+        "labeled_total", "labeled counter", ("method", "route")
+    )
+    fam.labels(method="GET", route="/v1/runs/{id}").inc()
+    fam.labels(method="POST", route="/v1/runs").inc(2)
+    registry.gauge("depth", "a gauge").set(2.5)
+    hist = registry.histogram("lat_seconds", "latency", buckets=(0.1, 1.0))
+    for value in (0.05, 0.5, 5.0):
+        hist.observe(value)
+    return registry
+
+
+def test_every_line_matches_the_grammar():
+    text = _registry_with_everything().render_prometheus()
+    assert text.endswith("\n")
+    for line in text.strip("\n").split("\n"):
+        assert SAMPLE_LINE.match(line) or COMMENT_LINE.match(line), (
+            f"line fails exposition grammar: {line!r}"
+        )
+
+
+def test_type_line_precedes_samples_of_each_family():
+    text = _registry_with_everything().render_prometheus()
+    seen_type = set()
+    for line in text.strip("\n").split("\n"):
+        if line.startswith("# TYPE "):
+            seen_type.add(line.split()[2])
+            continue
+        if line.startswith("#"):
+            continue
+        name = SAMPLE_LINE.match(line).group("name")
+        base = re.sub(r"_(bucket|sum|count)$", "", name)
+        assert name in seen_type or base in seen_type, (
+            f"sample before its TYPE line: {line!r}"
+        )
+
+
+def test_type_kinds_are_correct():
+    text = _registry_with_everything().render_prometheus()
+    kinds = {
+        line.split()[2]: line.split()[3]
+        for line in text.split("\n")
+        if line.startswith("# TYPE ")
+    }
+    assert kinds["plain_total"] == "counter"
+    assert kinds["labeled_total"] == "counter"
+    assert kinds["depth"] == "gauge"
+    assert kinds["lat_seconds"] == "histogram"
+
+
+def test_label_pairs_are_well_formed():
+    text = _registry_with_everything().render_prometheus()
+    for line in text.strip("\n").split("\n"):
+        match = SAMPLE_LINE.match(line)
+        if not match or not match.group("labels"):
+            continue
+        body = match.group("labels")[1:-1]
+        # split on commas not inside quotes
+        for pair in re.split(r',(?=[a-zA-Z_])', body):
+            assert LABEL_PAIR.match(pair), f"bad label pair {pair!r} in {line!r}"
+
+
+def test_weird_label_values_round_trip():
+    registry = MetricsRegistry()
+    fam = registry.counter_family("odd_total", "", ("k",))
+    weird = 'a"b\\c\nd'
+    fam.labels(k=weird).inc(7)
+    text = registry.render_prometheus()
+    # escaped on the wire...
+    assert '\\"' in text and "\\\\" in text and "\\n" in text
+    assert "\n" not in text.split('odd_total{', 1)[1].split("} ", 1)[0]
+    # ...and recovered exactly by the parser
+    samples = [s for s in parse_prometheus(text) if s.name == "odd_total"]
+    assert samples and samples[0].labels == (("k", weird),)
+    assert samples[0].value == 7.0
+
+
+def test_histogram_bucket_invariants():
+    registry = MetricsRegistry()
+    hist = registry.histogram("h_seconds", "h", buckets=(0.1, 1.0, 10.0))
+    for value in (0.05, 0.05, 0.5, 2.0, 100.0):
+        hist.observe(value)
+    samples = parse_prometheus(registry.render_prometheus())
+    buckets = [
+        (dict(s.labels)["le"], s.value)
+        for s in samples
+        if s.name == "h_seconds_bucket"
+    ]
+    count = next(s.value for s in samples if s.name == "h_seconds_count")
+    total = next(s.value for s in samples if s.name == "h_seconds_sum")
+    # one series per bound plus +Inf, in increasing bound order
+    assert [le for le, _ in buckets] == ["0.1", "1.0", "10.0", "+Inf"]
+    values = [v for _, v in buckets]
+    assert values == sorted(values), "cumulative buckets must be monotone"
+    assert values == [2, 3, 4, 5]
+    assert values[-1] == count == 5
+    assert total == sum((0.05, 0.05, 0.5, 2.0, 100.0))
+
+
+def test_histogram_labels_compose_with_le():
+    registry = MetricsRegistry()
+    fam = registry.histogram_family(
+        "lat_seconds", "", ("route",), buckets=(1.0,)
+    )
+    fam.labels(route="/a").observe(0.5)
+    text = registry.render_prometheus()
+    assert 'lat_seconds_bucket{route="/a",le="1.0"} 1' in text
+    assert 'lat_seconds_bucket{route="/a",le="+Inf"} 1' in text
+    assert 'lat_seconds_sum{route="/a"} 0.5' in text
+    assert 'lat_seconds_count{route="/a"} 1' in text
+
+
+def test_help_lines_escape_newlines():
+    registry = MetricsRegistry()
+    registry.counter("c_total", "line one\nline two")
+    text = registry.render_prometheus()
+    assert "# HELP c_total line one\\nline two" in text
+
+
+def test_empty_registry_renders_empty_string():
+    assert MetricsRegistry().render_prometheus() == ""
+
+
+def test_children_render_sorted_by_label_values():
+    registry = MetricsRegistry()
+    fam = registry.counter_family("s_total", "", ("k",))
+    for key in ("zeta", "alpha", "mid"):
+        fam.labels(k=key).inc()
+    lines = [
+        line
+        for line in registry.render_prometheus().split("\n")
+        if line.startswith("s_total{")
+    ]
+    assert lines == sorted(lines)
