@@ -20,6 +20,7 @@ from __future__ import annotations
 import hashlib
 import os
 import re
+import threading
 from typing import Dict, Optional
 
 from repro.engine.jobs import SweepJob
@@ -84,6 +85,9 @@ class ResultCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        # one cache instance serves the loop's /v1/results path and
+        # multiple executor threads; bare += would drop counts
+        self._lock = threading.Lock()
 
     def path_for(self, job: SweepJob) -> str:
         return entry_path(self.root, job_cache_key(job))
@@ -91,10 +95,11 @@ class ResultCache:
     def get_by_key(self, key: str) -> Optional[SimulationResult]:
         """:func:`get_by_key` against this cache's root, with counters."""
         result = get_by_key(key, self.root)
-        if result is None:
-            self.misses += 1
-        else:
-            self.hits += 1
+        with self._lock:
+            if result is None:
+                self.misses += 1
+            else:
+                self.hits += 1
         return result
 
     def get(self, job: SweepJob) -> Optional[SimulationResult]:
@@ -110,12 +115,15 @@ class ResultCache:
             results = persistence.load_result_objects(path)
         except (OSError, ValueError, KeyError, EOFError):
             # missing, truncated, corrupt, or wrong-version entry: a miss
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
         if len(results) != 1:
-            self.misses += 1
+            with self._lock:
+                self.misses += 1
             return None
-        self.hits += 1
+        with self._lock:
+            self.hits += 1
         return results[0]
 
     def put(self, job: SweepJob, result: SimulationResult) -> Optional[str]:
@@ -128,7 +136,8 @@ class ResultCache:
             )
         except OSError:
             return None
-        self.stores += 1
+        with self._lock:
+            self.stores += 1
         return path
 
     def stats(self) -> Dict[str, int]:

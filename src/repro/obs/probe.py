@@ -106,7 +106,10 @@ class ProbeBus:
     # -- metric families ----------------------------------------------
 
     def count(self, name: str, value: float = 1) -> None:
-        self.counters[name] = self.counters.get(name, 0) + value
+        # each ProbeBus instance is single-owner: the serve app's bus
+        # lives on the event loop, a run's bus on its executor thread;
+        # cross-context delivery goes through the EventBridge hop.
+        self.counters[name] = self.counters.get(name, 0) + value  # statcheck: disable=LOCK001 -- single-owner bus instance
 
     def gauge(self, name: str, value: float) -> None:
         self.gauges[name] = value

@@ -95,7 +95,10 @@ class Span:
         return SpanContext(trace_id=self.trace_id, span_id=self.span_id)
 
     def set_attr(self, key: str, value: Any) -> None:
-        self.attrs[key] = value
+        # each Span instance is owned by exactly one context (the loop
+        # span in a handler, the worker span in its process); only the
+        # finished dict crosses boundaries, so writes need no lock.
+        self.attrs[key] = value  # statcheck: disable=LOCK001 -- single-owner span instance
 
     def to_dict(self) -> Dict[str, Any]:
         end_ns = self.start_ns if self.end_ns is None else self.end_ns
@@ -119,7 +122,7 @@ class Span:
         """
         if self.end_ns is not None:
             return self.to_dict()
-        self.end_ns = int(time.time_ns() if end_ns is None else end_ns)
+        self.end_ns = int(time.time_ns() if end_ns is None else end_ns)  # statcheck: disable=LOCK001 -- single-owner span instance; end() is idempotent
         payload = self.to_dict()
         if self._recorder is not None:
             self._recorder.record(payload)

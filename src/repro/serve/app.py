@@ -68,6 +68,12 @@ from repro.workloads.suite import BENCHMARKS, get_benchmark
 #: how many recent results stay addressable by hash without a cache dir.
 RESULT_WINDOW = 256
 
+#: methods worth distinguishing in metrics; anything else (clients can
+#: send arbitrary verbs) collapses to "other" to bound label cardinality.
+_HTTP_METHODS = frozenset(
+    {"GET", "POST", "PUT", "DELETE", "PATCH", "HEAD", "OPTIONS"}
+)
+
 
 @dataclasses.dataclass
 class ServeConfig:
@@ -283,15 +289,15 @@ class ServeApp:
             except BadRequest as exc:
                 response = Response.error(exc.status, str(exc))
         wall_s = time.monotonic() - started
-        # route label from the matched pattern, not the raw path --
-        # bounded cardinality no matter what clients request.
+        # route label from the matched pattern, not the raw path, and the
+        # method clamped to the known verbs -- bounded cardinality no
+        # matter what clients request.
         route = match.pattern or "unmatched"
+        method = request.method if request.method in _HTTP_METHODS else "other"
         self._m_requests.labels(
-            method=request.method, route=route, status=str(response.status)
+            method=method, route=route, status=str(response.status)
         ).inc()
-        self._m_latency.labels(method=request.method, route=route).observe(
-            wall_s
-        )
+        self._m_latency.labels(method=method, route=route).observe(wall_s)
         self.probe.event(
             "serve_request",
             self._now_ns(),
@@ -489,7 +495,10 @@ class ServeApp:
         child.set_attr("instructions", result.instructions)
         child.end()
         if self.cache is not None:
-            self.cache.put(job, result)
+            # gzip + fsync off the loop; the store is best-effort anyway
+            await loop.run_in_executor(
+                self.executor, self.cache.put, job, result
+            )
         self._finish_run(record, job, result, publish_steps=False)
         root.set_attr("state", record.state)
         root.end()
@@ -654,7 +663,11 @@ class ServeApp:
         sha = request.params.get("sha", "")
         result = self._results.get(sha)
         if result is None and self.cache is not None:
-            result = self.cache.get_by_key(sha)
+            # the cache read decompresses a result file; keep it off the loop
+            loop = asyncio.get_event_loop()
+            result = await loop.run_in_executor(
+                self.executor, self.cache.get_by_key, sha
+            )
         if result is None:
             raise BadRequest(f"no result for hash {sha!r}", status=404)
         payload = result_to_dict(result, include_history=False)

@@ -64,8 +64,15 @@ def group_key(job: "SweepJob") -> str:
     return json.dumps(payload, sort_keys=True)
 
 
+# statcheck: loop-confined
 class RequestCoalescer:
-    """Accumulate submissions; flush them as grouped ``run_batch`` calls."""
+    """Accumulate submissions; flush them as grouped ``run_batch`` calls.
+
+    Loop-confined: the pending list, timer, and stats counters are only
+    touched from event-loop coroutines.  The single exception is
+    :meth:`_execute_group`, which runs on the executor and is written to
+    touch nothing but its arguments and thread-safe instruments.
+    """
 
     def __init__(
         self,
@@ -209,6 +216,13 @@ class RequestCoalescer:
                     parent=flush_span,
                     attrs={"runs": len(entries)},
                 )
+            # stats are plain ints owned by the loop; count the call here
+            # rather than in the worker-thread body.
+            self.run_batch_calls += 1
+            self.batched_runs += len(entries)
+            if self._m_run_batch is not None:
+                self._m_run_batch.inc()
+                self._m_batched.inc(len(entries))
             try:
                 results = await loop.run_in_executor(
                     self.executor, self._execute_group, entries
@@ -234,15 +248,15 @@ class RequestCoalescer:
         if flush_span is not None:
             flush_span.end()
 
+    # statcheck: thread-safe
     def _execute_group(
         self, entries: "List[Tuple[SweepJob, asyncio.Future]]"
     ) -> "List[SimulationResult]":
-        """One ``run_batch`` tick for one homogeneous group (worker thread)."""
-        self.run_batch_calls += 1
-        self.batched_runs += len(entries)
-        if self._m_run_batch is not None:
-            self._m_run_batch.inc()
-            self._m_batched.inc(len(entries))
+        """One ``run_batch`` tick for one homogeneous group (worker thread).
+
+        Thread-safe by construction: reads only its arguments and
+        immutable config; all coalescer state mutation stays on the loop.
+        """
         first = entries[0][0]
         seeds = [job.seed for job, _ in entries]
         kwargs: Dict[str, Any] = {}

@@ -76,8 +76,15 @@ class Job:
         return payload
 
 
+# statcheck: loop-confined
 class JobStore:
-    """Registry of jobs; evicts the oldest finished jobs past capacity."""
+    """Registry of jobs; evicts the oldest finished jobs past capacity.
+
+    Loop-confined: every mutation (create, state changes, publish,
+    eviction) happens on the event loop.  Worker threads that need to
+    publish must hop through ``loop.call_soon_threadsafe`` (see
+    :class:`repro.obs.bridge.EventBridge`), never call in directly.
+    """
 
     def __init__(self, max_jobs: int = 1024, history_limit: int = 8192,
                  queue_size: int = 1024) -> None:

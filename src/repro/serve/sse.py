@@ -48,13 +48,15 @@ def format_sse(
     return ("\n".join(lines) + "\n\n").encode("utf-8")
 
 
+# statcheck: loop-confined
 class DropOldestQueue:
     """Bounded single-consumer queue that sheds the oldest item when full.
 
     ``put`` never blocks (it is called from the event loop by
     thread-safe callbacks and must not await); ``get`` awaits the next
     item.  ``close`` wakes the consumer with ``None`` after the buffered
-    items drain.
+    items drain.  Loop-confined: producers on other threads must enter
+    via ``loop.call_soon_threadsafe(queue.put, item)``.
     """
 
     def __init__(self, maxsize: int = 1024) -> None:

@@ -14,13 +14,15 @@ failures from them):
 from __future__ import annotations
 
 import argparse
+import collections
 import os
 import subprocess
 import sys
+import time
 from typing import List, Optional
 
 from repro.statcheck.baseline import Baseline
-from repro.statcheck.engine import Analyzer
+from repro.statcheck.engine import AnalysisReport, Analyzer
 from repro.statcheck.incremental import IncrementalAnalyzer
 from repro.statcheck.registry import all_rules
 from repro.statcheck.reporters import RENDERERS
@@ -125,6 +127,12 @@ def add_arguments(parser: argparse.ArgumentParser) -> None:
         help="fail suppressions that lack a '-- reason' justification "
         "(reported as SUP001, never itself suppressible)",
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print a run summary (files, cache hit ratio, per-rule "
+        "finding counts, wall time) to stderr; stdout stays pure",
+    )
 
 
 def _split_rules(value: Optional[str]) -> Optional[List[str]]:
@@ -152,6 +160,28 @@ def _changed_paths(base: str) -> List[str]:
     ]
 
 
+def _print_stats(report: "AnalysisReport", wall_s: float) -> None:
+    """One human summary of the run on stderr (``--stats``)."""
+    parts = [f"files={report.files_scanned}"]
+    incremental = report.incremental
+    if incremental and incremental.get("enabled"):
+        ratio = float(incremental.get("hit_ratio", 0.0))  # type: ignore[arg-type]
+        parts.append(f"cache_hit_ratio={ratio:.0%}")
+    else:
+        parts.append("cache_hit_ratio=n/a")
+    by_rule = collections.Counter(f.rule for f in report.findings)
+    if by_rule:
+        counts = ",".join(
+            f"{rule}:{count}" for rule, count in sorted(by_rule.items())
+        )
+        parts.append(f"findings={counts}")
+    else:
+        parts.append("findings=0")
+    parts.append(f"rules={len(report.rules)}")
+    parts.append(f"wall_s={wall_s:.2f}")
+    print("statcheck stats: " + " ".join(parts), file=sys.stderr)
+
+
 def run(args: argparse.Namespace) -> int:
     """Execute one analysis; may raise (callers map crashes to exit 2)."""
     if args.list_rules:
@@ -160,6 +190,7 @@ def run(args: argparse.Namespace) -> int:
             print(f"{cls.id}  [{cls.severity.value}]  ({scope})")
             print(f"    {cls.description}")
         return EXIT_CLEAN
+    started = time.monotonic()
     try:
         per_file_paths = (
             _changed_paths(args.changed_only)
@@ -197,6 +228,8 @@ def run(args: argparse.Namespace) -> int:
         report.findings = screened.new
         report.baseline = dict(screened.to_dict())
 
+    if args.stats:
+        _print_stats(report, time.monotonic() - started)
     print(RENDERERS[args.format](report))
     return EXIT_CLEAN if report.ok else EXIT_FINDINGS
 

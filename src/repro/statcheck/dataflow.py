@@ -172,6 +172,7 @@ class ForwardWalker(Generic[V]):
         if isinstance(stmt, ast.Return):
             if stmt.value is not None:
                 self.infer(stmt.value, env)
+            self.on_return(stmt, env)
             return env
         if isinstance(stmt, ast.Expr):
             self.infer(stmt.value, env)
@@ -199,6 +200,12 @@ class ForwardWalker(Generic[V]):
     ) -> Optional[V]:
         """Value of ``x op= e``; defaults to keeping the left value."""
         return left
+
+    def on_return(self, stmt: ast.Return, env: Dict[str, Optional[V]]) -> None:
+        """Hook invoked at every ``return`` with the environment in
+        effect there (after the value expression has been inferred).
+        Lets path-sensitive checks -- e.g. span start/end pairing --
+        observe what escapes the function on each exit path."""
 
 
 # ---------------------------------------------------------------------------

@@ -1,0 +1,247 @@
+"""MET001: metrics label values must have bounded cardinality.
+
+Every distinct label value materializes a child time series that lives
+for the process lifetime (:class:`~repro.obs.metrics.MetricFamily`
+interns children forever).  A label fed from request or job data --
+``labels(path=request.path)``, ``labels(job=job.name)`` -- grows
+without bound and eventually *is* the memory leak.
+
+The rule checks every ``*.labels(...)`` argument for bounded origin,
+reasoning locally (you should not need whole-program context to know a
+label's cardinality):
+
+* string/number literals and module-level constants are bounded;
+* attribute reads off module-level names (``JobState.QUEUED``) are
+  bounded -- class-level enumerations are static;
+* ``for state in (A, B, C):`` loop variables over literal collections
+  are bounded;
+* the **clamp idiom** is bounded: ``x if x in KNOWN else "other"``
+  where ``KNOWN`` is a literal (or module-level) set/tuple/frozenset;
+* ``str(x)`` is bounded iff ``x`` is; ``.pattern`` / ``.status`` reads
+  are allowlisted (router patterns and HTTP status codes are static);
+* everything else that traces back to a parameter or local of the
+  enclosing function is **unbounded** -- clamp it at the use site.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set
+
+from repro.statcheck.astutil import FUNCTION_NODES, dotted_name, walk_scope
+from repro.statcheck.engine import Rule, SourceFile
+from repro.statcheck.findings import Finding
+from repro.statcheck.registry import register
+
+#: attribute reads considered bounded wherever they come from: router
+#: match patterns and HTTP status codes form small static sets.
+_BOUNDED_ATTRS = frozenset({"pattern", "status"})
+
+#: calls that preserve boundedness of their single argument
+_CAST_FUNCTIONS = frozenset({"str", "int", "repr", "format"})
+
+#: literal-collection constructors
+_COLLECTION_CONSTRUCTORS = frozenset({"set", "frozenset", "tuple", "list"})
+
+
+def _literal_collection_elements(expr: ast.expr) -> Optional[List[ast.expr]]:
+    """Elements of a literal set/tuple/list (possibly wrapped in a
+    ``frozenset({...})``-style constructor call), else ``None``."""
+    if isinstance(expr, (ast.Set, ast.Tuple, ast.List)):
+        return list(expr.elts)
+    if (
+        isinstance(expr, ast.Call)
+        and isinstance(expr.func, ast.Name)
+        and expr.func.id in _COLLECTION_CONSTRUCTORS
+        and len(expr.args) == 1
+    ):
+        return _literal_collection_elements(expr.args[0])
+    return None
+
+
+class _FunctionEnv:
+    """Name origins inside one function: what is locally bound, what is
+    bound once to a known expression, what iterates a literal set."""
+
+    def __init__(self, fn: ast.AST, module_bounded: Set[str]) -> None:
+        self.module_bounded = module_bounded
+        self.bound_names: Set[str] = set()
+        self.single_assign: Dict[str, ast.expr] = {}
+        self.loop_bounded: Set[str] = set()
+        args = fn.args  # type: ignore[attr-defined]
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            self.bound_names.add(arg.arg)
+        poisoned: Set[str] = set()
+        for node in walk_scope(fn):
+            if isinstance(node, ast.Name) and isinstance(
+                node.ctx, (ast.Store, ast.Del)
+            ):
+                self.bound_names.add(node.id)
+            if (
+                isinstance(node, ast.Assign)
+                and len(node.targets) == 1
+                and isinstance(node.targets[0], ast.Name)
+            ):
+                name = node.targets[0].id
+                if name in self.single_assign or name in poisoned:
+                    self.single_assign.pop(name, None)
+                    poisoned.add(name)
+                else:
+                    self.single_assign[name] = node.value
+            elif isinstance(node, (ast.For, ast.AsyncFor)):
+                if isinstance(node.target, ast.Name):
+                    elements = _literal_collection_elements(node.iter)
+                    iter_name = (
+                        node.iter.id
+                        if isinstance(node.iter, ast.Name)
+                        else None
+                    )
+                    if elements is not None or (
+                        iter_name is not None
+                        and iter_name in self.module_bounded
+                    ):
+                        self.loop_bounded.add(node.target.id)
+
+    def is_bounded(self, expr: ast.expr, depth: int = 0) -> bool:
+        if depth > 6:
+            return False
+        if isinstance(expr, ast.Constant):
+            return True
+        if isinstance(expr, ast.JoinedStr):
+            return all(
+                self.is_bounded(value.value, depth + 1)
+                if isinstance(value, ast.FormattedValue)
+                else True
+                for value in expr.values
+            )
+        if isinstance(expr, ast.Name):
+            if expr.id in self.loop_bounded:
+                return True
+            if expr.id in self.single_assign:
+                return self.is_bounded(self.single_assign[expr.id], depth + 1)
+            if expr.id in self.bound_names:
+                return False  # parameter or untracked local: request data
+            # a module-level name: a constant, class, or import --
+            # static by construction (fails open on imported values)
+            return True
+        if isinstance(expr, ast.Attribute):
+            if expr.attr in _BOUNDED_ATTRS:
+                return True
+            base = expr.value
+            while isinstance(base, ast.Attribute):
+                base = base.value
+            if isinstance(base, ast.Name) and base.id not in self.bound_names:
+                # attribute of a module-level name: JobState.QUEUED
+                return True
+            return False
+        if isinstance(expr, ast.Call):
+            if (
+                isinstance(expr.func, ast.Name)
+                and expr.func.id in _CAST_FUNCTIONS
+                and len(expr.args) == 1
+            ):
+                return self.is_bounded(expr.args[0], depth + 1)
+            return False
+        if isinstance(expr, ast.IfExp):
+            if self._is_clamp(expr):
+                return True
+            return self.is_bounded(expr.body, depth + 1) and self.is_bounded(
+                expr.orelse, depth + 1
+            )
+        if isinstance(expr, ast.BoolOp):
+            return all(
+                self.is_bounded(value, depth + 1) for value in expr.values
+            )
+        return False
+
+    def _is_clamp(self, expr: ast.IfExp) -> bool:
+        """``x if x in KNOWN else "other"``: membership in a static
+        collection proves boundedness regardless of where x came from."""
+        test = expr.test
+        if not (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.In)
+        ):
+            return False
+        container = test.comparators[0]
+        is_static = _literal_collection_elements(container) is not None or (
+            isinstance(container, ast.Name)
+            and container.id in self.module_bounded
+        )
+        return is_static and self.is_bounded(expr.orelse, 1)
+
+
+def _module_bounded_names(tree: ast.Module) -> Set[str]:
+    """Module-level names bound to literal collections (the clamp sets)."""
+    names: Set[str] = set()
+    for stmt in tree.body:
+        value: Optional[ast.expr] = None
+        targets: List[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            value, targets = stmt.value, list(stmt.targets)
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            value, targets = stmt.value, [stmt.target]
+        if value is None or _literal_collection_elements(value) is None:
+            continue
+        for target in targets:
+            if isinstance(target, ast.Name):
+                names.add(target.id)
+    return names
+
+
+@register
+class MetricsLabelCardinalityRule(Rule):
+    """Label values come from static sets, not request data."""
+
+    id = "MET001"
+    description = (
+        "metrics label values must have statically bounded cardinality "
+        "(constants, enumerations, clamped sets): every distinct value "
+        "interns a child series for the process lifetime, so "
+        "request-derived labels are an unbounded memory leak"
+    )
+    scope = ()
+
+    def check_file(self, file: SourceFile) -> Iterator[Finding]:
+        assert file.tree is not None
+        module_bounded = _module_bounded_names(file.tree)
+        for fn in ast.walk(file.tree):
+            if not isinstance(fn, FUNCTION_NODES):
+                continue
+            env: Optional[_FunctionEnv] = None
+            for node in walk_scope(fn):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "labels"
+                ):
+                    continue
+                receiver = dotted_name(node.func.value)
+                arguments = [(None, arg) for arg in node.args] + [
+                    (kw.arg, kw.value) for kw in node.keywords
+                ]
+                for label_name, value in arguments:
+                    if env is None:
+                        env = _FunctionEnv(fn, module_bounded)
+                    if env.is_bounded(value):
+                        continue
+                    label = (
+                        f"label {label_name}" if label_name else "label value"
+                    )
+                    origin = dotted_name(value)
+                    shown = f" ({origin})" if origin is not None else ""
+                    yield self.finding(
+                        file,
+                        value,
+                        f"{label} on {receiver or 'metric'}.labels() flows "
+                        f"from request/job data{shown}; clamp it to a "
+                        "static set (value if value in KNOWN else "
+                        "\"other\") or use an enumeration",
+                    )

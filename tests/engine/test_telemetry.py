@@ -65,8 +65,13 @@ class TestJsonlEventLog:
         path = str(tmp_path / "events.jsonl")
         first = tm.JsonlEventLog(path)
         first(tm.TelemetryEvent(kind=tm.SWEEP_STARTED, timestamp=0.0))
-        tm.JsonlEventLog(path)  # a new sweep starts a fresh log
-        assert open(path).read() == ""
+        # a new sweep starts a fresh log; truncation is lazy (no file
+        # I/O in the constructor), so it lands with the first event
+        second = tm.JsonlEventLog(path)
+        assert open(path).read() != ""  # untouched until an event arrives
+        second(tm.TelemetryEvent(kind=tm.SWEEP_FINISHED, timestamp=1.0))
+        lines = [json.loads(l) for l in open(path).read().splitlines()]
+        assert [rec["event"] for rec in lines] == [tm.SWEEP_FINISHED]
 
 
 class TestProgressReporter:

@@ -1,0 +1,36 @@
+"""ASYNC001 clean fixture: the sanctioned off-loop patterns.
+
+Blocking work is dispatched through ``run_in_executor`` (the executor
+hop breaks loop reachability for the dispatched callee), coroutines
+sleep asynchronously, and sync-only helpers may block freely -- they
+are never reachable from a coroutine.
+"""
+
+import asyncio
+import functools
+import time
+
+
+def run_experiment(benchmark):
+    return benchmark
+
+
+def _blocking_load(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+async def handle(request):
+    await asyncio.sleep(0.1)
+    loop = asyncio.get_event_loop()
+    data = await loop.run_in_executor(None, _blocking_load, request.path)
+    result = await loop.run_in_executor(
+        None, functools.partial(run_experiment, request.benchmark)
+    )
+    return data, result
+
+
+def scrape_loop(interval):
+    # sync-only entry point: blocking here is fine (repro-dvfs top)
+    while True:
+        time.sleep(interval)

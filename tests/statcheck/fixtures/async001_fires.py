@@ -1,0 +1,33 @@
+"""ASYNC001 firing fixture: blocking calls reachable from coroutines.
+
+``handle`` blocks directly three ways; ``refresh`` blocks inside a sync
+helper that the coroutine calls (reachability, not just direct bodies);
+``snapshot`` runs a scalar simulation synchronously.
+"""
+
+import subprocess
+import time
+
+
+def run_experiment(benchmark):
+    return benchmark
+
+
+def _reload_config(path):
+    with open(path) as handle:
+        return handle.read()
+
+
+async def handle(request):
+    time.sleep(0.1)
+    subprocess.run(["ls"])
+    data = request.path.read_text()
+    return data
+
+
+async def refresh(path):
+    return _reload_config(path)
+
+
+async def snapshot(job):
+    return run_experiment(job.benchmark)

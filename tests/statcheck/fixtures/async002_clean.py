@@ -1,0 +1,21 @@
+"""ASYNC002 clean fixture: retained, awaited, or tracked task handles."""
+
+import asyncio
+
+
+class App:
+    def __init__(self):
+        self._tasks = set()
+
+    async def kick_off(self, job):
+        task = asyncio.create_task(job.run())
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+
+    async def run_now(self, job):
+        await asyncio.create_task(job.run())
+
+    async def gather(self, jobs):
+        return await asyncio.gather(
+            *(asyncio.ensure_future(job.run()) for job in jobs)
+        )

@@ -1,0 +1,12 @@
+"""ASYNC002 firing fixture: spawned tasks whose handles are dropped."""
+
+import asyncio
+
+
+async def kick_off(job):
+    asyncio.create_task(job.run())
+    asyncio.ensure_future(job.finalize())
+
+
+async def schedule(loop, job):
+    loop.create_task(job.run())

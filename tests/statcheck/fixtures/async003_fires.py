@@ -1,0 +1,34 @@
+"""ASYNC003 firing fixture: loop-confined methods called off-loop.
+
+``Registry`` is marked loop-confined.  ``start_thread`` hands a bound
+method straight to a Thread, ``offload`` dispatches one through
+``run_in_executor``, and ``_worker`` (itself a thread target) calls in
+directly -- all three violate confinement.
+"""
+
+import asyncio
+import threading
+
+
+# statcheck: loop-confined
+class Registry:
+    def __init__(self):
+        self.jobs = {}
+
+    def publish(self, key, value):
+        self.jobs[key] = value
+
+    def start_thread(self):
+        thread = threading.Thread(target=self.publish)
+        thread.start()
+
+    async def offload(self, key, value):
+        loop = asyncio.get_event_loop()
+        await loop.run_in_executor(None, self.publish, key, value)
+
+    def _worker(self):
+        self.publish("job", 1)
+
+    def spawn_worker(self):
+        thread = threading.Thread(target=self._worker)
+        thread.start()

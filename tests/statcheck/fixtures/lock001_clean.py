@@ -1,0 +1,36 @@
+"""LOCK001 clean fixture: guarded writes, single-context writers.
+
+``Guarded`` holds its lock around every cross-context write;
+``LoopOnly`` is written from coroutines exclusively, so it needs (and
+takes) no lock; ``__init__`` writes are exempt everywhere.
+"""
+
+import threading
+
+
+class Guarded:
+    def __init__(self):
+        self.hits = 0
+        self._lock = threading.Lock()
+
+    def record(self, value):
+        with self._lock:
+            self.hits += value
+
+    async def handle(self, value):
+        self.record(value)
+
+    def start(self):
+        thread = threading.Thread(target=self.record)
+        thread.start()
+
+
+class LoopOnly:
+    def __init__(self):
+        self.requests = 0
+
+    async def handle(self):
+        self.requests += 1
+
+    async def reset(self):
+        self.requests = 0

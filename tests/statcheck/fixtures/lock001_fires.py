@@ -1,0 +1,26 @@
+"""LOCK001 firing fixture: one attribute, two contexts, no lock.
+
+``Stats.record`` is reachable from a coroutine (loop context) AND is a
+thread target (thread context); its unguarded ``self.hits`` increment
+and ``self.samples.append`` both race.
+"""
+
+import threading
+
+
+class Stats:
+    def __init__(self):
+        self.hits = 0
+        self.samples = []
+        self._lock = threading.Lock()
+
+    def record(self, value):
+        self.hits += 1
+        self.samples.append(value)
+
+    async def handle(self, value):
+        self.record(value)
+
+    def start(self):
+        thread = threading.Thread(target=self.record)
+        thread.start()

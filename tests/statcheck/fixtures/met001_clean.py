@@ -1,0 +1,35 @@
+"""MET001 clean fixture: every bounded-origin shape the rule accepts."""
+
+_METHODS = frozenset({"GET", "POST", "DELETE"})
+OUTCOMES = ("finished", "failed", "cancelled")
+
+
+class JobState:
+    QUEUED = "queued"
+
+
+class Handler:
+    def __init__(self, metrics):
+        self.requests = metrics.counter_family(
+            "requests_total", "Requests.", ("method", "route", "status")
+        )
+
+    def handle(self, request, match, response):
+        # clamp idiom: membership in a static set bounds anything
+        method = request.method if request.method in _METHODS else "other"
+        self.requests.labels(
+            method=method,
+            # allowlisted attrs: router patterns / HTTP statuses
+            route=match.pattern or "unmatched",
+            status=str(response.status),
+        ).inc()
+
+    def enumerate_outcomes(self):
+        for outcome in OUTCOMES:
+            self.requests.labels(method=outcome).inc()
+        for state in ("a", "b"):
+            self.requests.labels(method=state).inc()
+
+    def constants(self):
+        self.requests.labels(method="GET").inc()
+        self.requests.labels(method=JobState.QUEUED).inc()

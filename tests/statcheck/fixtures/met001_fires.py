@@ -1,0 +1,16 @@
+"""MET001 firing fixture: request data flowing into metrics labels."""
+
+
+class Handler:
+    def __init__(self, metrics):
+        self.requests = metrics.counter_family(
+            "requests_total", "Requests.", ("path", "user")
+        )
+
+    def handle(self, request):
+        self.requests.labels(path=request.path).inc()
+        user = request.user
+        self.requests.labels(user=user).inc()
+
+    def positional(self, request):
+        self.requests.labels(request.path).inc()

@@ -1,0 +1,39 @@
+"""SPAN001 clean fixture: ended, escaped, and with-managed spans."""
+
+
+def ended(tracer, job):
+    span = tracer.start("run")
+    try:
+        return job.execute()
+    finally:
+        span.end()
+
+
+def with_managed(tracer, job):
+    with tracer.start("run") as span:
+        span.set_attr("job", job.id)
+        return job.execute()
+
+
+def returned(tracer):
+    span = tracer.start("run")
+    return span  # the caller owns it now
+
+
+def stored(self_like, tracer):
+    span = tracer.start("run")
+    self_like.current = span  # an owner field ends it later
+
+
+def passed_on(tracer, job):
+    span = tracer.start("run")
+    job.attach(span)  # the job ends it
+
+
+def conditional(tracer, enabled, job):
+    span = None
+    if enabled:
+        span = tracer.start("run")
+    job.execute()
+    if span is not None:
+        span.end()

@@ -1,0 +1,15 @@
+"""SPAN001 firing fixture: spans started, held locally, and dropped."""
+
+from repro.obs.spans import Span
+
+
+def run_job(tracer, job):
+    span = tracer.start("run", attrs={"job": job.id})
+    result = job.execute()
+    return result  # span never ends, never escapes
+
+
+def build_raw(trace_id):
+    span = Span("raw", trace_id, "abc")
+    span.set_attr("kind", "raw")
+    return trace_id

@@ -1,0 +1,15 @@
+"""SPAN002 clean fixture: keys stay span-free; other functions may
+read span plumbing freely."""
+
+
+def cache_key(job):
+    return f"{job.benchmark}-{job.seed}"
+
+
+def canonical_dict(job):
+    return {"benchmark": job.benchmark, "seed": job.seed}
+
+
+def ship_to_worker(job):
+    # not a cache-key builder: span reads are the whole point here
+    return {"spec": canonical_dict(job), "span": job.span_context}

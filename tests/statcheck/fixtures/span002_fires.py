@@ -1,0 +1,11 @@
+"""SPAN002 firing fixture: span plumbing read inside cache-key builders."""
+
+
+def cache_key(job):
+    return f"{job.benchmark}-{job.span.trace_id}"
+
+
+def canonical_dict(job):
+    payload = {"benchmark": job.benchmark}
+    payload["parent"] = job.span_context
+    return payload

@@ -125,3 +125,33 @@ class TestModuleEntryPoint:
         )
         assert proc.returncode == EXIT_CLEAN
         assert "0 findings" in proc.stdout
+
+
+class TestStatsFlag:
+    def test_stats_goes_to_stderr_not_stdout(self, clean_tree, capsys, tmp_path):
+        cache = str(tmp_path / "cache.json")
+        code = main([clean_tree, "--stats", "--cache-file", cache])
+        assert code == EXIT_CLEAN
+        out, err = capsys.readouterr()
+        assert "statcheck stats:" in err
+        assert "statcheck stats:" not in out
+        assert "files=1" in err
+        assert "wall_s=" in err
+
+    def test_stats_reports_warm_cache_ratio(self, clean_tree, capsys, tmp_path):
+        cache = str(tmp_path / "cache.json")
+        main([clean_tree, "--stats", "--cache-file", cache])
+        capsys.readouterr()
+        main([clean_tree, "--stats", "--cache-file", cache])
+        assert "cache_hit_ratio=100%" in capsys.readouterr().err
+
+    def test_stats_counts_findings_per_rule(self, dirty_tree, capsys):
+        code = main([dirty_tree, "--stats", "--no-incremental"])
+        assert code == EXIT_FINDINGS
+        assert "findings=PY001:1" in capsys.readouterr().err
+
+    def test_stats_keeps_json_stdout_pure(self, dirty_tree, capsys):
+        main([dirty_tree, "--stats", "--json", "--no-incremental"])
+        out, err = capsys.readouterr()
+        assert json.loads(out)["findings"]
+        assert "statcheck stats:" in err

@@ -28,6 +28,13 @@ RULE_CASES = [
     ),
     ("SIM001", "sim001_fires.py", [23], "sim001_clean.py"),
     ("RACE001", "race001_fires.py", [16, 17, 18], "race001_clean.py"),
+    ("ASYNC001", "async001_fires.py", [17, 22, 23, 24, 33], "async001_clean.py"),
+    ("ASYNC002", "async002_fires.py", [7, 8, 12], "async002_clean.py"),
+    ("ASYNC003", "async003_fires.py", [22, 27, 30, 33], "async003_clean.py"),
+    ("LOCK001", "lock001_fires.py", [18, 19], "lock001_clean.py"),
+    ("MET001", "met001_fires.py", [11, 13, 16], "met001_clean.py"),
+    ("SPAN001", "span001_fires.py", [7, 13], "span001_clean.py"),
+    ("SPAN002", "span002_fires.py", [5, 10], "span002_clean.py"),
 ]
 
 

@@ -19,10 +19,19 @@ def test_src_tree_is_clean():
     assert main([SRC]) == EXIT_CLEAN
 
 
-def test_at_least_eight_rules_active():
+def test_at_least_twenty_rules_active():
     rules = all_rules()
-    assert len(rules) >= 8
+    assert len(rules) >= 20
     assert len({rule.id for rule in rules}) == len(rules)
+
+
+def test_concurrency_rules_are_registered():
+    ids = {rule.id for rule in all_rules()}
+    expected = {
+        "ASYNC001", "ASYNC002", "ASYNC003",
+        "LOCK001", "MET001", "SPAN001", "SPAN002",
+    }
+    assert expected <= ids
 
 
 def test_report_covers_whole_tree():
@@ -37,3 +46,17 @@ def test_analyzer_is_clean_on_its_own_source():
     statcheck_dir = os.path.join(SRC, "repro", "statcheck")
     report = Analyzer().analyze_paths([statcheck_dir])
     assert report.findings == []
+
+
+def test_warm_incremental_run_hits_cache(tmp_path):
+    """A no-change rerun over src must serve >=80% of files from cache
+    (in fact 100%: the project-level entry replays wholesale)."""
+    from repro.statcheck.incremental import IncrementalAnalyzer
+
+    cache = str(tmp_path / "cache.json")
+    IncrementalAnalyzer(Analyzer(), cache_path=cache).analyze_paths([SRC])
+    report = IncrementalAnalyzer(Analyzer(), cache_path=cache).analyze_paths(
+        [SRC]
+    )
+    assert report.incremental is not None
+    assert report.incremental["hit_ratio"] >= 0.8
