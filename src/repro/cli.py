@@ -414,9 +414,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="truncate the run (phase proportions preserved)")
     run_p.add_argument("--seed", type=int, default=None,
                        help="override the benchmark's deterministic RNG seed")
-    run_p.add_argument("--simcore", choices=("ref", "fast"), default=None,
+    run_p.add_argument("--simcore", choices=("ref", "fast", "batch"),
+                       default=None,
                        help="simulation core (default: REPRO_SIMCORE env "
-                            "var, then 'fast'; both are bit-identical)")
+                            "var, then 'fast'; all are bit-identical)")
     run_p.add_argument("--json", action="store_true",
                        help="emit the full result as machine-readable JSON")
     run_p.set_defaults(func=_cmd_run)
@@ -460,7 +461,8 @@ def build_parser() -> argparse.ArgumentParser:
                          help="per-job wall-clock timeout in seconds")
     sweep_p.add_argument("--retries", type=int, default=1,
                          help="extra attempts after a job failure")
-    sweep_p.add_argument("--simcore", choices=("ref", "fast"), default=None,
+    sweep_p.add_argument("--simcore", choices=("ref", "fast", "batch"),
+                         default=None,
                          help="simulation core for every job (default: "
                               "REPRO_SIMCORE env var, then 'fast')")
     sweep_p.add_argument("--no-progress", action="store_false",
@@ -518,7 +520,8 @@ def build_parser() -> argparse.ArgumentParser:
                          dest="max_delay_ms",
                          help="coalescer: max added latency while waiting "
                               "to fill a batch")
-    serve_p.add_argument("--simcore", choices=("ref", "fast"), default=None,
+    serve_p.add_argument("--simcore", choices=("ref", "fast", "batch"),
+                         default=None,
                          help="default simulation core for submitted jobs")
     serve_p.set_defaults(func=_cmd_serve)
 

@@ -33,7 +33,10 @@ from repro.mcd.processor import SimulationResult
 #:    version-1 entries predate both and must not be served.
 #: 3: canonical_dict gained the resolved "simcore" field; version-2 keys
 #:    were computed without it and would alias ref/fast results.
-CACHE_VERSION = 3
+#: 4: the "batch" core joined CORES; bumping keeps any pre-batch artifact
+#:    (written while "batch" was an invalid core name) from ever being
+#:    served to the new backend's lookups.
+CACHE_VERSION = 4
 
 #: keys are sha256 hex digests; anything else (``../`` traversal, short
 #: prefixes) is rejected before touching the filesystem.

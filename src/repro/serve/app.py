@@ -50,6 +50,7 @@ from repro.obs.metrics import MetricsRegistry
 from repro.obs.probe import ProbeBus
 from repro.obs.spans import Span, SpanRecorder
 from repro.serve.coalescer import RequestCoalescer
+from repro.simcore import CORES, resolve_core
 from repro.serve.controller import score_trajectory
 from repro.serve.http import (
     AnyResponse,
@@ -421,6 +422,9 @@ class ServeApp:
                 "state": record.state,
                 "result_sha": sha,
                 "coalesced": not traced,
+                # the *resolved* core (explicit arg > server default > env >
+                # default), so clients can attribute the cached artifact
+                "simcore": resolve_core(job.simcore),
                 "trace_id": record.trace_id,
                 "events": f"/v1/runs/{record.id}/events",
                 "result": f"/v1/results/{sha}",
@@ -557,6 +561,7 @@ class ServeApp:
                 "state": record.state,
                 "jobs": len(jobs),
                 "result_shas": shas,
+                "simcore": sorted({resolve_core(j.simcore) for j in jobs}),
                 "trace_id": record.trace_id,
                 "events": f"/v1/runs/{record.id}/events",
             },
@@ -759,8 +764,10 @@ def _parse_sweep_job(
     else:
         raise BadRequest("'obs' must be true/false or an ObsConfig object")
     simcore = spec.get("simcore", default_simcore)
-    if simcore is not None and simcore not in ("ref", "fast"):
-        raise BadRequest(f"unknown simcore {simcore!r}; known: ref, fast")
+    if simcore is not None and simcore not in CORES:
+        raise BadRequest(
+            f"unknown simcore {simcore!r}; known: {', '.join(CORES)}"
+        )
     return SweepJob(
         benchmark=bench_spec,
         scheme=scheme,

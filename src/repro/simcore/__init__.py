@@ -1,24 +1,32 @@
-"""Selectable simulation cores: the reference loop and the fast path.
+"""Selectable simulation cores: reference, fast scalar, and SoA batch.
 
-Two interchangeable cores execute every simulation:
+Three interchangeable cores execute every simulation:
 
 * ``ref`` -- :class:`repro.mcd.processor.MCDProcessor`, the straight-line
   reference implementation;
 * ``fast`` -- :class:`repro.simcore.fast.FastMCDProcessor`, the
   profile-guided megaloop that is bit-identical by contract (same
   ``SimulationResult``, same ``FrequencyStepEvent`` sequence, same
-  probe-event stream) and >=2x faster.
+  probe-event stream) and >=2x faster;
+* ``batch`` -- :class:`repro.simcore.batchcore.BatchMCDProcessor`, the
+  structure-of-arrays core (PR 9): many seeds/configs simulate as one
+  lock-step batch whose DVFS control plane is vectorized with NumPy
+  (:mod:`repro.simcore.soa`), still bit-identical per lane.  Requires
+  numpy; without it the core degrades to the fast megaloop with a
+  one-time warning.
 
 ``fast`` is the default; ``REPRO_SIMCORE=ref`` is the escape hatch that
 forces the reference core everywhere (CLI, sweeps, pool workers -- the
 environment variable is inherited across process boundaries).  Sweep cache
-keys include the resolved core, so results produced under the two cores
+keys include the resolved core, so results produced under different cores
 never alias even though they are byte-identical by contract.
 """
 
 from __future__ import annotations
 
+import importlib.util
 import os
+import warnings
 from typing import TYPE_CHECKING, Any, Optional, Tuple, Type
 
 from repro.simcore.batch import run_batch
@@ -33,7 +41,7 @@ if TYPE_CHECKING:
 #: environment variable selecting the simulation core
 SIMCORE_ENV = "REPRO_SIMCORE"
 #: recognised core names
-CORES: Tuple[str, ...] = ("ref", "fast")
+CORES: Tuple[str, ...] = ("ref", "fast", "batch")
 #: core used when neither an explicit choice nor the env var is given
 DEFAULT_CORE = "fast"
 
@@ -44,6 +52,7 @@ __all__ = [
     "EventWheel",
     "SimTables",
     "assert_results_identical",
+    "batch_available",
     "create_processor",
     "hot_path",
     "processor_class",
@@ -72,6 +81,11 @@ def resolve_core(choice: Optional[str] = None) -> str:
     return selected
 
 
+def batch_available() -> bool:
+    """Is the vectorized control plane usable (numpy importable)?"""
+    return importlib.util.find_spec("numpy") is not None
+
+
 def processor_class(choice: Optional[str] = None) -> Type["MCDProcessor"]:
     """The processor class implementing the resolved core."""
     core = resolve_core(choice)
@@ -79,6 +93,19 @@ def processor_class(choice: Optional[str] = None) -> Type["MCDProcessor"]:
         from repro.mcd.processor import MCDProcessor
 
         return MCDProcessor
+    if core == "batch":
+        # BatchMCDProcessor itself is numpy-free; without numpy its run()
+        # degrades lane by lane to the (bit-identical) fast megaloop.
+        if not batch_available():
+            warnings.warn(
+                "REPRO_SIMCORE=batch requested but numpy is not installed; "
+                "simulating with the bit-identical 'fast' core instead",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+        from repro.simcore.batchcore import BatchMCDProcessor
+
+        return BatchMCDProcessor
     from repro.simcore.fast import FastMCDProcessor
 
     return FastMCDProcessor

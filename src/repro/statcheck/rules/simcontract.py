@@ -17,10 +17,14 @@ consumes nor maintains that state, and the two cores have structurally
 diverged.
 
 Pairings are found by class name (``MCDProcessor`` vs a subclass whose
-name starts with ``Fast``), so the rule also covers fixture-shaped
-pairs in tests.  Findings land on the fast class definition, where the
-missing write-back belongs; a deliberate divergence is suppressed there
-with ``# statcheck: disable=SIM001 -- <why>``.
+name starts with ``Fast`` or ``Batch``), so the rule also covers
+fixture-shaped pairs in tests.  Base resolution is transitive:
+``BatchMCDProcessor`` derives from ``MCDProcessor`` *via*
+``FastMCDProcessor``, and each derived core is held to the full
+reference contract independently.  Findings land on the derived class
+definition, where the missing write-back belongs; a deliberate
+divergence is suppressed there with
+``# statcheck: disable=SIM001 -- <why>``.
 """
 
 from __future__ import annotations
@@ -33,9 +37,9 @@ from repro.statcheck.findings import Finding
 from repro.statcheck.registry import register
 from repro.statcheck.semantic import ClassInfo, SymbolTable
 
-#: reference class name -> required fast-subclass name prefix
+#: reference class name -> required derived-core name prefixes
 _REF_CLASS = "MCDProcessor"
-_FAST_PREFIX = "Fast"
+_CORE_PREFIXES = ("Fast", "Batch")
 
 
 def _self_attr_of(target: ast.expr) -> Optional[Tuple[str, ast.expr]]:
@@ -84,24 +88,43 @@ def _touched_self_attrs(cls: ClassInfo) -> Set[str]:
     return touched
 
 
-def _fast_subclasses(
+def _derives_from(
+    table: SymbolTable, cls: ClassInfo, ref: ClassInfo, seen: Set[str]
+) -> bool:
+    """Does ``cls`` inherit from ``ref``, directly or transitively?
+
+    Transitivity matters: the batch core subclasses the *fast* core, not
+    the reference directly, yet must still carry the reference contract.
+    """
+    if cls.qualname in seen:
+        return False  # inheritance cycles cannot happen, but stay total
+    seen.add(cls.qualname)
+    for base in cls.bases:
+        base_cls = table.classes.get(base) or table.resolve_class(
+            cls.module, base
+        )
+        if base_cls is None:
+            continue
+        if base_cls.qualname == ref.qualname:
+            return True
+        if _derives_from(table, base_cls, ref, seen):
+            return True
+    return False
+
+
+def _core_subclasses(
     table: SymbolTable, ref: ClassInfo
 ) -> Iterator[ClassInfo]:
     for qualname in sorted(table.classes):
         cls = table.classes[qualname]
         if cls.qualname == ref.qualname:
             continue
-        if not cls.name.startswith(_FAST_PREFIX):
+        if not cls.name.startswith(_CORE_PREFIXES):
             continue
         if not cls.name.endswith(ref.name):
             continue
-        for base in cls.bases:
-            base_cls = table.classes.get(base) or table.resolve_class(
-                cls.module, base
-            )
-            if base_cls is not None and base_cls.qualname == ref.qualname:
-                yield cls
-                break
+        if _derives_from(table, cls, ref, set()):
+            yield cls
 
 
 @register
@@ -111,9 +134,9 @@ class SimContractRule(Rule):
     id = "SIM001"
     description = (
         "every state attribute the reference MCDProcessor hot path assigns "
-        "must be read or written by its Fast* subclass (or carry a "
-        "justified suppression) -- silent state drift between the two "
-        "cores breaks the bit-identity contract structurally"
+        "must be read or written by each Fast*/Batch* subclass (or carry a "
+        "justified suppression) -- silent state drift between the cores "
+        "breaks the bit-identity contract structurally"
     )
     scope = ()  # cross-module
 
@@ -123,17 +146,17 @@ class SimContractRule(Rule):
             assigned = _assigned_self_attrs(ref)
             if not assigned:
                 continue
-            for fast in _fast_subclasses(table, ref):
-                touched = _touched_self_attrs(fast)
+            for core in _core_subclasses(table, ref):
+                touched = _touched_self_attrs(core)
                 for attr in sorted(assigned):
                     if attr in touched:
                         continue
                     store = assigned[attr]
                     yield self.finding(
-                        fast.file,
-                        fast.node,
+                        core.file,
+                        core.node,
                         f"reference hot path assigns self.{attr} "
                         f"({ref.module}:{store.lineno}) but "
-                        f"{fast.name} never reads or writes it; the fast "
+                        f"{core.name} never reads or writes it; the derived "
                         "core has drifted from the reference state contract",
                     )

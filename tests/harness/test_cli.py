@@ -157,3 +157,39 @@ class TestSweepCommand:
         monkeypatch.setenv("REPRO_SIMCORE", "turbo")
         assert main(["sweep", "adpcm-encode"]) == 2
         assert "unknown simcore 'turbo'" in capsys.readouterr().err
+
+
+class TestSimcoreEcho:
+    """run/sweep --json echo the *resolved* core: arg > env > default."""
+
+    _RUN = ["run", "adpcm-encode", "--instructions", "1500", "--json"]
+
+    def _run_core(self, capsys, extra=()):
+        import json
+
+        assert main(self._RUN + list(extra)) == 0
+        return json.loads(capsys.readouterr().out)["simcore"]
+
+    def test_run_json_echoes_default(self, capsys, monkeypatch):
+        monkeypatch.delenv("REPRO_SIMCORE", raising=False)
+        assert self._run_core(capsys) == "fast"
+
+    def test_run_json_echoes_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SIMCORE", "batch")
+        assert self._run_core(capsys) == "batch"
+
+    def test_run_json_arg_beats_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SIMCORE", "batch")
+        assert self._run_core(capsys, ["--simcore", "ref"]) == "ref"
+
+    def test_sweep_json_echoes_batch(self, capsys, monkeypatch):
+        import json
+
+        monkeypatch.delenv("REPRO_SIMCORE", raising=False)
+        assert main(
+            ["sweep", "adpcm-encode", "--schemes", "adaptive",
+             "--instructions", "1500", "--seed", "3", "--no-progress",
+             "--simcore", "batch", "--json"]
+        ) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["simcore"] == "batch"

@@ -179,6 +179,46 @@ class TestLifecycle:
         assert "decisions" in scored
 
 
+class TestSimcoreEcho:
+    """Submit responses echo the *resolved* core: arg > server > env."""
+
+    def test_run_submit_echoes_resolved_default(self, client):
+        # this server sets no default, so the env/default chain resolves
+        sub = client.submit_run(run_spec(seed=51))
+        assert sub["simcore"] == "fast"
+
+    def test_run_submit_accepts_and_echoes_batch(self, client):
+        sub = client.submit_run(run_spec(seed=52, simcore="batch"))
+        assert sub["simcore"] == "batch"
+        client.wait_for_job(sub["id"])
+        served = client.get_result(sub["result_sha"])
+        served.pop("sha")
+        direct = result_to_dict(
+            run_experiment(
+                BENCH,
+                scheme="adaptive",
+                seed=52,
+                max_instructions=INSTRUCTIONS,
+                record_history=False,
+                simcore="ref",
+            )
+        )
+        # a batch-served run is bit-identical to a direct reference run
+        assert json.dumps(served, sort_keys=True) == json.dumps(
+            direct, sort_keys=True
+        )
+
+    def test_sweep_submit_echoes_resolved_cores(self, client):
+        sub = client.submit_sweep({
+            "benchmarks": [BENCH],
+            "schemes": ["adaptive"],
+            "seeds": [61, 62],
+            "max_instructions": INSTRUCTIONS,
+            "simcore": "batch",
+        })
+        assert sub["simcore"] == ["batch"]
+
+
 class TestErrors:
     def test_unknown_benchmark_is_400(self, client):
         with pytest.raises(ServeError) as excinfo:
@@ -213,6 +253,11 @@ class TestErrors:
     def test_bad_controller_payload_is_400(self, client):
         with pytest.raises(ServeError) as excinfo:
             client.controller_step({"occupancy": []})
+        assert excinfo.value.status == 400
+
+    def test_unknown_simcore_is_400(self, client):
+        with pytest.raises(ServeError) as excinfo:
+            client.submit_run(run_spec(seed=53, simcore="turbo"))
         assert excinfo.value.status == 400
 
     def test_oversized_sweep_rejected(self, client):

@@ -1,0 +1,256 @@
+"""Batch-core lane-extraction edge cases and degradation behavior.
+
+The golden-equivalence suite (run under ``REPRO_GOLDEN_OTHER=batch`` in
+CI) holds the batch core to bit-identity on the standard grid; this
+module covers the shapes specific to batching -- a batch of one lane,
+heterogeneous lanes sharing one :class:`BatchSimulator`, lane counts
+with no relation to any internal width, run-to-run determinism of the
+per-lane extraction, and the numpy-free degradation path.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import sys
+import warnings
+
+import pytest
+
+np = pytest.importorskip("numpy")  # noqa: F841 -- gate, not used directly
+
+from repro.harness.experiment import build_controllers, run_experiment
+from repro.harness.persistence import result_to_dict
+from repro.mcd.domains import MachineConfig, transmeta_machine_config
+from repro.simcore import assert_results_identical, run_batch
+from repro.simcore.batchcore import BatchMCDProcessor
+from repro.simcore.soa import BatchSimulator
+from repro.workloads.generator import generate_trace
+from repro.workloads.suite import get_benchmark
+
+_INSTRUCTIONS = 1200
+
+
+def _lane(benchmark, scheme, seed, machine=None, overrides=None):
+    """One batch lane built exactly like run_experiment builds its core."""
+    spec = get_benchmark(benchmark)
+    machine = machine or MachineConfig()
+    trace = generate_trace(spec, max_instructions=_INSTRUCTIONS, seed=seed)
+    controllers = build_controllers(
+        scheme, machine=machine, adaptive_overrides=overrides
+    )
+    return BatchMCDProcessor(
+        trace=trace,
+        config=machine,
+        controllers=controllers,
+        seed=seed,
+        record_history=False,
+        benchmark=spec.name,
+        scheme=scheme,
+    )
+
+
+def _ref(benchmark, scheme, seed, machine=None, overrides=None):
+    return run_experiment(
+        benchmark,
+        scheme=scheme,
+        machine=machine,
+        max_instructions=_INSTRUCTIONS,
+        seed=seed,
+        record_history=False,
+        adaptive_overrides=overrides,
+        simcore="ref",
+    )
+
+
+def _digest(result):
+    payload = json.dumps(result_to_dict(result), sort_keys=True)
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+class TestLaneExtraction:
+    def test_batch_of_one(self):
+        results = run_batch(
+            "mcf",
+            scheme="adaptive",
+            seeds=[42],
+            max_instructions=_INSTRUCTIONS,
+            simcore="batch",
+        )
+        assert len(results) == 1
+        assert_results_identical(
+            _ref("mcf", "adaptive", 42), results[0], context="batch-of-1"
+        )
+
+    @pytest.mark.parametrize("count", (7, 13))
+    def test_lane_count_not_a_block_multiple(self, count):
+        # primes: not a multiple of any plausible internal block width
+        seeds = list(range(1, count + 1))
+        results = run_batch(
+            "gzip",
+            scheme="adaptive",
+            seeds=seeds,
+            max_instructions=_INSTRUCTIONS,
+            simcore="batch",
+        )
+        assert len(results) == count
+        for seed, got in zip(seeds, results):
+            assert_results_identical(
+                _ref("gzip", "adaptive", seed),
+                got,
+                context=f"lane {seed} of {count}",
+            )
+
+    def test_heterogeneous_lanes_in_one_simulator(self):
+        """Mixed schemes, machines, and deviation windows in one batch.
+
+        The transmeta machine lands in a different sample-period vector
+        group than the defaults; the widened ``dw_level`` lane shares a
+        group with plain adaptive lanes but different FSM windows; the
+        pid/full-speed lanes take the scalar fallback partition.  Every
+        lane must still extract its exact reference result.
+        """
+        wide = {"dw_level": 2.5}
+        specs = [
+            ("gzip", "adaptive", 1, None, None),
+            ("mcf", "adaptive", 2, None, wide),
+            ("gzip", "adaptive", 3, transmeta_machine_config(), None),
+            ("gzip", "pid", 4, None, None),
+            ("adpcm-encode", "full-speed", 5, None, None),
+            ("gzip", "adaptive", 6, None, None),
+        ]
+        lanes = [_lane(*spec) for spec in specs]
+        results = BatchSimulator(lanes).run()
+        assert len(results) == len(specs)
+        for spec, got in zip(specs, results):
+            assert_results_identical(
+                _ref(*spec), got, context=f"hetero lane {spec[:3]}"
+            )
+
+    def test_same_batch_twice_is_deterministic(self):
+        digests = []
+        for _ in range(2):
+            results = run_batch(
+                "gzip",
+                scheme="adaptive",
+                seeds=range(1, 6),
+                max_instructions=_INSTRUCTIONS,
+                simcore="batch",
+            )
+            digests.append([_digest(r) for r in results])
+        assert digests[0] == digests[1]
+        # distinct seeds must not collapse onto one trajectory
+        assert len(set(digests[0])) == len(digests[0])
+
+
+class TestEngineCacheInterop:
+    def test_vector_path_populates_and_hits_the_cache(self, tmp_path):
+        from repro.engine import EngineConfig, SweepEngine
+
+        first = SweepEngine(EngineConfig(cache_dir=str(tmp_path)))
+        a = run_batch(
+            "gzip",
+            scheme="adaptive",
+            seeds=[1, 2],
+            max_instructions=_INSTRUCTIONS,
+            simcore="batch",
+            engine=first,
+        )
+        assert first.cache.stats() == {"hits": 0, "misses": 2, "stores": 2}
+        second = SweepEngine(EngineConfig(cache_dir=str(tmp_path)))
+        b = run_batch(
+            "gzip",
+            scheme="adaptive",
+            seeds=[1, 2, 3],
+            max_instructions=_INSTRUCTIONS,
+            simcore="batch",
+            engine=second,
+        )
+        assert second.cache.stats() == {"hits": 2, "misses": 1, "stores": 1}
+        for x, y in zip(a, b):
+            assert_results_identical(x, y, context="cache round-trip")
+
+
+class TestDegradation:
+    def test_processor_class_warns_without_numpy(self, monkeypatch):
+        import importlib.util
+
+        from repro.simcore import processor_class
+
+        real_find_spec = importlib.util.find_spec
+        monkeypatch.setattr(
+            importlib.util,
+            "find_spec",
+            lambda name, *a, **k: None
+            if name == "numpy"
+            else real_find_spec(name, *a, **k),
+        )
+        with pytest.warns(RuntimeWarning, match="numpy is not installed"):
+            warnings.simplefilter("always")
+            cls = processor_class("batch")
+        assert cls is BatchMCDProcessor
+
+    def test_run_batch_falls_back_without_soa(self, monkeypatch):
+        """With the SoA module unimportable, run_batch still delivers
+        bit-identical results through the ordinary engine path."""
+        monkeypatch.setitem(sys.modules, "repro.simcore.soa", None)
+        results = run_batch(
+            "gzip",
+            scheme="adaptive",
+            seeds=[1, 2],
+            max_instructions=_INSTRUCTIONS,
+            simcore="batch",
+        )
+        for seed, got in zip([1, 2], results):
+            assert_results_identical(
+                _ref("gzip", "adaptive", seed), got, context="soa fallback"
+            )
+
+    def test_single_processor_run_falls_back_without_soa(self, monkeypatch):
+        """BatchMCDProcessor.run() alone (no BatchSimulator) degrades to
+        the fast megaloop when numpy/soa are unavailable."""
+        monkeypatch.setitem(sys.modules, "repro.simcore.soa", None)
+        got = run_experiment(
+            "gzip",
+            scheme="adaptive",
+            max_instructions=_INSTRUCTIONS,
+            seed=9,
+            record_history=False,
+            simcore="batch",
+        )
+        assert_results_identical(
+            _ref("gzip", "adaptive", 9), got, context="lone-lane fallback"
+        )
+
+
+class TestPrecedence:
+    def test_resolved_core_precedence_includes_batch(self, monkeypatch):
+        from repro.simcore import resolve_core
+
+        monkeypatch.delenv("REPRO_SIMCORE", raising=False)
+        assert resolve_core("batch") == "batch"
+        monkeypatch.setenv("REPRO_SIMCORE", "batch")
+        assert resolve_core() == "batch"
+        # explicit argument beats the environment
+        assert resolve_core("ref") == "ref"
+        monkeypatch.setenv("REPRO_SIMCORE", "nope")
+        with pytest.raises(ValueError):
+            resolve_core()
+
+    def test_env_var_routes_to_batch_processor(self, monkeypatch):
+        import repro.harness.experiment as experiment_module
+
+        seen = []
+        real_create = experiment_module.create_processor
+
+        def spy_create(*args, **kwargs):
+            processor = real_create(*args, **kwargs)
+            seen.append(type(processor))
+            return processor
+
+        monkeypatch.setattr(experiment_module, "create_processor", spy_create)
+        monkeypatch.setenv("REPRO_SIMCORE", "batch")
+        run_experiment(
+            "adpcm-encode", max_instructions=500, seed=1, record_history=False
+        )
+        assert seen[-1] is BatchMCDProcessor

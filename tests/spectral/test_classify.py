@@ -1,7 +1,8 @@
 """Unit tests for fast-workload-variation classification."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")  # the spectral layer is numpy-gated
 
 from repro.spectral.classify import (
     FAST_WAVELENGTH_SAMPLES,

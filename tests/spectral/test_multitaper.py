@@ -1,7 +1,8 @@
 """Unit tests for the multi-taper spectrum estimator."""
 
-import numpy as np
 import pytest
+
+np = pytest.importorskip("numpy")  # the spectral layer is numpy-gated
 
 from repro.spectral.multitaper import VarianceSpectrum, multitaper_spectrum
 

@@ -1,0 +1,46 @@
+"""SIM001 transitive fixture: a batch core two hops below the reference.
+
+``BatchMCDProcessor`` subclasses the (clean) fast core rather than the
+reference directly; the rule must resolve base classes transitively and
+hold the batch core to the full reference contract on its own.  Here
+the batch rewrite forgot the frequency table, while its fast parent
+still carries everything.
+"""
+
+
+class MCDProcessor:
+    def __init__(self):
+        self._now_ns = 0.0
+        self._freq_sum = {}
+        self._freq_samples = 0
+
+    def _advance(self, domain, per, freq_ghz):
+        self._now_ns = self._now_ns + per
+        self._freq_sum[domain] = self._freq_sum.get(domain, 0.0) + freq_ghz
+        self._freq_samples += 1
+
+
+class FastMCDProcessor(MCDProcessor):
+    def run(self, steps, domain, per, freq_ghz):
+        now_ns = self._now_ns
+        samples = self._freq_samples
+        freq_sum = self._freq_sum
+        for _ in range(steps):
+            now_ns += per
+            samples += 1
+            freq_sum[domain] = freq_sum.get(domain, 0.0) + freq_ghz
+        self._now_ns = now_ns
+        self._freq_samples = samples
+        self._freq_sum = freq_sum
+
+
+class BatchMCDProcessor(FastMCDProcessor):
+    def run(self, steps, domain, per, freq_ghz):
+        now_ns = self._now_ns
+        samples = self._freq_samples
+        for _ in range(steps):
+            now_ns += per
+            samples += 1
+        self._now_ns = now_ns
+        self._freq_samples = samples
+        # missing: any mention of self._freq_sum

@@ -27,6 +27,8 @@ RULE_CASES = [
         "unit001_clean.py",
     ),
     ("SIM001", "sim001_fires.py", [23], "sim001_clean.py"),
+    # transitive pairing: Batch* derives from the reference via Fast*
+    ("SIM001", "sim001_batch_fires.py", [37], "sim001_clean.py"),
     ("RACE001", "race001_fires.py", [16, 17, 18], "race001_clean.py"),
     ("ASYNC001", "async001_fires.py", [17, 22, 23, 24, 33], "async001_clean.py"),
     ("ASYNC002", "async002_fires.py", [7, 8, 12], "async002_clean.py"),
