@@ -56,6 +56,7 @@ __all__ = [
     "create_processor",
     "hot_path",
     "processor_class",
+    "reset_degradation_warning",
     "resolve_core",
     "results_identical",
     "run_batch",
@@ -86,6 +87,31 @@ def batch_available() -> bool:
     return importlib.util.find_spec("numpy") is not None
 
 
+#: Whether the batch->fast degradation warning has fired this process.
+#: Sweeps resolve the core once per job, so an unguarded warn would spam
+#: one line per lane; tests reset the guard to observe the warning again.
+_degradation_warned = False
+
+
+def reset_degradation_warning() -> None:
+    """Re-arm the one-shot degradation warning (test isolation hook)."""
+    global _degradation_warned
+    _degradation_warned = False
+
+
+def _warn_degraded() -> None:
+    global _degradation_warned
+    if _degradation_warned:
+        return
+    _degradation_warned = True
+    warnings.warn(
+        "REPRO_SIMCORE=batch requested but numpy is not installed; "
+        "simulating with the bit-identical 'fast' core instead",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def processor_class(choice: Optional[str] = None) -> Type["MCDProcessor"]:
     """The processor class implementing the resolved core."""
     core = resolve_core(choice)
@@ -97,12 +123,7 @@ def processor_class(choice: Optional[str] = None) -> Type["MCDProcessor"]:
         # BatchMCDProcessor itself is numpy-free; without numpy its run()
         # degrades lane by lane to the (bit-identical) fast megaloop.
         if not batch_available():
-            warnings.warn(
-                "REPRO_SIMCORE=batch requested but numpy is not installed; "
-                "simulating with the bit-identical 'fast' core instead",
-                RuntimeWarning,
-                stacklevel=2,
-            )
+            _warn_degraded()
         from repro.simcore.batchcore import BatchMCDProcessor
 
         return BatchMCDProcessor

@@ -1,0 +1,1655 @@
+"""Abstract domain for NumPy values: symbolic shape, dtype, unit.
+
+The batch simcore (:mod:`repro.simcore.soa`) re-expresses the DVFS
+control plane as ``[L, 3]`` array arithmetic.  A silent broadcast, a
+float32 downcast in an energy accumulator, or a unit mix-up inside a
+vector expression type-checks, runs, and only (maybe) surfaces as a
+golden-suite failure.  This module gives statcheck an abstract
+interpretation of NumPy code so those become findings:
+
+* :class:`Axis` -- one array dimension, identified by a *symbolic name*
+  (the collection it was built from: ``lanes``, ``_DOM_BY_COL``) and/or
+  a literal size.  Two axes are provably incompatible when both sizes
+  are known and differ, or both names are known and differ (a named
+  axis can never be size-1-broadcast away without the size being known).
+* :class:`ArrayValue` -- the abstract value: optional symbolic shape
+  (``None`` = unknown rank, ``()`` = scalar), optional dtype drawn from
+  a small promotion lattice, optional physical unit (the UNIT001
+  :data:`repro.statcheck.units.Dim` vector, carried *per element*), and
+  an optional length-axis for sequences/ints (``len(lanes)`` carries the
+  ``lanes`` axis so ``np.zeros((length, 4))`` gets a named first dim).
+* :class:`ArrayWalker` -- a :class:`ForwardWalker` instance with
+  transfer functions for numpy constructors (``array``/``zeros``/
+  ``full``/``arange``/``stack``...), elementwise ufuncs, ``where``,
+  reductions (``sum``/``argmin``/``any``... with ``axis=``/``keepdims``),
+  ``reshape``/``transpose``/``astype``, subscripts (integer indexing,
+  literal slices, ``None`` axis insertion), list displays and
+  comprehensions (the ``np.array([[f(lane) for d in _DOM_BY_COL] for
+  lane in lanes])`` idiom yields shape ``(lanes, _DOM_BY_COL)`` with the
+  element expression's unit), and broadcasting.
+
+Everything fails open: an unknown value poisons precisely the facts it
+touches and never invents a finding.  The walker reports *problems*
+tagged with the rule key they belong to (``SOA001`` shape, ``SOA002``
+dtype, ``SOA003`` unit); :mod:`repro.statcheck.rules.arraycontract`
+turns them into findings.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, replace
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.statcheck.astutil import dotted_name
+from repro.statcheck.dataflow import Env, ForwardWalker
+from repro.statcheck.units import (
+    SCALAR,
+    Dim,
+    declared_unit,
+    div,
+    mul,
+    power,
+    unit_name,
+)
+
+#: dtype promotion lattice, narrowest to widest; ``promote`` is max.
+DTYPE_ORDER: Tuple[str, ...] = (
+    "bool",
+    "int8",
+    "int16",
+    "int32",
+    "int64",
+    "float16",
+    "float32",
+    "float64",
+)
+
+_DTYPE_RANK: Dict[str, int] = {name: i for i, name in enumerate(DTYPE_ORDER)}
+
+#: float dtypes narrower than the scalar cores' Python floats
+NARROW_FLOATS = frozenset({"float16", "float32"})
+
+#: numpy attribute / builtin names that denote a dtype
+_DTYPE_TOKENS: Dict[str, str] = {
+    **{name: name for name in DTYPE_ORDER},
+    "float": "float64",
+    "int": "int64",
+    "intp": "int64",
+    "double": "float64",
+    "single": "float32",
+    "half": "float16",
+    "bool_": "bool",
+}
+
+
+def promote(a: Optional[str], b: Optional[str]) -> Optional[str]:
+    """Joint dtype of an elementwise op, ``None`` when either is unknown."""
+    if a is None or b is None:
+        return None
+    if a not in _DTYPE_RANK or b not in _DTYPE_RANK:
+        return None
+    return a if _DTYPE_RANK[a] >= _DTYPE_RANK[b] else b
+
+
+def is_float(dtype: Optional[str]) -> bool:
+    return dtype is not None and dtype.startswith("float")
+
+
+@dataclass(frozen=True)
+class Axis:
+    """One symbolic array dimension: a name, a literal size, or both."""
+
+    name: Optional[str] = None
+    size: Optional[int] = None
+
+    def __str__(self) -> str:
+        if self.name is not None and self.size is not None:
+            return f"{self.name}={self.size}"
+        if self.name is not None:
+            return self.name
+        if self.size is not None:
+            return str(self.size)
+        return "?"
+
+
+#: a known-rank shape; () is a scalar
+Shape = Tuple[Axis, ...]
+
+UNKNOWN_AXIS = Axis(None, None)
+
+
+def shape_str(shape: Shape) -> str:
+    return "[" + ", ".join(str(axis) for axis in shape) + "]"
+
+
+def combine_axes(x: Axis, y: Axis) -> Tuple[Axis, bool]:
+    """Broadcast two aligned axes -> (result, provably-compatible).
+
+    ``False`` means numpy would raise at runtime: both sizes known and
+    unequal (neither 1), or both names known and different with no
+    size-1 escape.  Anything under-determined stays compatible (fail
+    open) with the most specific axis we can justify.
+    """
+    if x.size == 1:
+        return y, True
+    if y.size == 1:
+        return x, True
+    if x.size is not None and y.size is not None:
+        if x.size != y.size:
+            return UNKNOWN_AXIS, False
+        return Axis(x.name if x.name is not None else y.name, x.size), True
+    if x.name is not None and y.name is not None:
+        if x.name != y.name:
+            return UNKNOWN_AXIS, False
+        return Axis(x.name, x.size if x.size is not None else y.size), True
+    # one side wholly unknown, or name-vs-size: cannot prove anything
+    return UNKNOWN_AXIS, True
+
+
+def broadcast_shapes(
+    a: Shape, b: Shape
+) -> Tuple[Optional[Shape], Optional[str]]:
+    """NumPy broadcasting over symbolic shapes.
+
+    Returns ``(shape, None)`` on success or ``(None, reason)`` when the
+    shapes are provably incompatible.
+    """
+    rank = max(len(a), len(b))
+    padded_a = (Axis(None, 1),) * (rank - len(a)) + a
+    padded_b = (Axis(None, 1),) * (rank - len(b)) + b
+    result: List[Axis] = []
+    for x, y in zip(padded_a, padded_b):
+        merged, ok = combine_axes(x, y)
+        if not ok:
+            return None, (
+                f"cannot broadcast {shape_str(a)} with {shape_str(b)}: "
+                f"axis {x} is incompatible with axis {y}"
+            )
+        result.append(merged)
+    return tuple(result), None
+
+
+@dataclass(frozen=True)
+class ArrayValue:
+    """Abstract value of one expression in the array domain."""
+
+    #: known to be an ndarray (engages numpy broadcasting semantics)
+    is_array: bool = False
+    #: symbolic shape; ``None`` = unknown rank, ``()`` = scalar
+    shape: Optional[Shape] = None
+    #: element dtype from :data:`DTYPE_ORDER`, ``None`` = unknown
+    dtype: Optional[str] = None
+    #: physical unit per element (:data:`~repro.statcheck.units.Dim`)
+    unit: Optional[Dim] = None
+    #: the length-axis this value measures (ints from ``len``) or leads
+    #: with (sequences of unknown element rank)
+    axis: Optional[Axis] = None
+    #: set when the value *is* a dtype (``np.float64``, ``_F64``)
+    dtype_token: Optional[str] = None
+
+    @property
+    def rank(self) -> Optional[int]:
+        return None if self.shape is None else len(self.shape)
+
+    @property
+    def is_known_array(self) -> bool:
+        """Known to be an ndarray of known, non-zero rank."""
+        return self.is_array and self.shape is not None and len(self.shape) > 0
+
+
+AV = Optional[ArrayValue]
+
+SCALAR_INT = ArrayValue(shape=(), dtype="int64", unit=SCALAR)
+SCALAR_FLOAT = ArrayValue(shape=(), dtype="float64", unit=SCALAR)
+SCALAR_BOOL = ArrayValue(shape=(), dtype="bool", unit=SCALAR)
+
+#: (node, rule key, message)
+Problem = Tuple[ast.AST, str, str]
+
+_NUMPY_MODULES = ("numpy", "np")
+
+#: elementwise binary ufuncs and the unit discipline they impose
+_UFUNC_ADDITIVE = frozenset(
+    {"add", "subtract", "minimum", "maximum", "fmin", "fmax", "hypot",
+     "greater", "greater_equal", "less", "less_equal", "equal", "not_equal"}
+)
+_UFUNC_MULTIPLY = frozenset({"multiply"})
+_UFUNC_DIVIDE = frozenset({"divide", "true_divide", "floor_divide"})
+_UFUNC_LOGICAL = frozenset(
+    {"logical_and", "logical_or", "logical_xor", "bitwise_and",
+     "bitwise_or", "bitwise_xor"}
+)
+_UFUNC_COMPARISONS = frozenset(
+    {"greater", "greater_equal", "less", "less_equal", "equal", "not_equal",
+     "logical_and", "logical_or", "logical_xor"}
+)
+#: unary ufuncs transparent in shape, dtype and unit
+_UFUNC_PASSTHROUGH = frozenset(
+    {"abs", "absolute", "fabs", "negative", "positive", "copy",
+     "ascontiguousarray", "asarray_chkfinite"}
+)
+#: unary ufuncs transparent in shape only (unit/dtype not preserved)
+_UFUNC_SHAPE_ONLY = frozenset(
+    {"sqrt", "exp", "log", "log2", "log10", "sign", "square",
+     "floor", "ceil", "rint", "trunc", "isnan", "isfinite", "isinf",
+     "logical_not", "invert"}
+)
+_REDUCTIONS = frozenset(
+    {"sum", "prod", "mean", "min", "max", "amin", "amax", "argmin",
+     "argmax", "any", "all", "count_nonzero", "nanmin", "nanmax",
+     "nansum", "std", "var"}
+)
+_INT_REDUCTIONS = frozenset({"argmin", "argmax", "count_nonzero"})
+_BOOL_REDUCTIONS = frozenset({"any", "all"})
+#: array methods sharing the reduction/transform transfer functions
+_ARRAY_METHODS = _REDUCTIONS | {
+    "astype", "copy", "reshape", "transpose", "fill", "tolist", "item",
+}
+
+#: list methods that mutate the receiver in place
+_LIST_MUTATORS = frozenset(
+    {"append", "extend", "insert", "clear", "pop", "remove"}
+)
+
+
+def _mixable(a: Optional[Dim], b: Optional[Dim]) -> bool:
+    return a is not None and b is not None and a != b and SCALAR not in (a, b)
+
+
+def _const_int(node: ast.expr) -> Optional[int]:
+    if (
+        isinstance(node, ast.Constant)
+        and isinstance(node.value, int)
+        and not isinstance(node.value, bool)
+    ):
+        return node.value
+    if (
+        isinstance(node, ast.UnaryOp)
+        and isinstance(node.op, ast.USub)
+        and isinstance(node.operand, ast.Constant)
+        and isinstance(node.operand.value, int)
+        and not isinstance(node.operand.value, bool)
+    ):
+        return -node.operand.value
+    return None
+
+
+class ArrayWalker(ForwardWalker[ArrayValue]):
+    """Forward array-semantics inference over one function scope."""
+
+    aug_reads_stores = True
+
+    def __init__(
+        self,
+        imports: Mapping[str, str],
+        self_attrs: Optional[Mapping[str, AV]] = None,
+        collect: Optional[Dict[str, AV]] = None,
+    ) -> None:
+        #: local import alias -> fully qualified module/symbol
+        self.imports = dict(imports)
+        #: frozen ``self.X`` -> abstract value map (method analysis)
+        self.self_attrs: Mapping[str, AV] = self_attrs or {}
+        #: when set, ``self.X = value`` stores are merged into this map
+        #: instead of being trusted from :attr:`self_attrs` (pre-pass)
+        self.collect = collect
+        self.problems: List[Problem] = []
+
+    # -- reporting ------------------------------------------------------
+
+    def _report(self, node: ast.AST, rule: str, message: str) -> None:
+        self.problems.append((node, rule, message))
+
+    # -- lattice --------------------------------------------------------
+
+    def merge(self, a: ArrayValue, b: ArrayValue) -> ArrayValue:
+        if a == b:
+            return a
+        return ArrayValue(
+            is_array=a.is_array and b.is_array,
+            shape=a.shape if a.shape == b.shape else None,
+            dtype=a.dtype if a.dtype == b.dtype else None,
+            unit=a.unit if a.unit == b.unit else None,
+            axis=a.axis if a.axis == b.axis else None,
+            dtype_token=(
+                a.dtype_token if a.dtype_token == b.dtype_token else None
+            ),
+        )
+
+    @staticmethod
+    def _merge_optional(a: AV, b: AV) -> AV:
+        if a is None or b is None:
+            return None
+        walker = ArrayWalker({})
+        return walker.merge(a, b)
+
+    # -- binding hooks --------------------------------------------------
+
+    def assign_hook(
+        self,
+        name: str,
+        value: AV,
+        node: ast.AST,
+        env: "Env[ArrayValue]",
+    ) -> None:
+        declared = declared_unit(name)
+        if (
+            value is not None
+            and value.is_known_array
+            and _mixable(declared, value.unit)
+        ):
+            assert declared is not None and value.unit is not None
+            self._report(
+                node,
+                "SOA003",
+                f"array of {unit_name(value.unit)} assigned to "
+                f"{unit_name(declared)}-named variable {name!r} "
+                "(missing elementwise unit conversion?)",
+            )
+        # a declared name refines a unit-free value: `freq_ghz =
+        # np.zeros(n)` carries FREQUENCY from here on (np.zeros yields
+        # SCALAR, which a declaration overrides; a *conflicting* unit is
+        # the finding above, not a refinement)
+        if (
+            declared is not None
+            and value is not None
+            and value.unit in (None, SCALAR)
+        ):
+            env[name] = replace(value, unit=declared)
+
+    def store_hook(
+        self, target: ast.expr, value: AV, env: "Env[ArrayValue]"
+    ) -> None:
+        if isinstance(target, ast.Attribute):
+            self._attr_store(target, value, env)
+        elif isinstance(target, ast.Subscript):
+            self._subscript_store(target, value, env)
+
+    def _attr_store(
+        self, target: ast.Attribute, value: AV, env: "Env[ArrayValue]"
+    ) -> None:
+        declared = declared_unit(target.attr)
+        if (
+            value is not None
+            and value.is_known_array
+            and _mixable(declared, value.unit)
+        ):
+            assert declared is not None and value.unit is not None
+            self._report(
+                target,
+                "SOA003",
+                f"array of {unit_name(value.unit)} stored into "
+                f"{unit_name(declared)}-named attribute {target.attr!r} "
+                "(missing elementwise unit conversion?)",
+            )
+        if (
+            self.collect is not None
+            and isinstance(target.value, ast.Name)
+            and target.value.id == "self"
+        ):
+            if target.attr in self.collect:
+                self.collect[target.attr] = self._merge_optional(
+                    self.collect[target.attr], value
+                )
+            else:
+                self.collect[target.attr] = value
+
+    def _subscript_store(
+        self, target: ast.Subscript, value: AV, env: "Env[ArrayValue]"
+    ) -> None:
+        container = self.infer(target.value, env)
+        if container is None or container.shape is None:
+            return
+        region = self._index_shape(
+            container.shape, target.slice, env, target, container.is_array
+        )
+        if value is None:
+            return
+        if region is not None and value.shape is not None:
+            self._check_store_shape(target, value.shape, region)
+        # dtype discipline: in-place stores cannot widen the container
+        if container.is_array and is_float(container.dtype):
+            scalar_value = value.shape == () and not value.is_array
+            if (
+                is_float(value.dtype)
+                and not scalar_value
+                and _DTYPE_RANK.get(value.dtype or "", 0)
+                > _DTYPE_RANK.get(container.dtype or "", 0)
+            ):
+                self._report(
+                    target,
+                    "SOA002",
+                    f"storing {value.dtype} values into a "
+                    f"{container.dtype} array silently downcasts them",
+                )
+        if (
+            container.is_array
+            and container.dtype is not None
+            and not is_float(container.dtype)
+            and is_float(value.dtype)
+            and not (value.shape == () and not value.is_array)
+        ):
+            self._report(
+                target,
+                "SOA002",
+                f"storing {value.dtype} values into a {container.dtype} "
+                "array silently truncates them",
+            )
+
+    def _check_store_shape(
+        self, target: ast.expr, value_shape: Shape, region: Shape
+    ) -> None:
+        """``value`` must broadcast *into* ``region`` (numpy store rule)."""
+        if len(value_shape) > len(region):
+            self._report(
+                target,
+                "SOA001",
+                f"storing shape {shape_str(value_shape)} into a region of "
+                f"shape {shape_str(region)} collapses "
+                f"{len(value_shape) - len(region)} axis/axes",
+            )
+            return
+        pad = (Axis(None, 1),) * (len(region) - len(value_shape))
+        for x, y in zip(pad + value_shape, region):
+            # store semantics: value axes must be 1 or match the region
+            if x.size == 1:
+                continue
+            _, ok = combine_axes(x, y)
+            if not ok or (y.size == 1 and x.size not in (None, 1)):
+                self._report(
+                    target,
+                    "SOA001",
+                    f"cannot store shape {shape_str(value_shape)} into a "
+                    f"region of shape {shape_str(region)}: axis {x} does "
+                    f"not fit axis {y}",
+                )
+                return
+
+    def aug_combine(
+        self,
+        stmt: ast.AugAssign,
+        left: AV,
+        right: AV,
+    ) -> AV:
+        return self._binop_value(stmt.op, left, right, stmt)
+
+    # -- expression inference -------------------------------------------
+
+    def infer(self, node: ast.expr, env: "Env[ArrayValue]") -> AV:
+        if isinstance(node, ast.Constant):
+            return self._infer_constant(node)
+        if isinstance(node, ast.Name):
+            if node.id in env:
+                return env[node.id]
+            token = _DTYPE_TOKENS.get(node.id)
+            if token is not None and node.id in ("bool", "float", "int"):
+                return ArrayValue(dtype_token=token)
+            declared = declared_unit(node.id)
+            if declared is not None:
+                return ArrayValue(unit=declared)
+            return None
+        if isinstance(node, ast.Attribute):
+            return self._infer_attribute(node, env)
+        if isinstance(node, ast.BinOp):
+            left = self.infer(node.left, env)
+            right = self.infer(node.right, env)
+            return self._binop_value(node.op, left, right, node)
+        if isinstance(node, ast.UnaryOp):
+            operand = self.infer(node.operand, env)
+            if isinstance(node.op, (ast.UAdd, ast.USub, ast.Invert)):
+                if (
+                    operand is not None
+                    and operand.axis is not None
+                    and isinstance(node.op, ast.USub)
+                ):
+                    return replace(operand, axis=None)
+                return operand
+            return SCALAR_BOOL  # `not x`
+        if isinstance(node, ast.Compare):
+            return self._infer_compare(node, env)
+        if isinstance(node, ast.BoolOp):
+            values = [self.infer(v, env) for v in node.values]
+            known = [v for v in values if v is not None]
+            if len(known) == len(values):
+                result = known[0]
+                for other in known[1:]:
+                    result = self.merge(result, other)
+                return result
+            return None
+        if isinstance(node, ast.IfExp):
+            self.infer(node.test, env)
+            then = self.infer(node.body, env)
+            other = self.infer(node.orelse, env)
+            return self._merge_optional(then, other)
+        if isinstance(node, ast.Call):
+            return self._infer_call(node, env)
+        if isinstance(node, ast.Subscript):
+            return self._infer_subscript(node, env)
+        if isinstance(node, (ast.List, ast.Tuple)):
+            return self._infer_display(node, env)
+        if isinstance(node, (ast.ListComp, ast.GeneratorExp)):
+            return self._infer_comprehension(node, env)
+        if isinstance(node, ast.NamedExpr):
+            value = self.infer(node.value, env)
+            self._bind(node.target, value, env)
+            return value
+        if isinstance(node, ast.Starred):
+            return self.infer(node.value, env)
+        # dicts, sets, f-strings, lambdas, await...: visit children for
+        # side effects (nested calls/compares), carry no array value
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, ast.expr):
+                self.infer(child, env)
+        return None
+
+    def _infer_constant(self, node: ast.Constant) -> AV:
+        value = node.value
+        if isinstance(value, bool):
+            return SCALAR_BOOL
+        if isinstance(value, int):
+            if value >= 0:
+                return replace(SCALAR_INT, axis=Axis(None, value))
+            return SCALAR_INT
+        if isinstance(value, float):
+            return SCALAR_FLOAT
+        return None
+
+    def _infer_attribute(
+        self, node: ast.Attribute, env: "Env[ArrayValue]"
+    ) -> AV:
+        dotted = dotted_name(node)
+        if dotted is not None:
+            head, _, rest = dotted.partition(".")
+            resolved = self.imports.get(head, head)
+            if resolved in _NUMPY_MODULES or resolved == "numpy":
+                token = _DTYPE_TOKENS.get(rest)
+                if token is not None:
+                    return ArrayValue(dtype_token=token)
+        receiver = self.infer(node.value, env)
+        if (
+            isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in self.self_attrs
+        ):
+            known = self.self_attrs[node.attr]
+            declared = declared_unit(node.attr)
+            if known is None:
+                if declared is not None:
+                    return ArrayValue(unit=declared)
+                return None
+            if known.unit in (None, SCALAR) and declared is not None:
+                return replace(known, unit=declared)
+            return known
+        if node.attr == "T" and receiver is not None and receiver.is_array:
+            if receiver.shape is not None:
+                return replace(receiver, shape=receiver.shape[::-1])
+            return receiver
+        declared = declared_unit(node.attr)
+        if declared is not None:
+            return ArrayValue(unit=declared)
+        return None
+
+    # -- operators ------------------------------------------------------
+
+    def _binop_value(
+        self,
+        op: ast.operator,
+        left: AV,
+        right: AV,
+        node: ast.AST,
+    ) -> AV:
+        # list repetition: [0] * length carries length's axis
+        if isinstance(op, ast.Mult):
+            repeated = self._list_repetition(left, right)
+            if repeated is not None:
+                return repeated
+        if isinstance(op, ast.Add):
+            concat = self._list_concat(left, right)
+            if concat is not None:
+                return concat
+        if left is None and right is None:
+            return None
+        numpy_semantics = bool(
+            (left is not None and left.is_array)
+            or (right is not None and right.is_array)
+        )
+        shape = self._broadcast_operands(left, right, node, numpy_semantics)
+        dtype = self._op_dtype(op, left, right, node, numpy_semantics)
+        unit = self._op_unit(op, left, right, node, numpy_semantics)
+        if shape is None and dtype is None and unit is None:
+            return None
+        return ArrayValue(
+            is_array=numpy_semantics, shape=shape, dtype=dtype, unit=unit
+        )
+
+    @staticmethod
+    def _list_repetition(left: AV, right: AV) -> AV:
+        for seq, count in ((left, right), (right, left)):
+            if (
+                seq is not None
+                and not seq.is_array
+                and seq.shape is not None
+                and len(seq.shape) >= 1
+                and seq.shape[0].size == 1
+                and count is not None
+                and count.axis is not None
+            ):
+                return ArrayValue(
+                    shape=(count.axis,) + seq.shape[1:],
+                    dtype=seq.dtype,
+                    unit=seq.unit,
+                    axis=count.axis,
+                )
+        return None
+
+    @staticmethod
+    def _list_concat(left: AV, right: AV) -> AV:
+        if (
+            left is not None
+            and right is not None
+            and not left.is_array
+            and not right.is_array
+            and left.rank == 1
+            and right.rank == 1
+        ):
+            assert left.shape is not None and right.shape is not None
+            a, b = left.shape[0].size, right.shape[0].size
+            size = a + b if a is not None and b is not None else None
+            return ArrayValue(
+                shape=(Axis(None, size),),
+                dtype=promote(left.dtype, right.dtype),
+                unit=left.unit if left.unit == right.unit else None,
+            )
+        return None
+
+    def _broadcast_operands(
+        self, left: AV, right: AV, node: ast.AST, numpy_semantics: bool
+    ) -> Optional[Shape]:
+        if (
+            left is None
+            or right is None
+            or left.shape is None
+            or right.shape is None
+        ):
+            return None
+        if not numpy_semantics:
+            return None
+        shape, error = broadcast_shapes(left.shape, right.shape)
+        if error is not None:
+            self._report(node, "SOA001", error)
+            return None
+        return shape
+
+    def _op_dtype(
+        self,
+        op: ast.operator,
+        left: AV,
+        right: AV,
+        node: ast.AST,
+        numpy_semantics: bool,
+    ) -> Optional[str]:
+        if not numpy_semantics:
+            return None
+        if isinstance(
+            op, (ast.BitAnd, ast.BitOr, ast.BitXor)
+        ):
+            lt = left.dtype if left is not None else None
+            rt = right.dtype if right is not None else None
+            return promote(lt, rt)
+        if not isinstance(
+            op, (ast.Add, ast.Sub, ast.Mult, ast.Div, ast.FloorDiv,
+                 ast.Mod, ast.Pow)
+        ):
+            return None
+        lt = left.dtype if left is not None else None
+        rt = right.dtype if right is not None else None
+        self._check_mixed_precision(left, right, node)
+        # python float scalar + narrow-float array keeps the array dtype
+        for array_side, scalar_side in ((left, right), (right, left)):
+            if (
+                array_side is not None
+                and array_side.is_known_array
+                and array_side.dtype in NARROW_FLOATS
+                and scalar_side is not None
+                and scalar_side.shape == ()
+                and not scalar_side.is_array
+            ):
+                return array_side.dtype
+        if isinstance(op, ast.Div):
+            joined = promote(lt, rt)
+            if joined is not None and not is_float(joined):
+                return "float64"
+            return joined
+        return promote(lt, rt)
+
+    def _check_mixed_precision(
+        self, left: AV, right: AV, node: ast.AST
+    ) -> None:
+        """SOA002: float32/float64 mixing where both sides are arrays."""
+        if (
+            left is not None
+            and right is not None
+            and left.is_known_array
+            and right.is_known_array
+            and is_float(left.dtype)
+            and is_float(right.dtype)
+            and left.dtype != right.dtype
+        ):
+            narrow = (
+                left.dtype if left.dtype in NARROW_FLOATS else right.dtype
+            )
+            wide = left.dtype if narrow == right.dtype else right.dtype
+            self._report(
+                node,
+                "SOA002",
+                f"mixed-precision arithmetic: {narrow} array combined "
+                f"with {wide} array (the scalar cores accumulate in "
+                "python floats == float64)",
+            )
+
+    def _op_unit(
+        self,
+        op: ast.operator,
+        left: AV,
+        right: AV,
+        node: ast.AST,
+        numpy_semantics: bool,
+    ) -> Optional[Dim]:
+        lu = left.unit if left is not None else None
+        ru = right.unit if right is not None else None
+        if isinstance(op, (ast.Add, ast.Sub)):
+            if numpy_semantics and _mixable(lu, ru):
+                assert lu is not None and ru is not None
+                verb = "adds" if isinstance(op, ast.Add) else "subtracts"
+                self._report(
+                    node,
+                    "SOA003",
+                    f"elementwise {verb.rstrip('s')} mixes "
+                    f"{unit_name(lu)} and {unit_name(ru)} arrays",
+                )
+                return None
+            if lu is not None and lu != SCALAR:
+                return lu
+            if ru is not None and ru != SCALAR:
+                return ru
+            return SCALAR if SCALAR in (lu, ru) else None
+        if isinstance(op, ast.Mult):
+            if lu is None or ru is None:
+                return None
+            return mul(lu, ru)
+        if isinstance(op, (ast.Div, ast.FloorDiv)):
+            if lu is None or ru is None:
+                return None
+            return div(lu, ru)
+        if isinstance(op, ast.Pow):
+            exponent = getattr(node, "right", None)
+            if (
+                lu is not None
+                and isinstance(exponent, ast.Constant)
+                and isinstance(exponent.value, int)
+            ):
+                return power(lu, exponent.value)
+            return None
+        if isinstance(op, ast.Mod):
+            return lu
+        if isinstance(op, (ast.BitAnd, ast.BitOr, ast.BitXor)):
+            return None
+        return None
+
+    def _infer_compare(
+        self, node: ast.Compare, env: "Env[ArrayValue]"
+    ) -> AV:
+        operands = [self.infer(node.left, env)]
+        operands.extend(self.infer(comp, env) for comp in node.comparators)
+        arrays = [v for v in operands if v is not None and v.is_array]
+        shape: Optional[Shape] = None
+        if arrays:
+            # pairwise broadcast + unit discipline across the chain
+            current: AV = operands[0]
+            for nxt in operands[1:]:
+                lu = current.unit if current is not None else None
+                ru = nxt.unit if nxt is not None else None
+                if _mixable(lu, ru):
+                    assert lu is not None and ru is not None
+                    self._report(
+                        node,
+                        "SOA003",
+                        f"elementwise comparison mixes {unit_name(lu)} "
+                        f"and {unit_name(ru)} arrays",
+                    )
+                shape = self._broadcast_operands(current, nxt, node, True)
+                current = (
+                    ArrayValue(is_array=True, shape=shape)
+                    if shape is not None
+                    else None
+                )
+            return ArrayValue(
+                is_array=True, shape=shape, dtype="bool", unit=SCALAR
+            )
+        return SCALAR_BOOL if all(v is not None for v in operands) else None
+
+    # -- subscripts -----------------------------------------------------
+
+    def _infer_subscript(
+        self, node: ast.Subscript, env: "Env[ArrayValue]"
+    ) -> AV:
+        container = self.infer(node.value, env)
+        if container is None or container.shape is None:
+            self.infer(node.slice, env)
+            return None
+        shape = self._index_shape(
+            container.shape, node.slice, env, node, container.is_array
+        )
+        if shape is None:
+            return ArrayValue(
+                is_array=container.is_array,
+                dtype=container.dtype,
+                unit=container.unit,
+            )
+        return ArrayValue(
+            is_array=container.is_array and len(shape) > 0,
+            shape=shape,
+            dtype=container.dtype,
+            unit=container.unit,
+        )
+
+    def _index_shape(
+        self,
+        shape: Shape,
+        slice_node: ast.expr,
+        env: "Env[ArrayValue]",
+        report_node: ast.AST,
+        is_array: bool,
+    ) -> Optional[Shape]:
+        """Result shape of ``container[slice]``; ``None`` = unknown."""
+        items: Sequence[ast.expr]
+        if isinstance(slice_node, ast.Tuple):
+            items = slice_node.elts
+        else:
+            items = [slice_node]
+        result: List[Axis] = []
+        position = 0
+        for item in items:
+            if isinstance(item, ast.Constant) and item.value is None:
+                result.append(Axis(None, 1))
+                continue
+            if isinstance(item, ast.Constant) and item.value is Ellipsis:
+                return None
+            if position >= len(shape):
+                self._report(
+                    report_node,
+                    "SOA001",
+                    f"too many indices: {len(items)} subscript(s) on a "
+                    f"rank-{len(shape)} value of shape {shape_str(shape)}",
+                )
+                return None
+            axis = shape[position]
+            if isinstance(item, ast.Slice):
+                result.append(self._sliced_axis(axis, item, env))
+                position += 1
+                continue
+            literal = _const_int(item)
+            if literal is not None:
+                if (
+                    is_array
+                    and axis.size is not None
+                    and literal >= 0
+                    and literal >= axis.size
+                ):
+                    self._report(
+                        report_node,
+                        "SOA001",
+                        f"index {literal} is out of bounds for axis "
+                        f"{axis} of shape {shape_str(shape)}",
+                    )
+                position += 1  # integer index: drop the axis
+                continue
+            value = self.infer(item, env)
+            if value is not None and value.shape == () and not value.is_array:
+                position += 1  # known scalar index: drop the axis
+                continue
+            # unknown index or advanced/boolean indexing: give up
+            return None
+        result.extend(shape[position:])
+        return tuple(result)
+
+    def _sliced_axis(
+        self, axis: Axis, item: ast.Slice, env: "Env[ArrayValue]"
+    ) -> Axis:
+        for bound in (item.lower, item.upper, item.step):
+            if bound is not None:
+                self.infer(bound, env)
+        if item.lower is None and item.upper is None and item.step is None:
+            return axis  # full slice preserves the axis identity
+        if item.step is not None and _const_int(item.step) != 1:
+            return UNKNOWN_AXIS
+        lower = _const_int(item.lower) if item.lower is not None else 0
+        upper = (
+            _const_int(item.upper) if item.upper is not None else axis.size
+        )
+        if lower is None:
+            return UNKNOWN_AXIS
+        if item.upper is None and axis.size is None:
+            return UNKNOWN_AXIS
+        if upper is None:
+            return UNKNOWN_AXIS
+        if axis.size is not None:
+            span = range(*slice(lower, upper).indices(axis.size))
+            return Axis(None, len(span))
+        if lower >= 0 and upper >= 0:
+            return Axis(None, max(0, upper - lower))
+        return UNKNOWN_AXIS
+
+    # -- displays and comprehensions ------------------------------------
+
+    def _infer_display(
+        self, node: ast.expr, env: "Env[ArrayValue]"
+    ) -> AV:
+        elts = getattr(node, "elts", [])
+        values = [self.infer(elt, env) for elt in elts]
+        if any(isinstance(elt, ast.Starred) for elt in elts):
+            return None
+        axis0 = Axis(None, len(values))
+        common: AV = values[0] if values else None
+        for value in values[1:]:
+            common = self._merge_optional(common, value)
+        if not values:
+            return ArrayValue(shape=(axis0,), axis=axis0)
+        if common is None or common.shape is None:
+            return ArrayValue(axis=axis0)
+        return ArrayValue(
+            shape=(axis0,) + common.shape,
+            dtype=common.dtype,
+            unit=common.unit,
+            axis=axis0,
+        )
+
+    def _leading_axis(self, av: AV, node: ast.expr) -> Optional[Axis]:
+        """The length-axis of an iterable expression, best effort."""
+        if av is not None:
+            if av.shape is not None and len(av.shape) >= 1:
+                return av.shape[0]
+            if av.axis is not None:
+                return av.axis
+            if av.shape == ():
+                return None  # scalars are not iterable
+        if isinstance(node, ast.Name):
+            return Axis(name=node.id)
+        if isinstance(node, ast.Attribute):
+            return Axis(name=node.attr)
+        return None
+
+    def _element_of(self, av: AV) -> AV:
+        if av is None or av.shape is None or len(av.shape) == 0:
+            return None
+        return ArrayValue(
+            is_array=av.is_array and len(av.shape) > 1,
+            shape=av.shape[1:],
+            dtype=av.dtype,
+            unit=av.unit,
+        )
+
+    def _infer_comprehension(
+        self, node: ast.expr, env: "Env[ArrayValue]"
+    ) -> AV:
+        generators = getattr(node, "generators", [])
+        elt = getattr(node, "elt", None)
+        if len(generators) != 1 or elt is None:
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.expr):
+                    self.infer(child, env)
+            return None
+        gen = generators[0]
+        iter_av = self.infer(gen.iter, env)
+        axis = self._leading_axis(iter_av, gen.iter)
+        comp_env: Env[ArrayValue] = dict(env)
+        self._bind(gen.target, self._element_of(iter_av), comp_env)
+        if gen.ifs:
+            for condition in gen.ifs:
+                self.infer(condition, comp_env)
+            axis = UNKNOWN_AXIS  # filtered comprehension: length unknown
+        value = self.infer(elt, comp_env)
+        lead = axis if axis is not None else UNKNOWN_AXIS
+        if value is None:
+            return ArrayValue(axis=lead)
+        if value.shape is None:
+            if not value.is_array:
+                # a known non-array element of unknown shape is the
+                # scalar-read idiom (`[lane.cfg.f_min_ghz for ...]`):
+                # treat the comprehension as one axis of scalars
+                return ArrayValue(
+                    shape=(lead,),
+                    dtype=value.dtype,
+                    unit=value.unit,
+                    axis=lead,
+                )
+            # element shape unknown, but its dtype/unit still describe
+            # the list's elements (np.array() of it inherits both)
+            return ArrayValue(
+                dtype=value.dtype, unit=value.unit, axis=lead
+            )
+        return ArrayValue(
+            shape=(lead,) + value.shape,
+            dtype=value.dtype,
+            unit=value.unit,
+            axis=lead,
+        )
+
+    # -- calls ----------------------------------------------------------
+
+    def _resolve(self, func: ast.expr) -> Optional[str]:
+        dotted = dotted_name(func)
+        if dotted is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        resolved = self.imports.get(head, head)
+        return f"{resolved}.{rest}" if rest else resolved
+
+    def _infer_call(self, node: ast.Call, env: "Env[ArrayValue]") -> AV:
+        args = [self.infer(arg, env) for arg in node.args]
+        keywords: Dict[str, AV] = {}
+        for keyword in node.keywords:
+            value = self.infer(keyword.value, env)
+            if keyword.arg is not None:
+                keywords[keyword.arg] = value
+        target = self._resolve(node.func)
+        if target is not None:
+            tail = target.partition(".")[2]
+            if target.startswith("numpy."):
+                return self._numpy_call(tail, node, args, keywords, env)
+            builtin = self._builtin_call(target, node, args, env)
+            if builtin is not None or target in (
+                "len", "float", "int", "bool", "abs", "range", "list",
+                "tuple", "sorted", "enumerate", "zip", "reversed", "set",
+                "min", "max", "sum", "round",
+            ):
+                return builtin
+        # method call on an inferred receiver: arr.sum(...), arr.astype(...)
+        if isinstance(node.func, ast.Attribute):
+            receiver = self.infer(node.func.value, env)
+            method = node.func.attr
+            if (
+                receiver is not None
+                and receiver.is_array
+                and method in _ARRAY_METHODS
+            ):
+                return self._array_method(
+                    method, receiver, node, args, keywords, env
+                )
+            # an in-place list mutator invalidates the tracked shape
+            # (`rows = []` then `rows.append(...)` is no longer empty)
+            if method in _LIST_MUTATORS and (
+                receiver is None or not receiver.is_array
+            ):
+                base = node.func.value
+                if isinstance(base, ast.Name):
+                    env.pop(base.id, None)
+                elif (
+                    isinstance(base, ast.Attribute)
+                    and isinstance(base.value, ast.Name)
+                    and base.value.id == "self"
+                    and self.collect is not None
+                ):
+                    # pre-pass: pin the attribute to unknown for good
+                    # (None is bottom in _merge_optional, so later
+                    # stores cannot resurrect the stale empty shape)
+                    self.collect[base.attr] = None
+            return None
+        if not isinstance(node.func, ast.Name):
+            self.infer(node.func, env)
+        return None
+
+    def _builtin_call(
+        self,
+        target: str,
+        node: ast.Call,
+        args: List[AV],
+        env: "Env[ArrayValue]",
+    ) -> AV:
+        first = args[0] if args else None
+        if target == "len":
+            axis = (
+                self._leading_axis(first, node.args[0]) if node.args else None
+            )
+            return replace(SCALAR_INT, axis=axis)
+        if target == "float":
+            unit = first.unit if first is not None else None
+            return ArrayValue(shape=(), dtype="float64", unit=unit)
+        if target in ("int", "round"):
+            return SCALAR_INT
+        if target == "bool":
+            return SCALAR_BOOL
+        if target == "abs":
+            return first
+        if target == "range":
+            if not node.args:
+                return None
+            count = args[-1] if len(args) <= 1 else None
+            axis = count.axis if count is not None else None
+            return ArrayValue(shape=(axis,) if axis else None, axis=axis)
+        if target in ("list", "tuple", "sorted", "reversed"):
+            if first is None and node.args:
+                axis = self._leading_axis(None, node.args[0])
+                return ArrayValue(axis=axis) if axis is not None else None
+            if first is None:
+                return None
+            return replace(first, is_array=False)
+        if target in ("enumerate", "zip"):
+            if not node.args:
+                return None
+            axis = self._leading_axis(first, node.args[0])
+            return ArrayValue(axis=axis) if axis is not None else None
+        if target in ("min", "max"):
+            known = [
+                v.unit
+                for v in args
+                if v is not None and v.unit is not None and v.unit != SCALAR
+            ]
+            unit = known[0] if known and all(
+                u == known[0] for u in known
+            ) else None
+            return ArrayValue(shape=(), unit=unit) if unit else None
+        if target == "sum":
+            if first is not None:
+                return ArrayValue(
+                    shape=(), dtype=first.dtype, unit=first.unit
+                )
+            return None
+        return None
+
+    def _dtype_from(self, value: AV, node: Optional[ast.expr]) -> Optional[str]:
+        if value is not None and value.dtype_token is not None:
+            return value.dtype_token
+        if (
+            node is not None
+            and isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+        ):
+            return _DTYPE_TOKENS.get(node.value)
+        return None
+
+    def _keyword_node(
+        self, node: ast.Call, name: str
+    ) -> Optional[ast.expr]:
+        for keyword in node.keywords:
+            if keyword.arg == name:
+                return keyword.value
+        return None
+
+    def _shape_from_arg(
+        self, node: Optional[ast.expr], value: AV, env: "Env[ArrayValue]"
+    ) -> Optional[Shape]:
+        """Interpret an argument used as a shape (int or tuple of ints)."""
+        if node is None:
+            return None
+        if isinstance(node, (ast.Tuple, ast.List)):
+            axes: List[Axis] = []
+            for elt in node.elts:
+                av = self.infer(elt, env)
+                if av is not None and av.axis is not None:
+                    axes.append(av.axis)
+                else:
+                    axes.append(UNKNOWN_AXIS)
+            return tuple(axes)
+        if value is not None and value.axis is not None:
+            return (value.axis,)
+        if value is not None and value.shape == ():
+            return (UNKNOWN_AXIS,)
+        return None
+
+    def _numpy_call(
+        self,
+        name: str,
+        node: ast.Call,
+        args: List[AV],
+        keywords: Dict[str, AV],
+        env: "Env[ArrayValue]",
+    ) -> AV:
+        token = _DTYPE_TOKENS.get(name)
+        if token is not None:
+            # np.float64(x): a scalar of that dtype (and a dtype token)
+            first_arg = args[0] if args else None
+            unit = first_arg.unit if first_arg is not None else SCALAR
+            return ArrayValue(
+                shape=(), dtype=token, unit=unit, dtype_token=token
+            )
+        dtype_kw = self._dtype_from(
+            keywords.get("dtype"), self._keyword_node(node, "dtype")
+        )
+        first = args[0] if args else None
+        if name in ("array", "asarray", "asanyarray"):
+            return self._np_array(first, dtype_kw)
+        if name in ("zeros", "ones", "empty", "full"):
+            shape = self._shape_from_arg(
+                node.args[0] if node.args else self._keyword_node(
+                    node, "shape"
+                ),
+                first,
+                env,
+            )
+            if name == "full":
+                fill = args[1] if len(args) > 1 else keywords.get(
+                    "fill_value"
+                )
+                dtype = dtype_kw or (
+                    fill.dtype if fill is not None else None
+                )
+                unit = fill.unit if fill is not None else None
+            else:
+                dtype = dtype_kw or "float64"
+                unit = SCALAR if name != "empty" else None
+            return ArrayValue(
+                is_array=True, shape=shape, dtype=dtype, unit=unit
+            )
+        if name in ("zeros_like", "ones_like", "empty_like", "full_like"):
+            if first is None:
+                return ArrayValue(is_array=True)
+            return ArrayValue(
+                is_array=True,
+                shape=first.shape,
+                dtype=dtype_kw or first.dtype,
+                unit=SCALAR if name.startswith(("zeros", "ones")) else None,
+            )
+        if name == "arange":
+            count = args[-1] if len(args) == 1 else None
+            axis = count.axis if count is not None else UNKNOWN_AXIS
+            return ArrayValue(
+                is_array=True,
+                shape=(axis if axis is not None else UNKNOWN_AXIS,),
+                dtype=dtype_kw,
+                unit=SCALAR,
+            )
+        if name == "where":
+            return self._np_where(node, args)
+        if name in _UFUNC_PASSTHROUGH:
+            if first is None:
+                return None
+            return replace(first, is_array=True) if first.shape else first
+        if name in _UFUNC_SHAPE_ONLY:
+            if first is None:
+                return None
+            dtype = "bool" if name.startswith(("is", "logical")) else None
+            return ArrayValue(
+                is_array=True, shape=first.shape, dtype=dtype
+            )
+        if name in _UFUNC_ADDITIVE | _UFUNC_DIVIDE | _UFUNC_MULTIPLY \
+                | _UFUNC_LOGICAL:
+            return self._np_binary_ufunc(name, node, args)
+        if name in _REDUCTIONS:
+            return self._reduction(name, first, node, keywords, env)
+        if name == "stack":
+            return self._np_stack(first, node, keywords, env, stacked=True)
+        if name in ("concatenate", "vstack", "hstack"):
+            return self._np_stack(first, node, keywords, env, stacked=False)
+        if name == "reshape":
+            if len(args) >= 2:
+                return self._reshape(
+                    first, node.args[1:], args[1:], node, env
+                )
+            return None
+        if name == "transpose":
+            if first is None:
+                return None
+            if len(node.args) == 1 and first.shape is not None:
+                return replace(
+                    first, is_array=True, shape=first.shape[::-1]
+                )
+            return ArrayValue(is_array=True, dtype=first.dtype,
+                              unit=first.unit)
+        if name in ("argwhere", "nonzero"):
+            return ArrayValue(
+                is_array=True,
+                shape=(UNKNOWN_AXIS, UNKNOWN_AXIS),
+                dtype="int64",
+                unit=SCALAR,
+            )
+        if name == "clip":
+            if first is None:
+                return None
+            for other in args[1:]:
+                lu = first.unit
+                ru = other.unit if other is not None else None
+                if (
+                    first.is_known_array
+                    and _mixable(lu, ru)
+                ):
+                    assert lu is not None and ru is not None
+                    self._report(
+                        node,
+                        "SOA003",
+                        f"np.clip mixes {unit_name(lu)} values with "
+                        f"{unit_name(ru)} bounds",
+                    )
+            return replace(first, is_array=True)
+        return None
+
+    def _np_array(self, first: AV, dtype_kw: Optional[str]) -> AV:
+        if first is None:
+            return ArrayValue(is_array=True, dtype=dtype_kw)
+        dtype = dtype_kw or (
+            first.dtype if first.shape is not None else None
+        )
+        return ArrayValue(
+            is_array=True,
+            shape=first.shape,
+            dtype=dtype,
+            unit=first.unit,
+            axis=first.axis,
+        )
+
+    def _np_where(self, node: ast.Call, args: List[AV]) -> AV:
+        if len(args) != 3:
+            return None
+        cond, then, other = args
+        shape: Optional[Shape] = None
+        known = [v for v in (cond, then, other) if v is not None]
+        current: AV = cond
+        for nxt in (then, other):
+            shape = self._broadcast_operands(current, nxt, node, True)
+            current = (
+                ArrayValue(is_array=True, shape=shape)
+                if shape is not None
+                else None
+            )
+        tu = then.unit if then is not None else None
+        ou = other.unit if other is not None else None
+        if _mixable(tu, ou) and any(
+            v.is_known_array for v in known
+        ):
+            assert tu is not None and ou is not None
+            self._report(
+                node,
+                "SOA003",
+                f"np.where selects between {unit_name(tu)} and "
+                f"{unit_name(ou)} branches",
+            )
+        dtype = promote(
+            then.dtype if then is not None else None,
+            ou_dtype := (other.dtype if other is not None else None),
+        )
+        # python-scalar branch does not widen a narrow-float branch
+        for array_side, scalar_side in ((then, other), (other, then)):
+            if (
+                array_side is not None
+                and array_side.is_known_array
+                and array_side.dtype in NARROW_FLOATS
+                and scalar_side is not None
+                and scalar_side.shape == ()
+                and not scalar_side.is_array
+            ):
+                dtype = array_side.dtype
+        del ou_dtype
+        unit = tu if tu == ou else None
+        return ArrayValue(
+            is_array=True, shape=shape, dtype=dtype, unit=unit
+        )
+
+    def _np_binary_ufunc(
+        self, name: str, node: ast.Call, args: List[AV]
+    ) -> AV:
+        if len(args) < 2:
+            return None
+        left, right = args[0], args[1]
+        shape = self._broadcast_operands(left, right, node, True)
+        lu = left.unit if left is not None else None
+        ru = right.unit if right is not None else None
+        unit: Optional[Dim]
+        if name in _UFUNC_MULTIPLY:
+            unit = mul(lu, ru) if lu is not None and ru is not None else None
+        elif name in _UFUNC_DIVIDE:
+            unit = div(lu, ru) if lu is not None and ru is not None else None
+        elif name in _UFUNC_LOGICAL:
+            unit = None
+        else:
+            if _mixable(lu, ru):
+                assert lu is not None and ru is not None
+                self._report(
+                    node,
+                    "SOA003",
+                    f"np.{name} mixes {unit_name(lu)} and "
+                    f"{unit_name(ru)} operands elementwise",
+                )
+                unit = None
+            else:
+                known = [
+                    u for u in (lu, ru) if u is not None and u != SCALAR
+                ]
+                unit = known[0] if known else (
+                    SCALAR if SCALAR in (lu, ru) else None
+                )
+        self._check_mixed_precision(left, right, node)
+        if name in _UFUNC_COMPARISONS:
+            dtype: Optional[str] = "bool"
+            unit = SCALAR
+        else:
+            dtype = promote(
+                left.dtype if left is not None else None,
+                right.dtype if right is not None else None,
+            )
+            for array_side, scalar_side in ((left, right), (right, left)):
+                if (
+                    array_side is not None
+                    and array_side.is_known_array
+                    and array_side.dtype in NARROW_FLOATS
+                    and scalar_side is not None
+                    and scalar_side.shape == ()
+                    and not scalar_side.is_array
+                ):
+                    dtype = array_side.dtype
+        return ArrayValue(
+            is_array=True, shape=shape, dtype=dtype, unit=unit
+        )
+
+    def _reduction(
+        self,
+        name: str,
+        receiver: AV,
+        node: ast.Call,
+        keywords: Dict[str, AV],
+        env: "Env[ArrayValue]",
+    ) -> AV:
+        if receiver is None:
+            return None
+        axis_node = self._keyword_node(node, "axis")
+        keepdims_node = self._keyword_node(node, "keepdims")
+        keepdims = (
+            isinstance(keepdims_node, ast.Constant)
+            and keepdims_node.value is True
+        )
+        if name in _INT_REDUCTIONS:
+            dtype: Optional[str] = "int64"
+            unit: Optional[Dim] = SCALAR
+        elif name in _BOOL_REDUCTIONS:
+            dtype = "bool"
+            unit = SCALAR
+        elif name in ("mean", "std", "var"):
+            dtype = "float64" if not is_float(receiver.dtype) else (
+                receiver.dtype
+            )
+            unit = receiver.unit if name == "mean" else None
+        else:
+            dtype = (
+                "int64" if receiver.dtype == "bool" and name == "sum"
+                else receiver.dtype
+            )
+            unit = receiver.unit
+        if axis_node is None:
+            if receiver.shape is not None and keepdims:
+                collapsed = tuple(
+                    Axis(None, 1) for _ in receiver.shape
+                )
+                return ArrayValue(
+                    is_array=True, shape=collapsed, dtype=dtype, unit=unit
+                )
+            return ArrayValue(shape=(), dtype=dtype, unit=unit)
+        literal = _const_int(axis_node)
+        if literal is None or receiver.shape is None:
+            return ArrayValue(is_array=True, dtype=dtype, unit=unit)
+        rank = len(receiver.shape)
+        index = literal % rank if rank else 0
+        if rank == 0 or not (-rank <= literal < rank):
+            return ArrayValue(is_array=True, dtype=dtype, unit=unit)
+        axes = list(receiver.shape)
+        if keepdims:
+            axes[index] = Axis(None, 1)
+        else:
+            del axes[index]
+        return ArrayValue(
+            is_array=True, shape=tuple(axes), dtype=dtype, unit=unit
+        )
+
+    def _np_stack(
+        self,
+        first: AV,
+        node: ast.Call,
+        keywords: Dict[str, AV],
+        env: "Env[ArrayValue]",
+        stacked: bool,
+    ) -> AV:
+        if first is None or first.shape is None or len(first.shape) == 0:
+            return ArrayValue(is_array=True)
+        count = first.shape[0]
+        element = first.shape[1:]
+        if stacked:
+            axis_node = self._keyword_node(node, "axis")
+            literal = (
+                _const_int(axis_node) if axis_node is not None else 0
+            ) or 0
+            axes = list(element)
+            position = literal % (len(element) + 1) if literal >= 0 else max(
+                0, len(element) + 1 + literal
+            )
+            axes.insert(position, count)
+            return ArrayValue(
+                is_array=True,
+                shape=tuple(axes),
+                dtype=first.dtype,
+                unit=first.unit,
+            )
+        if len(element) == 0:
+            return ArrayValue(
+                is_array=True,
+                shape=(UNKNOWN_AXIS,),
+                dtype=first.dtype,
+                unit=first.unit,
+            )
+        return ArrayValue(
+            is_array=True,
+            shape=(UNKNOWN_AXIS,) + element[1:],
+            dtype=first.dtype,
+            unit=first.unit,
+        )
+
+    def _reshape(
+        self,
+        receiver: AV,
+        dim_nodes: Sequence[ast.expr],
+        dim_values: Sequence[AV],
+        node: ast.AST,
+        env: "Env[ArrayValue]",
+    ) -> AV:
+        if receiver is None:
+            return None
+        nodes: Sequence[ast.expr] = dim_nodes
+        values: Sequence[AV] = dim_values
+        if len(dim_nodes) == 1 and isinstance(
+            dim_nodes[0], (ast.Tuple, ast.List)
+        ):
+            nodes = dim_nodes[0].elts
+            values = [self.infer(elt, env) for elt in nodes]
+        axes: List[Axis] = []
+        has_wildcard = False
+        for dim_node, value in zip(nodes, values):
+            literal = _const_int(dim_node)
+            if literal == -1:
+                has_wildcard = True
+                axes.append(UNKNOWN_AXIS)
+            elif value is not None and value.axis is not None:
+                axes.append(value.axis)
+            else:
+                axes.append(UNKNOWN_AXIS)
+        new_shape = tuple(axes)
+        if (
+            not has_wildcard
+            and receiver.shape is not None
+            and all(a.size is not None for a in receiver.shape)
+            and all(a.size is not None for a in new_shape)
+        ):
+            old = 1
+            for axis in receiver.shape:
+                assert axis.size is not None
+                old *= axis.size
+            new = 1
+            for axis in new_shape:
+                assert axis.size is not None
+                new *= axis.size
+            if old != new:
+                self._report(
+                    node,
+                    "SOA001",
+                    f"reshape from {shape_str(receiver.shape)} "
+                    f"({old} elements) to {shape_str(new_shape)} "
+                    f"({new} elements) changes the element count",
+                )
+                return ArrayValue(
+                    is_array=True, dtype=receiver.dtype, unit=receiver.unit
+                )
+        return ArrayValue(
+            is_array=True,
+            shape=new_shape,
+            dtype=receiver.dtype,
+            unit=receiver.unit,
+        )
+
+    def _array_method(
+        self,
+        method: str,
+        receiver: ArrayValue,
+        node: ast.Call,
+        args: List[AV],
+        keywords: Dict[str, AV],
+        env: "Env[ArrayValue]",
+    ) -> AV:
+        if method in _REDUCTIONS:
+            return self._reduction(method, receiver, node, keywords, env)
+        if method == "astype":
+            dtype = self._dtype_from(
+                args[0] if args else None,
+                node.args[0] if node.args else None,
+            )
+            # explicit cast: allowed, never an SOA002 finding
+            return replace(receiver, dtype=dtype)
+        if method == "copy":
+            return receiver
+        if method == "reshape":
+            return self._reshape(receiver, node.args, args, node, env)
+        if method == "transpose":
+            if not node.args and receiver.shape is not None:
+                return replace(receiver, shape=receiver.shape[::-1])
+            return ArrayValue(
+                is_array=True, dtype=receiver.dtype, unit=receiver.unit
+            )
+        if method == "tolist":
+            return replace(receiver, is_array=False)
+        if method == "item":
+            return ArrayValue(
+                shape=(), dtype=receiver.dtype, unit=receiver.unit
+            )
+        return None  # fill() and friends mutate in place, return None
+
+
+__all__ = [
+    "Axis",
+    "ArrayValue",
+    "ArrayWalker",
+    "DTYPE_ORDER",
+    "NARROW_FLOATS",
+    "Problem",
+    "Shape",
+    "UNKNOWN_AXIS",
+    "broadcast_shapes",
+    "combine_axes",
+    "is_float",
+    "promote",
+    "shape_str",
+]

@@ -160,6 +160,59 @@ def _changed_paths(base: str) -> List[str]:
     ]
 
 
+def _widen_changed_paths(
+    changed: List[str], roots: List[str]
+) -> List[str]:
+    """Changed files plus every project file that transitively imports a
+    changed module.
+
+    ``--changed-only`` restricts per-file rules to the changed set; a
+    file whose *dependency* changed is affected too (its import-resolved
+    facts -- call targets, class pairings, collected contracts -- were
+    computed against the old module), so the restriction follows the
+    same reverse dependency edges the incremental cache invalidates on.
+    Unparsable or out-of-project files stay exactly as git listed them.
+    """
+    import ast
+
+    from repro.statcheck.engine import _collect_paths, _module_for_path
+    from repro.statcheck.semantic import _dep_modules
+
+    try:
+        all_paths = _collect_paths(roots)
+    except (OSError, FileNotFoundError):
+        return sorted(set(changed))
+    path_by_module: dict = {}
+    trees: dict = {}
+    for path in all_paths:
+        module = _module_for_path(path)
+        path_by_module[module] = os.path.abspath(path)
+        try:
+            with open(path, encoding="utf-8") as handle:
+                trees[module] = ast.parse(handle.read())
+        except (OSError, SyntaxError):
+            continue
+    modules = set(path_by_module)
+    dependents: dict = {}
+    for module, tree in trees.items():
+        for dep in _dep_modules(tree, module, modules):
+            dependents.setdefault(dep, set()).add(module)
+    module_by_path = {p: m for m, p in path_by_module.items()}
+    widened = set(changed)
+    queue = [
+        module_by_path[path] for path in widened if path in module_by_path
+    ]
+    seen = set(queue)
+    while queue:
+        current = queue.pop()
+        for dependent in dependents.get(current, ()):
+            if dependent not in seen:
+                seen.add(dependent)
+                queue.append(dependent)
+    widened.update(path_by_module[module] for module in seen)
+    return sorted(widened)
+
+
 def _print_stats(report: "AnalysisReport", wall_s: float) -> None:
     """One human summary of the run on stderr (``--stats``)."""
     parts = [f"files={report.files_scanned}"]
@@ -192,8 +245,9 @@ def run(args: argparse.Namespace) -> int:
         return EXIT_CLEAN
     started = time.monotonic()
     try:
+        paths = args.paths or default_paths()
         per_file_paths = (
-            _changed_paths(args.changed_only)
+            _widen_changed_paths(_changed_paths(args.changed_only), paths)
             if args.changed_only is not None
             else None
         )
@@ -203,7 +257,6 @@ def run(args: argparse.Namespace) -> int:
             require_justification=args.require_justification,
             per_file_paths=per_file_paths,
         )
-        paths = args.paths or default_paths()
         if args.no_incremental or per_file_paths is not None:
             report = analyzer.analyze_paths(paths)
         else:

@@ -56,6 +56,37 @@ def _sha256(text: str) -> str:
     return hashlib.sha256(text.encode("utf-8")).hexdigest()
 
 
+_tool_sig_cache: Optional[str] = None
+
+
+def _tool_sig() -> str:
+    """sha256 over the statcheck package sources themselves.
+
+    Rule IDs alone under-key the cache: editing a rule's implementation
+    (or the shared walkers it builds on) without renaming it must not
+    replay findings computed by the old code.  Unreadable files hash as
+    empty -- the signature only needs to *change* when sources change.
+    """
+    global _tool_sig_cache
+    if _tool_sig_cache is None:
+        digest = hashlib.sha256()
+        package_dir = os.path.dirname(os.path.abspath(__file__))
+        for root, dirs, names in sorted(os.walk(package_dir)):
+            dirs.sort()
+            for name in sorted(names):
+                if not name.endswith(".py"):
+                    continue
+                path = os.path.join(root, name)
+                digest.update(os.path.relpath(path, package_dir).encode())
+                try:
+                    with open(path, "rb") as handle:
+                        digest.update(handle.read())
+                except OSError:
+                    pass
+        _tool_sig_cache = digest.hexdigest()
+    return _tool_sig_cache
+
+
 def _is_per_file(rule: Rule) -> bool:
     return type(rule).check_file is not Rule.check_file
 
@@ -153,6 +184,7 @@ class IncrementalAnalyzer:
         parts = sorted(rule.id for rule in self.analyzer.rules)
         parts.append(f"require_justification={self.analyzer.require_justification}")
         parts.append(f"format={_FORMAT_VERSION}")
+        parts.append(f"tool={_tool_sig()}")
         return _sha256("\n".join(parts))
 
     def _load_cache(self) -> Dict[str, Any]:

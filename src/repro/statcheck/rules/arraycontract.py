@@ -1,0 +1,555 @@
+"""SOA001/SOA002/SOA003/VEC001: array semantics for the batch simcore.
+
+PR 9 moved the DVFS control plane into NumPy code that the scalar rules
+cannot see: UNIT001 stops at scalar attributes, SIM001 at ``self.X``
+mentions.  These rules interpret vector code with the abstract domain in
+:mod:`repro.statcheck.arrays` and hold the batch driver to the same
+contracts the scalar cores live under:
+
+* **SOA001** -- shape/broadcast mismatch: elementwise ops over provably
+  incompatible symbolic shapes (named axes that differ, literal sizes
+  that differ), subscript stores that collapse axes or cannot fit the
+  target region, reshapes that change the element count, out-of-range
+  constant indices.
+* **SOA002** -- dtype drift: mixed float32/float64 arithmetic where the
+  scalar cores accumulate in Python floats (== float64), and stores that
+  silently downcast (float into int containers, wide floats into narrow
+  float arrays).  ``astype`` is the explicit escape hatch.
+* **SOA003** -- UNIT001's unit algebra lifted elementwise: mixed-unit
+  ``+``/``-``/comparisons inside vector expressions, ``np.where`` over
+  branches with different units, and unit-declared names/attributes
+  bound to arrays carrying a different unit.
+* **VEC001** -- vector-scalar drift, the SIM001 analogue for the batch
+  core.  A driver class marked ``# statcheck: vector-state=<LaneClass>``
+  promises that its per-lane arrays shadow scalar state of the lane
+  class: every array ``__init__`` seeds *from lane attributes* and then
+  mutates per round must have at least one of those source attributes
+  written back by the lane's ``_absorb*`` path (or be listed in the
+  driver's ``_DRIVER_INTERNAL`` set for state that is deliberately not
+  written back, e.g. FSM counters the reference also discards); and
+  conversely every attribute an ``_absorb*`` method stores must seed
+  some driver array.  Adding state to one side without the other is a
+  finding, not a nightly golden-suite surprise.
+
+The SOA rules are scoped to ``repro.simcore`` -- the one package whose
+arrays carry the paper's physical quantities; the analysis fails open
+everywhere a value is dynamic.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.statcheck.arrays import ArrayWalker, ArrayValue, Problem
+from repro.statcheck.astutil import FUNCTION_NODES, dotted_name, import_map
+from repro.statcheck.dataflow import Env
+from repro.statcheck.engine import Project, Rule, SourceFile
+from repro.statcheck.findings import Finding
+from repro.statcheck.registry import register
+from repro.statcheck.semantic import ClassInfo, SymbolTable
+from repro.statcheck.units import declared_unit
+
+# ---------------------------------------------------------------------------
+# shared per-file array analysis (SOA001/SOA002/SOA003)
+# ---------------------------------------------------------------------------
+
+#: tree identity -> (tree, sorted problems); the strong tree reference
+#: keeps ids unique among live entries.  Three rules share one walk.
+_CACHE: Dict[int, Tuple[ast.Module, List[Problem]]] = {}
+_CACHE_LIMIT = 256
+
+
+def _seed_env(
+    func: ast.AST, module_env: "Env[ArrayValue]", imports: Dict[str, str]
+) -> "Env[ArrayValue]":
+    """Starting environment of one function: globals + annotated params."""
+    env: Env[ArrayValue] = dict(module_env)
+    if not isinstance(func, FUNCTION_NODES):
+        return env
+    args = func.args
+    params = list(args.posonlyargs) + list(args.args) + list(args.kwonlyargs)
+    for param in params:
+        if param.arg == "self":
+            continue
+        unit = declared_unit(param.arg)
+        is_arr = _is_ndarray_annotation(param.annotation, imports)
+        if unit is not None or is_arr:
+            env[param.arg] = ArrayValue(is_array=is_arr, unit=unit)
+        else:
+            env.pop(param.arg, None)  # parameter shadows any global
+    for extra in (args.vararg, args.kwarg):
+        if extra is not None:
+            env.pop(extra.arg, None)
+    return env
+
+
+def _is_ndarray_annotation(
+    annotation: Optional[ast.expr], imports: Dict[str, str]
+) -> bool:
+    if annotation is None:
+        return False
+    node: ast.expr = annotation
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value.split(".")[-1] == "ndarray"
+    dotted = dotted_name(node)
+    if dotted is None:
+        return False
+    head, _, rest = dotted.partition(".")
+    resolved = imports.get(head, head)
+    full = f"{resolved}.{rest}" if rest else resolved
+    return full in ("numpy.ndarray", "ndarray")
+
+
+def _analyze_class(
+    cls: ast.ClassDef,
+    imports: Dict[str, str],
+    module_env: "Env[ArrayValue]",
+) -> List[Problem]:
+    """Two-round fixpoint over the class's ``self.X`` map, then report."""
+    methods = [
+        stmt for stmt in cls.body if isinstance(stmt, FUNCTION_NODES)
+    ]
+    ordered = sorted(methods, key=lambda m: m.name != "__init__")
+    attrs: Dict[str, Optional[ArrayValue]] = {}
+    for _ in range(2):
+        for method in ordered:
+            walker = ArrayWalker(imports, self_attrs=attrs, collect=attrs)
+            walker.run(method.body, _seed_env(method, module_env, imports))
+    problems: List[Problem] = []
+    for method in ordered:
+        walker = ArrayWalker(imports, self_attrs=dict(attrs))
+        walker.run(method.body, _seed_env(method, module_env, imports))
+        problems.extend(walker.problems)
+    return problems
+
+
+def _analyze_tree(tree: ast.Module) -> List[Problem]:
+    imports = import_map(tree)
+    problems: List[Problem] = []
+    module_walker = ArrayWalker(imports)
+    module_env = module_walker.run(tree.body, {})
+    problems.extend(module_walker.problems)
+    method_ids: Set[int] = set()
+    classes: List[ast.ClassDef] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            classes.append(node)
+            for stmt in node.body:
+                if isinstance(stmt, FUNCTION_NODES):
+                    method_ids.add(id(stmt))
+    for cls in classes:
+        problems.extend(_analyze_class(cls, imports, module_env))
+    for node in ast.walk(tree):
+        if isinstance(node, FUNCTION_NODES) and id(node) not in method_ids:
+            walker = ArrayWalker(imports)
+            walker.run(node.body, _seed_env(node, module_env, imports))
+            problems.extend(walker.problems)
+    problems.sort(
+        key=lambda problem: (
+            getattr(problem[0], "lineno", 0),
+            getattr(problem[0], "col_offset", 0),
+            problem[1],
+            problem[2],
+        )
+    )
+    return problems
+
+
+def _file_problems(file: SourceFile) -> List[Problem]:
+    assert file.tree is not None
+    key = id(file.tree)
+    hit = _CACHE.get(key)
+    if hit is not None and hit[0] is file.tree:
+        return hit[1]
+    if len(_CACHE) >= _CACHE_LIMIT:
+        _CACHE.clear()
+    problems = _analyze_tree(file.tree)
+    _CACHE[key] = (file.tree, problems)
+    return problems
+
+
+class _ArraySemanticsRule(Rule):
+    """Base for the three per-file SOA rules sharing one walk."""
+
+    scope = ("repro.simcore",)
+
+    def check_file(self, file: SourceFile) -> Iterator[Finding]:
+        for node, rule_key, message in _file_problems(file):
+            if rule_key == self.id:
+                yield self.finding(file, node, message)
+
+
+@register
+class ShapeContractRule(_ArraySemanticsRule):
+    """Provably incompatible shapes in vector expressions and stores."""
+
+    id = "SOA001"
+    description = (
+        "vector expressions must broadcast: no elementwise ops over "
+        "provably incompatible symbolic shapes, no axis-collapsing "
+        "subscript stores, no element-count-changing reshapes, no "
+        "out-of-range constant indices"
+    )
+
+
+@register
+class DtypeDriftRule(_ArraySemanticsRule):
+    """Implicit downcasts and mixed-precision accumulation."""
+
+    id = "SOA002"
+    description = (
+        "no mixed float32/float64 array arithmetic and no silently "
+        "downcasting stores in vector code -- the scalar cores "
+        "accumulate in Python floats (float64), so narrower dtypes "
+        "break the bit-identity contract; cast explicitly with astype"
+    )
+
+
+@register
+class ArrayUnitRule(_ArraySemanticsRule):
+    """UNIT001's unit algebra lifted elementwise through array ops."""
+
+    id = "SOA003"
+    description = (
+        "the physical-unit algebra applies per element inside vector "
+        "code: no mixed-unit elementwise +/-/comparisons, no np.where "
+        "over branches with different units, no unit-declared name "
+        "bound to an array carrying a different unit"
+    )
+
+
+# ---------------------------------------------------------------------------
+# VEC001: vector-scalar drift between a marked driver and its lane class
+# ---------------------------------------------------------------------------
+
+_MARKER = re.compile(
+    r"#\s*statcheck:\s*vector-state\s*=\s*([A-Za-z_][A-Za-z0-9_.]*)"
+)
+_INTERNAL_NAME = "_DRIVER_INTERNAL"
+
+
+def _marked_classes(
+    file: SourceFile,
+) -> Iterator[Tuple[ast.ClassDef, str]]:
+    """Classes carrying a vector-state marker on or above their def line."""
+    assert file.tree is not None
+    lines = file.source.splitlines()
+    for node in ast.walk(file.tree):
+        if not isinstance(node, ast.ClassDef):
+            continue
+        for lineno in (node.lineno, node.lineno - 1):
+            if 1 <= lineno <= len(lines):
+                match = _MARKER.search(lines[lineno - 1])
+                if match is not None:
+                    yield node, match.group(1)
+                    break
+
+
+def _self_attr_of(target: ast.expr) -> Optional[Tuple[str, ast.expr]]:
+    """``self.X`` / ``self.X[...]`` store target -> (attr, node)."""
+    node = target
+    if isinstance(node, ast.Subscript):
+        node = node.value
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr, node
+    return None
+
+
+def _value_provenance(value: ast.expr, imports: Dict[str, str]) -> Set[str]:
+    """Attribute names read through non-``self``, non-import roots.
+
+    For ``np.array([[fn(lane.regulators[d]) ...]])`` style seeds this is
+    the set of lane-object attributes the array is built from (both
+    intermediate and terminal names of each access chain); ``np.*`` and
+    ``self.*`` chains contribute nothing.
+    """
+    names: Set[str] = set()
+    for node in ast.walk(value):
+        if not (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.ctx, ast.Load)
+        ):
+            continue
+        root: ast.expr = node
+        while isinstance(root, (ast.Attribute, ast.Subscript, ast.Call)):
+            if isinstance(root, ast.Attribute):
+                root = root.value
+            elif isinstance(root, ast.Subscript):
+                root = root.value
+            else:
+                root = root.func
+        if (
+            isinstance(root, ast.Name)
+            and root.id != "self"
+            and root.id not in imports
+        ):
+            names.add(node.attr)
+    return names
+
+
+def _assign_pairs(
+    node: ast.stmt,
+) -> Iterator[Tuple[List[ast.expr], Optional[ast.expr], bool]]:
+    """``(targets, value, is_augmented)`` of one binding statement."""
+    if isinstance(node, ast.Assign):
+        yield list(node.targets), node.value, False
+    elif isinstance(node, ast.AugAssign):
+        yield [node.target], node.value, True
+    elif isinstance(node, ast.AnnAssign):
+        yield [node.target], node.value, False
+
+
+def _driver_init_stores(
+    cls: ast.ClassDef, imports: Dict[str, str]
+) -> Dict[str, Tuple[ast.expr, Set[str]]]:
+    """``__init__`` self-stores -> (first store site, union provenance)."""
+    stores: Dict[str, Tuple[ast.expr, Set[str]]] = {}
+    init = next(
+        (
+            stmt
+            for stmt in cls.body
+            if isinstance(stmt, FUNCTION_NODES) and stmt.name == "__init__"
+        ),
+        None,
+    )
+    if init is None:
+        return stores
+    for node in ast.walk(init):
+        for targets, value, _aug in _assign_pairs(node):
+            if value is None:
+                continue
+            prov = _value_provenance(value, imports)
+            for target in targets:
+                found = _self_attr_of(target)
+                if found is None:
+                    continue
+                attr, site = found
+                if attr in stores:
+                    stores[attr] = (stores[attr][0], stores[attr][1] | prov)
+                else:
+                    stores[attr] = (site, prov)
+    return stores
+
+
+def _self_attr_load(value: Optional[ast.expr]) -> Optional[str]:
+    if (
+        isinstance(value, ast.Attribute)
+        and isinstance(value.value, ast.Name)
+        and value.value.id == "self"
+    ):
+        return value.attr
+    return None
+
+
+def _collect_aliases(
+    target: ast.expr,
+    value: Optional[ast.expr],
+    aliases: Dict[str, Set[str]],
+) -> None:
+    """One-level ``name = self.attr`` aliasing, incl. paired tuples."""
+    if isinstance(target, ast.Name):
+        attr = _self_attr_load(value)
+        if attr is not None:
+            aliases.setdefault(target.id, set()).add(attr)
+    elif (
+        isinstance(target, (ast.Tuple, ast.List))
+        and isinstance(value, (ast.Tuple, ast.List))
+        and len(target.elts) == len(value.elts)
+    ):
+        for element, element_value in zip(target.elts, value.elts):
+            _collect_aliases(element, element_value, aliases)
+
+
+def _driver_mutations(cls: ast.ClassDef) -> Dict[str, ast.expr]:
+    """Attrs mutated outside ``__init__``: direct self-stores plus
+    in-place stores through one-level local aliases (``state, counter =
+    self.state_level, self.counter_level`` then ``state[mask] = 0``)."""
+    mutated: Dict[str, ast.expr] = {}
+    for stmt in cls.body:
+        if not isinstance(stmt, FUNCTION_NODES) or stmt.name == "__init__":
+            continue
+        aliases: Dict[str, Set[str]] = {}
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Assign):
+                for target in node.targets:
+                    _collect_aliases(target, node.value, aliases)
+        for node in ast.walk(stmt):
+            for targets, _value, aug in _assign_pairs(node):
+                for target in targets:
+                    found = _self_attr_of(target)
+                    if found is not None:
+                        mutated.setdefault(found[0], found[1])
+                        continue
+                    base = target
+                    subscripted = False
+                    if isinstance(base, ast.Subscript):
+                        base = base.value
+                        subscripted = True
+                    # a plain `name = ...` rebinds the local; only
+                    # subscript/augmented stores mutate the aliased array
+                    if isinstance(base, ast.Name) and (subscripted or aug):
+                        for attr in aliases.get(base.id, ()):
+                            mutated.setdefault(attr, target)
+    return mutated
+
+
+def _driver_internal(cls: ast.ClassDef) -> Set[str]:
+    """String elements of the class-level ``_DRIVER_INTERNAL`` set."""
+    for stmt in cls.body:
+        for targets, value, _aug in _assign_pairs(stmt):
+            if value is None:
+                continue
+            if not any(
+                isinstance(target, ast.Name)
+                and target.id == _INTERNAL_NAME
+                for target in targets
+            ):
+                continue
+            node: ast.expr = value
+            if isinstance(node, ast.Call) and node.args:
+                node = node.args[0]
+            if isinstance(node, (ast.Set, ast.Tuple, ast.List)):
+                return {
+                    elt.value
+                    for elt in node.elts
+                    if isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)
+                }
+    return set()
+
+
+def _absorbed_stores(lane: ClassInfo) -> Dict[str, ast.expr]:
+    """Terminal attrs any ``_absorb*`` method stores (any receiver)."""
+    stores: Dict[str, ast.expr] = {}
+    for name in sorted(lane.methods):
+        if not name.startswith("_absorb"):
+            continue
+        for node in ast.walk(lane.methods[name].node):
+            for targets, _value, _aug in _assign_pairs(node):
+                for target in targets:
+                    base = target
+                    if isinstance(base, ast.Subscript):
+                        base = base.value
+                    if isinstance(base, ast.Attribute):
+                        stores.setdefault(base.attr, base)
+    return stores
+
+
+@register
+class VectorScalarContractRule(Rule):
+    """Marked driver arrays and lane ``_absorb*`` state must pair up."""
+
+    id = "VEC001"
+    description = (
+        "every per-lane array a '# statcheck: vector-state=<LaneClass>' "
+        "driver seeds from lane attributes and mutates per round must "
+        "have a source attribute the lane's _absorb* path writes back "
+        "(or be listed in _DRIVER_INTERNAL), and every attribute "
+        "_absorb* stores must seed some driver array -- one-sided state "
+        "is silent vector-scalar drift"
+    )
+    scope = ()  # cross-module
+
+    def check_project(self, project: Project) -> Iterator[Finding]:
+        table = SymbolTable.build(project)
+        #: lane qualname -> (lane, union of driver init provenances)
+        by_lane: Dict[str, Tuple[ClassInfo, Set[str]]] = {}
+        for file in project.files:
+            if file.tree is None:
+                continue
+            imports = import_map(file.tree)
+            for cls_node, lane_name in _marked_classes(file):
+                lane = table.resolve_class(file.module, lane_name)
+                if lane is None:
+                    yield self.finding(
+                        file,
+                        cls_node,
+                        f"vector-state marker names {lane_name!r}, which "
+                        "resolves to no project class; fix or remove the "
+                        "stale marker",
+                    )
+                    continue
+                yield from self._check_driver(
+                    file, cls_node, imports, lane
+                )
+                union = set()
+                for _site, prov in _driver_init_stores(
+                    cls_node, imports
+                ).values():
+                    union |= prov
+                if lane.qualname in by_lane:
+                    by_lane[lane.qualname] = (
+                        lane,
+                        by_lane[lane.qualname][1] | union,
+                    )
+                else:
+                    by_lane[lane.qualname] = (lane, union)
+        for qualname in sorted(by_lane):
+            lane, union = by_lane[qualname]
+            for attr in sorted(_absorbed_stores(lane)):
+                if attr in union:
+                    continue
+                site = _absorbed_stores(lane)[attr]
+                yield self.finding(
+                    lane.file,
+                    site,
+                    f"{lane.name}._absorb* writes attribute {attr!r} but "
+                    "no vector-state driver seeds an array from it; the "
+                    "scalar state has no vector counterpart",
+                )
+
+    def _check_driver(
+        self,
+        file: SourceFile,
+        cls_node: ast.ClassDef,
+        imports: Dict[str, str],
+        lane: ClassInfo,
+    ) -> Iterator[Finding]:
+        stores = _driver_init_stores(cls_node, imports)
+        mutated = _driver_mutations(cls_node)
+        internal = _driver_internal(cls_node)
+        absorbed = set(_absorbed_stores(lane))
+        for attr in sorted(mutated):
+            entry = stores.get(attr)
+            if entry is None:
+                continue  # not seeded in __init__: fail open
+            site, prov = entry
+            if not prov or attr in internal:
+                continue
+            if prov & absorbed:
+                continue
+            yield self.finding(
+                file,
+                site,
+                f"driver array self.{attr} (seeded from "
+                f"{', '.join(sorted(prov))}) is mutated per round but "
+                f"none of its source attributes are written back by "
+                f"{lane.name}._absorb*; the vector state has no scalar "
+                "counterpart",
+            )
+        for name in sorted(internal):
+            if name not in stores:
+                yield self.finding(
+                    file,
+                    cls_node,
+                    f"{_INTERNAL_NAME} lists {name!r} but __init__ never "
+                    f"binds self.{name}; remove the stale entry",
+                )
+                continue
+            site, prov = stores[name]
+            overlap = prov & absorbed
+            if overlap:
+                yield self.finding(
+                    file,
+                    site,
+                    f"{_INTERNAL_NAME} exempts self.{name} but its "
+                    f"source attribute(s) {', '.join(sorted(overlap))} "
+                    f"are written back by {lane.name}._absorb*; remove "
+                    "the exemption or the write-back",
+                )

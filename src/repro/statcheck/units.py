@@ -104,11 +104,18 @@ EXACT_ANNOTATIONS: Dict[str, Dim] = {
     "frequency": FREQUENCY,
     "f_now": FREQUENCY,
     "f_target": FREQUENCY,
+    "f_min": FREQUENCY,
+    "f_max": FREQUENCY,
+    "fspan": FREQUENCY,
+    "cur": FREQUENCY,
+    "tgt": FREQUENCY,
     # voltage
     "voltage": VOLTAGE,
     "_voltage": VOLTAGE,
     "v_max": VOLTAGE,
     "v_min": VOLTAGE,
+    "vspan": VOLTAGE,
+    "volt": VOLTAGE,
     # energy
     "energy": ENERGY,
     # occupancy (queue entries)

@@ -175,7 +175,7 @@ class TestDegradation:
     def test_processor_class_warns_without_numpy(self, monkeypatch):
         import importlib.util
 
-        from repro.simcore import processor_class
+        from repro.simcore import processor_class, reset_degradation_warning
 
         real_find_spec = importlib.util.find_spec
         monkeypatch.setattr(
@@ -185,10 +185,82 @@ class TestDegradation:
             if name == "numpy"
             else real_find_spec(name, *a, **k),
         )
+        reset_degradation_warning()
         with pytest.warns(RuntimeWarning, match="numpy is not installed"):
             warnings.simplefilter("always")
             cls = processor_class("batch")
         assert cls is BatchMCDProcessor
+
+    def test_degradation_warning_fires_once_per_resolution_burst(
+        self, monkeypatch
+    ):
+        """Sweeps resolve the core once per lane: one warning, not L."""
+        import importlib.util
+
+        from repro.simcore import processor_class, reset_degradation_warning
+
+        real_find_spec = importlib.util.find_spec
+        monkeypatch.setattr(
+            importlib.util,
+            "find_spec",
+            lambda name, *a, **k: None
+            if name == "numpy"
+            else real_find_spec(name, *a, **k),
+        )
+        reset_degradation_warning()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            for _ in range(5):
+                processor_class("batch")
+        hits = [
+            w
+            for w in caught
+            if "numpy is not installed" in str(w.message)
+        ]
+        assert len(hits) == 1
+        # the guard is resettable, so test isolation survives ordering
+        reset_degradation_warning()
+        with pytest.warns(RuntimeWarning, match="numpy is not installed"):
+            warnings.simplefilter("always")
+            processor_class("batch")
+
+    def test_degradation_warns_exactly_once_in_each_fresh_process(self):
+        """Two fresh interpreters each warn exactly once (the guard is
+        per-process state, not cross-process or import-time state)."""
+        import os
+        import subprocess
+
+        import repro
+
+        env = dict(os.environ)
+        src_root = os.path.dirname(os.path.dirname(repro.__file__))
+        env["PYTHONPATH"] = os.pathsep.join(
+            [src_root] + ([env["PYTHONPATH"]] if env.get("PYTHONPATH") else [])
+        )
+        script = (
+            "import importlib.util, warnings\n"
+            "real = importlib.util.find_spec\n"
+            "importlib.util.find_spec = (\n"
+            "    lambda name, *a, **k: None\n"
+            "    if name == 'numpy' else real(name, *a, **k)\n"
+            ")\n"
+            "from repro.simcore import processor_class\n"
+            "with warnings.catch_warnings(record=True) as caught:\n"
+            "    warnings.simplefilter('always')\n"
+            "    processor_class('batch')\n"
+            "    processor_class('batch')\n"
+            "print(sum('numpy is not installed' in str(w.message)\n"
+            "          for w in caught))\n"
+        )
+        for _ in range(2):
+            out = subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                check=True,
+                env=env,
+            )
+            assert out.stdout.strip() == "1"
 
     def test_run_batch_falls_back_without_soa(self, monkeypatch):
         """With the SoA module unimportable, run_batch still delivers

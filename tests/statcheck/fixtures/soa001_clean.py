@@ -1,0 +1,20 @@
+"""SOA001 negative fixture: broadcasting done right."""
+
+import numpy as np
+
+
+def column_broadcast(lanes):
+    occ = np.zeros((len(lanes), 3))
+    scale = np.zeros(len(lanes))
+    return occ * scale[:, None]
+
+
+def reshape_ok():
+    grid = np.zeros((4, 3))
+    return grid.reshape((6, 2))
+
+
+def store_ok(lanes):
+    acc = np.zeros((len(lanes), 4))
+    acc[:, 1:] = np.zeros((len(lanes), 3))
+    return acc

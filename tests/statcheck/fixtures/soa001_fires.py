@@ -1,0 +1,21 @@
+"""SOA001 positive fixture: provably incompatible vector shapes."""
+
+import numpy as np
+
+
+def transposed_write(lanes, doms):
+    per_lane = np.array([[0.0 for _ in doms] for _ in lanes])
+    per_dom = np.array([[0.0 for _ in lanes] for _ in doms])
+    return per_lane - per_dom
+
+
+def bad_reshape():
+    grid = np.zeros((4, 3))
+    return grid.reshape((5, 3))
+
+
+def collapsing_store(lanes, doms):
+    acc = np.zeros((len(lanes), 3))
+    block = np.array([[[0.0 for _ in doms] for _ in doms] for _ in lanes])
+    acc[:, :] = block
+    return acc

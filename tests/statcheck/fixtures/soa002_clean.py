@@ -1,0 +1,22 @@
+"""SOA002 negative fixture: explicit casts and uniform precision."""
+
+import numpy as np
+
+
+def uniform_precision(lanes):
+    energy = np.zeros(len(lanes))
+    energy = energy + np.zeros(len(lanes))
+    return energy
+
+
+def explicit_cast(lanes):
+    acc = np.zeros(len(lanes), dtype=np.float32)
+    wide = np.zeros(len(lanes))
+    acc[:] = wide.astype(np.float32)
+    return acc
+
+
+def python_scalar_is_fine(lanes):
+    acc = np.zeros(len(lanes), dtype=np.float32)
+    acc[:] = 0.0
+    return acc + 1.0

@@ -1,0 +1,23 @@
+"""SOA002 positive fixture: dtype drift in accumulation code."""
+
+import numpy as np
+
+
+def narrow_accumulator(lanes):
+    energy = np.zeros(len(lanes), dtype=np.float32)
+    step_e = np.zeros(len(lanes))
+    energy = energy + step_e
+    return energy
+
+
+def downcasting_store(lanes):
+    acc = np.zeros(len(lanes), dtype=np.float32)
+    wide = np.zeros(len(lanes))
+    acc[:] = wide
+    return acc
+
+
+def float_into_counter(lanes):
+    counts = np.zeros(len(lanes), dtype=np.int64)
+    counts[:] = np.zeros(len(lanes))
+    return counts

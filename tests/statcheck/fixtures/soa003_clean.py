@@ -1,0 +1,21 @@
+"""SOA003 negative fixture: dimensionally consistent vector code."""
+
+import numpy as np
+
+
+def invert_to_period(lanes):
+    freq_ghz = np.ones(len(lanes))
+    period_ns = 1.0 / freq_ghz
+    return period_ns
+
+
+def slew_times_dt(lanes):
+    slew_ghz_per_ns = np.ones(len(lanes))
+    dt_ns = np.ones(len(lanes))
+    delta_ghz = slew_ghz_per_ns * dt_ns
+    return delta_ghz
+
+
+def scalar_epsilon(lanes):
+    freq_ghz = np.ones(len(lanes))
+    return freq_ghz + 1e-9

@@ -1,0 +1,21 @@
+"""SOA003 positive fixture: unit mixing lifted elementwise."""
+
+import numpy as np
+
+
+def add_mix(lanes):
+    freq_ghz = np.zeros(len(lanes))
+    dt_ns = np.ones(len(lanes))
+    return freq_ghz + dt_ns
+
+
+def where_mix(lanes, mask):
+    volt = np.zeros(len(lanes))
+    freq_ghz = np.ones(len(lanes))
+    return np.where(mask, volt, freq_ghz)
+
+
+def compare_mix(lanes):
+    freq_ghz = np.zeros(len(lanes))
+    dt_ns = np.ones(len(lanes))
+    return freq_ghz < dt_ns

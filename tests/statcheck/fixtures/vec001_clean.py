@@ -1,0 +1,32 @@
+"""VEC001 negative fixture: every state array pairs with scalar state.
+
+Each array ``GroupState`` mutates is seeded from a lane attribute the
+``_absorb_lane_state`` path writes back; ``scratch`` carries no scalar
+counterpart but is declared ``_DRIVER_INTERNAL``.
+"""
+
+import numpy as np
+
+
+class LaneProc:
+    def __init__(self):
+        self.travel_total = 0.0
+        self.count = 0
+
+    def _absorb_lane_state(self, travel, count):
+        self.travel_total = travel
+        self.count = count
+
+
+class GroupState:  # statcheck: vector-state=LaneProc
+    _DRIVER_INTERNAL = frozenset({"scratch"})
+
+    def __init__(self, lanes):
+        self.travel = np.array([lane.travel_total for lane in lanes])
+        self.counts = np.array([lane.count for lane in lanes])
+        self.scratch = np.zeros(len(lanes))
+
+    def advance(self):
+        self.travel = self.travel + 1.0
+        self.counts = self.counts + 1
+        self.scratch = self.scratch * 0.0

@@ -1,0 +1,38 @@
+"""VEC001 positive fixture: one-sided vector/scalar state.
+
+``GroupState.energy`` is seeded from ``energy_acc`` and mutated per
+round, but ``LaneProc._absorb_lane_state`` never writes ``energy_acc``
+back (direction 1); ``LaneProc`` absorbs ``ghost_total``, but no driver
+array is seeded from it (direction 2).
+"""
+
+import numpy as np
+
+
+class LaneProc:
+    def __init__(self):
+        self.travel_total = 0.0
+        self.count = 0
+        self.ghost_total = 0.0
+        self.energy_acc = 0.0
+
+    def _absorb_lane_state(self, travel, count, ghost):
+        self.travel_total = travel
+        self.count = count
+        self.ghost_total = ghost
+
+
+class GroupState:  # statcheck: vector-state=LaneProc
+    _DRIVER_INTERNAL = frozenset({"scratch"})
+
+    def __init__(self, lanes):
+        self.travel = np.array([lane.travel_total for lane in lanes])
+        self.energy = np.array([lane.energy_acc for lane in lanes])
+        self.counts = np.array([lane.count for lane in lanes])
+        self.scratch = np.zeros(len(lanes))
+
+    def advance(self):
+        self.travel = self.travel + 1.0
+        self.energy = self.energy + 1.0
+        self.counts = self.counts + 1
+        self.scratch = self.scratch * 0.0

@@ -1,0 +1,200 @@
+"""Array-semantics layer: abstract-domain units + seeded bugs in the
+real batch core.
+
+The fixture tests pin each rule's behavior on synthetic snippets; these
+tests aim the rules at the production ``soa.py``/``batchcore.py`` pair:
+the shipped sources must be clean, and re-introducing each bug class the
+layer exists for (transposed axes, a float32 accumulator, a unit mix,
+deleting one side of a paired vector/scalar update) must produce exactly
+the expected finding.
+"""
+
+import os
+
+import pytest
+
+from repro.statcheck.arrays import (
+    Axis,
+    broadcast_shapes,
+    combine_axes,
+    promote,
+)
+from repro.statcheck.engine import Analyzer, Project, SourceFile
+
+REPO_SRC = os.path.join(
+    os.path.dirname(__file__), os.pardir, os.pardir, "src"
+)
+SOA_PATH = os.path.join(REPO_SRC, "repro", "simcore", "soa.py")
+BATCH_PATH = os.path.join(REPO_SRC, "repro", "simcore", "batchcore.py")
+
+
+def _read(path):
+    with open(path, encoding="utf-8") as handle:
+        return handle.read()
+
+
+def _findings(rule_id, soa_source, batch_source):
+    files = [
+        SourceFile.from_source(
+            soa_source, path=SOA_PATH, module="repro.simcore.soa"
+        ),
+        SourceFile.from_source(
+            batch_source, path=BATCH_PATH, module="repro.simcore.batchcore"
+        ),
+    ]
+    analyzer = Analyzer(select=[rule_id])
+    report = analyzer.analyze(files)
+    return [f for f in report.findings if f.rule == rule_id]
+
+
+# -- abstract domain -------------------------------------------------------
+
+
+def test_promote_is_max_over_the_lattice():
+    assert promote("float32", "float64") == "float64"
+    assert promote("bool", "int64") == "int64"
+    assert promote("int64", "float32") == "float32"
+    assert promote(None, "float64") is None
+    assert promote("float64", None) is None
+
+
+def test_combine_axes_size_one_broadcasts():
+    merged, ok = combine_axes(Axis(None, 1), Axis("lanes", None))
+    assert ok and merged == Axis("lanes", None)
+
+
+def test_combine_axes_known_sizes_must_match():
+    _, ok = combine_axes(Axis(None, 3), Axis(None, 4))
+    assert not ok
+    merged, ok = combine_axes(Axis(None, 3), Axis(None, 3))
+    assert ok and merged.size == 3
+
+
+def test_combine_axes_named_axes_must_match():
+    _, ok = combine_axes(Axis("lanes", None), Axis("doms", None))
+    assert not ok
+
+
+def test_combine_axes_name_vs_size_fails_open():
+    # a named axis of unknown size could be that size: no finding
+    _, ok = combine_axes(Axis("lanes", None), Axis(None, 3))
+    assert ok
+
+
+def test_broadcast_shapes_right_aligns_and_pads():
+    lanes = Axis("lanes", None)
+    shape, reason = broadcast_shapes(
+        (lanes, Axis(None, 3)), (Axis(None, 3),)
+    )
+    assert reason is None
+    assert shape == (lanes, Axis(None, 3))
+
+
+def test_broadcast_shapes_reports_provable_mismatch():
+    shape, reason = broadcast_shapes(
+        (Axis("lanes", None), Axis(None, 3)),
+        (Axis("doms", None), Axis(None, 3)),
+    )
+    assert shape is None
+    assert "lanes" in reason and "doms" in reason
+
+
+# -- the shipped batch core is clean ---------------------------------------
+
+
+@pytest.mark.parametrize("rule_id", ["SOA001", "SOA002", "SOA003", "VEC001"])
+def test_shipped_batch_core_is_clean(rule_id):
+    assert _findings(rule_id, _read(SOA_PATH), _read(BATCH_PATH)) == []
+
+
+# -- seeded bugs in the real sources ---------------------------------------
+
+
+def test_seeded_transposed_axes_fire_soa001():
+    # a transposed [domains, lanes] operand against the [lanes, domains]
+    # slew budget in the hot path is a provable named-axis mismatch
+    soa = _read(SOA_PATH).replace(
+        "np.minimum(self.max_move, delta)",
+        "np.minimum(self.max_move.T, self.max_move)",
+    )
+    assert soa != _read(SOA_PATH)
+    findings = _findings("SOA001", soa, _read(BATCH_PATH))
+    assert findings, "transposed max_move must break broadcasting"
+    assert any("broadcast" in f.message for f in findings)
+
+
+def test_seeded_float32_accumulator_fires_soa002():
+    soa = _read(SOA_PATH).replace(
+        "self.bg_acc = np.zeros((length, 4), dtype=_F64)",
+        "self.bg_acc = np.zeros((length, 4), dtype=np.float32)",
+    )
+    assert soa != _read(SOA_PATH)
+    findings = _findings("SOA002", soa, _read(BATCH_PATH))
+    assert findings, "a float32 energy accumulator must be a finding"
+    assert any("float32" in f.message for f in findings)
+
+
+def test_seeded_unit_mix_fires_soa003():
+    # frequency + sampling period, elementwise over the lane axis
+    soa = _read(SOA_PATH).replace(
+        "self.fsum = self.fsum + cur",
+        "self.fsum = self.fsum + cur + self.dt",
+    )
+    assert soa != _read(SOA_PATH)
+    findings = _findings("SOA003", soa, _read(BATCH_PATH))
+    assert findings, "adding a time to a frequency array must fire"
+    assert any(
+        "frequency" in f.message and "time" in f.message for f in findings
+    )
+
+
+def test_seeded_missing_scalar_writeback_fires_vec001():
+    # delete the scalar side of the paired travel update
+    batch = _read(BATCH_PATH).replace(
+        "regulator.total_travel_ghz = travel", "pass"
+    )
+    assert batch != _read(BATCH_PATH)
+    findings = _findings("VEC001", _read(SOA_PATH), batch)
+    assert len(findings) == 1
+    assert "self.travel" in findings[0].message
+    assert "total_travel_ghz" in findings[0].message
+
+
+def test_seeded_missing_vector_seed_fires_vec001():
+    # the driver no longer seeds fsum from the lane's _freq_sum: both
+    # the orphaned absorb write and the unpaired driver array surface
+    soa = _read(SOA_PATH).replace("lane._freq_sum[d]", "lane._freq_done[d]")
+    assert soa != _read(SOA_PATH)
+    messages = [
+        f.message for f in _findings("VEC001", soa, _read(BATCH_PATH))
+    ]
+    assert any("_freq_sum" in m and "_absorb" in m for m in messages)
+
+
+def test_stale_marker_is_a_finding():
+    soa = _read(SOA_PATH).replace(
+        "vector-state=BatchMCDProcessor", "vector-state=NoSuchLane"
+    )
+    assert soa != _read(SOA_PATH)
+    findings = _findings("VEC001", soa, _read(BATCH_PATH))
+    assert len(findings) == 1
+    assert "NoSuchLane" in findings[0].message
+
+
+def test_stale_driver_internal_entry_is_a_finding():
+    soa = _read(SOA_PATH).replace('"has_prev",', '"has_prev",\n"ghost",')
+    assert soa != _read(SOA_PATH)
+    findings = _findings("VEC001", soa, _read(BATCH_PATH))
+    assert len(findings) == 1
+    assert "ghost" in findings[0].message
+
+
+def test_contradictory_driver_internal_entry_is_a_finding():
+    # exempting an array whose source attribute IS absorbed is drift in
+    # the other direction: the exemption hides a live pairing
+    soa = _read(SOA_PATH).replace('"has_prev",', '"has_prev",\n"travel",')
+    assert soa != _read(SOA_PATH)
+    findings = _findings("VEC001", soa, _read(BATCH_PATH))
+    assert len(findings) == 1
+    assert "travel" in findings[0].message
+    assert "exempt" in findings[0].message

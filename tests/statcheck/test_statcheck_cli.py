@@ -127,6 +127,80 @@ class TestModuleEntryPoint:
         assert "0 findings" in proc.stdout
 
 
+class TestChangedOnlyWidening:
+    @pytest.fixture
+    def dep_chain(self, tmp_path):
+        """c imports b imports a; d is unrelated; b carries a PY001 bug."""
+        (tmp_path / "a.py").write_text("VALUE = 1\n", encoding="utf-8")
+        (tmp_path / "b.py").write_text(
+            "import a\n\n\ndef f(memo={}):\n    return memo\n",
+            encoding="utf-8",
+        )
+        (tmp_path / "c.py").write_text("import b\n", encoding="utf-8")
+        (tmp_path / "d.py").write_text("OTHER = 2\n", encoding="utf-8")
+        return tmp_path
+
+    def test_widening_follows_reverse_imports_transitively(self, dep_chain):
+        changed = [str(dep_chain / "a.py")]
+        widened = statcheck_cli._widen_changed_paths(
+            changed, [str(dep_chain)]
+        )
+        assert widened == sorted(
+            str(dep_chain / name) for name in ("a.py", "b.py", "c.py")
+        )
+
+    def test_widening_keeps_unrelated_files_out(self, dep_chain):
+        changed = [str(dep_chain / "b.py")]
+        widened = statcheck_cli._widen_changed_paths(
+            changed, [str(dep_chain)]
+        )
+        assert str(dep_chain / "c.py") in widened
+        assert str(dep_chain / "a.py") not in widened
+        assert str(dep_chain / "d.py") not in widened
+
+    def test_widening_fails_open_on_unreadable_roots(self, tmp_path):
+        changed = [str(tmp_path / "gone.py"), str(tmp_path / "gone.py")]
+        widened = statcheck_cli._widen_changed_paths(
+            changed, [str(tmp_path / "no-such-dir")]
+        )
+        assert widened == [str(tmp_path / "gone.py")]
+
+    def test_changed_only_reports_findings_in_dependents(
+        self, dep_chain, capsys, monkeypatch
+    ):
+        """Changing only a.py must still surface b.py's per-file finding:
+        b's import-resolved facts were computed against the old a."""
+        monkeypatch.setattr(
+            statcheck_cli,
+            "_changed_paths",
+            lambda base: [str(dep_chain / "a.py")],
+        )
+        code = main([str(dep_chain), "--changed-only", "HEAD~1", "--json"])
+        assert code == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        files = {f["path"] for f in payload["findings"]}
+        assert str(dep_chain / "b.py") in files
+
+    def test_changed_only_still_skips_unaffected_files(
+        self, dep_chain, capsys, monkeypatch
+    ):
+        """A per-file finding in an unrelated file stays filtered out."""
+        (dep_chain / "d.py").write_text(
+            "def g(memo={}):\n    return memo\n", encoding="utf-8"
+        )
+        monkeypatch.setattr(
+            statcheck_cli,
+            "_changed_paths",
+            lambda base: [str(dep_chain / "a.py")],
+        )
+        code = main([str(dep_chain), "--changed-only", "HEAD~1", "--json"])
+        assert code == EXIT_FINDINGS
+        payload = json.loads(capsys.readouterr().out)
+        files = {f["path"] for f in payload["findings"]}
+        assert str(dep_chain / "d.py") not in files
+        assert str(dep_chain / "b.py") in files
+
+
 class TestStatsFlag:
     def test_stats_goes_to_stderr_not_stdout(self, clean_tree, capsys, tmp_path):
         cache = str(tmp_path / "cache.json")
